@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``test_figNN_*`` module reproduces one figure of the paper: it
+asserts the figure's qualitative content (who wins, which tuples
+appear, which items conflict) and times the operation that produces it.
+``test_perf_*`` modules realise the introduction's quantitative claims
+on synthetic workloads.  ``python benchmarks/report.py`` prints every
+reproduced figure as text; EXPERIMENTS.md records the outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    elephant_dataset,
+    flying_dataset,
+    loves_dataset,
+    school_dataset,
+)
+
+
+@pytest.fixture
+def flying():
+    return flying_dataset()
+
+
+@pytest.fixture
+def school():
+    return school_dataset()
+
+
+@pytest.fixture
+def elephants():
+    return elephant_dataset()
+
+
+@pytest.fixture
+def loves():
+    return loves_dataset()
+
+
+def extension_set(relation):
+    return set(relation.extension())

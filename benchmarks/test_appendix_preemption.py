@@ -1,0 +1,93 @@
+"""A1 / Appendix: the three preemption semantics, compared.
+
+* off-path (default): Patricia flies — AFP preempts Penguin because a
+  path Penguin -> AFP exists;
+* on-path: conflict at Patricia — the Galapagos route bypasses AFP;
+* no preemption: even Paul conflicts — every applicable tuple counts;
+* the deliberate redundant edge makes Pamela conflict under off-path;
+* a preference edge resolves an arbitrary diamond.
+"""
+
+import pytest
+
+from repro.errors import AmbiguityError
+from repro.core import HRelation, NO_PREEMPTION, OFF_PATH, ON_PATH
+from repro.hierarchy import Hierarchy
+from repro.workloads import flying_dataset
+
+
+def verdict(relation, creature):
+    try:
+        return relation.holds(creature)
+    except AmbiguityError:
+        return "conflict"
+
+
+def verdicts_under(strategy, dataset):
+    dataset.flies.strategy = strategy
+    return {
+        name: verdict(dataset.flies, name)
+        for name in ("tweety", "paul", "pamela", "patricia", "peter")
+    }
+
+
+def test_appendix_off_path(flying, benchmark):
+    got = benchmark(verdicts_under, OFF_PATH, flying)
+    assert got == {
+        "tweety": True,
+        "paul": False,
+        "pamela": True,
+        "patricia": True,
+        "peter": True,
+    }
+
+
+def test_appendix_on_path(flying, benchmark):
+    got = benchmark(verdicts_under, ON_PATH, flying)
+    assert got == {
+        "tweety": True,
+        "paul": False,
+        "pamela": True,
+        "patricia": "conflict",
+        "peter": True,
+    }
+
+
+def test_appendix_no_preemption(flying, benchmark):
+    got = benchmark(verdicts_under, NO_PREEMPTION, flying)
+    assert got == {
+        "tweety": True,
+        "paul": "conflict",
+        "pamela": "conflict",
+        "patricia": "conflict",
+        "peter": True,
+    }
+
+
+def test_appendix_redundant_edge(benchmark):
+    def build_and_ask():
+        ds = flying_dataset(redundant_pamela_edge=True)
+        return verdict(ds.flies, "pamela"), verdict(ds.flies, "patricia")
+
+    pamela, patricia = benchmark(build_and_ask)
+    assert pamela == "conflict"
+    assert patricia is True
+
+
+def test_appendix_preference_edges(benchmark):
+    def build_and_resolve():
+        h = Hierarchy("d", root="top")
+        h.add_class("a")
+        h.add_class("b")
+        h.add_instance("x", parents=["a", "b"])
+        r = HRelation([("v", h)], name="pref")
+        r.assert_item(("a",))
+        r.assert_item(("b",), truth=False)
+        before = verdict(r, "x")
+        h.add_preference_edge("b", "a")  # a preempts b
+        after = verdict(r, "x")
+        return before, after
+
+    before, after = benchmark(build_and_resolve)
+    assert before == "conflict"
+    assert after is True

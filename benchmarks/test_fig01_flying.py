@@ -1,0 +1,43 @@
+"""E1 / Fig. 1: the flying-creatures relation.
+
+Reproduces the verdicts for every named creature, the subsumption graph
+(Fig. 1c), and Patricia's tuple-binding graph (Fig. 1d); times truth
+evaluation over the whole cast.
+"""
+
+from repro.core import UNIVERSAL, binding_graph, subsumption_graph
+
+PAPER_VERDICTS = {
+    "tweety": True,     # a canary, hence a bird
+    "paul": False,      # a Galapagos penguin
+    "pamela": True,     # an amazing flying penguin
+    "patricia": True,   # AFP + Galapagos; off-path lets AFP win
+    "peter": True,      # his own tuple overrides everything
+}
+
+
+def evaluate_all(relation):
+    return {name: relation.holds(name) for name in PAPER_VERDICTS}
+
+
+def test_fig1_verdicts(flying, benchmark):
+    got = benchmark(evaluate_all, flying.flies)
+    assert got == PAPER_VERDICTS
+
+
+def test_fig1_subsumption_graph(flying, benchmark):
+    graph = benchmark(subsumption_graph, flying.flies)
+    assert graph[UNIVERSAL] == {("bird",)}
+    assert graph[("bird",)] == {("penguin",)}
+    assert graph[("penguin",)] == {("amazing_flying_penguin",), ("peter",)}
+
+
+def test_fig1d_patricia_binding_graph(flying, benchmark):
+    graph = benchmark(binding_graph, flying.flies, ("patricia",))
+    preds = {n for n, succs in graph.items() if ("patricia",) in succs}
+    assert preds == {("amazing_flying_penguin",)}
+
+
+def test_fig1_extension(flying, benchmark):
+    extension = benchmark(lambda: set(flying.flies.extension()))
+    assert extension == {("tweety",), ("pamela",), ("patricia",), ("peter",)}

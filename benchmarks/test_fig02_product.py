@@ -1,0 +1,54 @@
+"""E2 / Fig. 2: the Student x Teacher product hierarchy.
+
+Fig. 2c is the cartesian product of two 3-deep chains: a 3x3 grid of
+nine items and twelve edges.  The product is never materialised by the
+library; the benchmark times the lazy constructions that replace it.
+"""
+
+from repro.hierarchy import ProductHierarchy
+
+
+def grid(product):
+    nodes = list(product.all_items())
+    edges = [(n, c) for n in nodes for c in product.children(n)]
+    return nodes, edges
+
+
+def test_fig2_product_shape(school, benchmark):
+    product = ProductHierarchy([school.student, school.teacher])
+    nodes, edges = benchmark(grid, product)
+    chain_nodes = [
+        n
+        for n in nodes
+        if n[0] in ("student", "obsequious_student", "john")
+        and n[1] in ("teacher", "incoherent_teacher", "bill")
+    ]
+    # The Fig. 2 fragment: 3 x 3 items ...
+    assert len(chain_nodes) == 9
+    # ... and 12 edges inside the grid.
+    grid_edges = [
+        (a, b) for a, b in edges if a in chain_nodes and b in chain_nodes
+    ]
+    assert len(grid_edges) == 12
+
+
+def test_fig2_product_order(school, benchmark):
+    product = ProductHierarchy([school.student, school.teacher])
+    top = ("student", "teacher")
+    bottom = ("john", "bill")
+
+    def check():
+        assert product.subsumes(top, bottom)
+        assert not product.subsumes(bottom, top)
+        assert product.meet(
+            ("obsequious_student", "teacher"), ("student", "incoherent_teacher")
+        ) == [("obsequious_student", "incoherent_teacher")]
+        return True
+
+    assert benchmark(check)
+
+
+def test_fig2_cone_without_materialisation(school, benchmark):
+    product = ProductHierarchy([school.student, school.teacher])
+    size = benchmark(product.cone_size, ("john", "bill"))
+    assert size == len(set(product.ancestors_or_self(("john", "bill"))))

@@ -1,0 +1,45 @@
+"""E3 / Fig. 3: the Respects relation and its conflict.
+
+Above the dashed line the database is inconsistent; the explicit tuple
+on (obsequious student, incoherent teacher) — the minimal conflict
+resolution set — restores consistency.
+"""
+
+from repro.core import find_conflicts, minimal_resolution_set
+
+CONFLICT_ITEM = ("obsequious_student", "incoherent_teacher")
+
+
+def test_fig3_unresolved_conflict(school, benchmark):
+    unresolved = school.unresolved()
+    conflicts = benchmark(find_conflicts, unresolved)
+    assert [c.item for c in conflicts] == [CONFLICT_ITEM]
+
+
+def test_fig3_minimal_resolution_set(school, benchmark):
+    unresolved = school.unresolved()
+    minimal = benchmark(
+        minimal_resolution_set,
+        unresolved,
+        ("obsequious_student", "teacher"),
+        ("student", "incoherent_teacher"),
+    )
+    assert minimal == [CONFLICT_ITEM]
+
+
+def test_fig3_resolved_is_consistent(school, benchmark):
+    conflicts = benchmark(find_conflicts, school.respects)
+    assert conflicts == []
+
+
+def test_fig3_semantics_after_resolution(school, benchmark):
+    def verdicts():
+        r = school.respects
+        return (
+            r.truth_of(("john", "bill")),
+            r.truth_of(("john", "tom")),
+            r.truth_of(("mary", "bill")),
+            r.truth_of(("mary", "tom")),
+        )
+
+    assert benchmark(verdicts) == (True, True, False, False)

@@ -1,0 +1,69 @@
+"""E5 / Fig. 5 and section 3.2: redundancy the base model must NOT remove.
+
+Fig. 5's Venn diagram: C sits inside A ∪ B, but without a union concept
+the tuple on C cannot be proven redundant — consolidation must keep it.
+The partition/covering extension then declares the fact and removes it.
+"""
+
+from repro.core import HRelation, consolidate
+from repro.extensions import PartitionRegistry, consolidate_with_partitions
+from repro.hierarchy import Hierarchy
+
+
+def venn_universe():
+    h = Hierarchy("d")
+    h.add_class("a")
+    h.add_class("b")
+    h.add_class("c")
+    h.add_instance("m1", parents=["a", "c"])
+    h.add_instance("m2", parents=["b", "c"])
+    h.add_instance("a_only", parents=["a"])
+    h.add_instance("b_only", parents=["b"])
+    r = HRelation([("x", h)], name="fig5")
+    r.assert_item(("a",))
+    r.assert_item(("b",))
+    r.assert_item(("c",))
+    return h, r
+
+
+def test_fig5_base_model_keeps_c(benchmark):
+    h, r = venn_universe()
+    compact = benchmark(consolidate, r)
+    # "we cannot consider a tuple regarding C a redundant assertion,
+    #  given tuples regarding sets A and B."
+    assert ("c",) in compact
+    assert set(compact.extension()) == set(r.extension())
+
+
+def test_fig5_covering_declaration_removes_c(benchmark):
+    h, r = venn_universe()
+    registry = PartitionRegistry()
+    registry.declare(h, "c", ["a", "b"], exhaustive=False)
+    compact = benchmark(consolidate_with_partitions, r, registry)
+    assert ("c",) not in compact
+    assert set(compact.extension()) == set(r.extension())
+
+
+def test_fig5_partition_dual_case(benchmark):
+    """Section 3.2's dual: C partitioned into A ⊎ B with tuples on both
+    parts makes the C tuple removable — but only via the declaration."""
+    h = Hierarchy("d")
+    h.add_class("c")
+    h.add_class("a", parents=["c"])
+    h.add_class("b", parents=["c"])
+    h.add_instance("x1", parents=["a"])
+    h.add_instance("x2", parents=["b"])
+    r = HRelation([("x", h)], name="partition")
+    r.assert_item(("a",))
+    r.assert_item(("b",), truth=False)
+    r.assert_item(("c",))
+    registry = PartitionRegistry()
+    registry.declare(h, "c", ["a", "b"])
+
+    def both():
+        return consolidate(r), consolidate_with_partitions(r, registry)
+
+    plain, extended = benchmark(both)
+    assert ("c",) in plain
+    assert ("c",) not in extended
+    assert set(extended.extension()) == set(r.extension())

@@ -1,0 +1,37 @@
+"""E6 / Fig. 6: consolidation of the Respects relation.
+
+The walkthrough: -(student, incoherent teacher) is redundant under the
+universal negated tuple; with it gone, +(obsequious, incoherent) is
+redundant under +(obsequious, teacher); the unique minimum is the
+single remaining tuple, with the extension intact.
+"""
+
+from repro.core import consolidate
+from repro.core.consolidate import redundant_tuples
+
+
+def test_fig6_unique_minimum(school, benchmark):
+    compact = benchmark(consolidate, school.respects)
+    assert [t.item for t in compact.tuples()] == [("obsequious_student", "teacher")]
+
+
+def test_fig6_removal_order(school, benchmark):
+    removed = benchmark(redundant_tuples, school.respects)
+    assert removed == [
+        ("student", "incoherent_teacher"),
+        ("obsequious_student", "incoherent_teacher"),
+    ]
+
+
+def test_fig6_extension_preserved(school, benchmark):
+    def check():
+        compact = consolidate(school.respects)
+        return set(compact.extension()) == set(school.respects.extension())
+
+    assert benchmark(check)
+
+
+def test_fig6_idempotent(school, benchmark):
+    compact = consolidate(school.respects)
+    again = benchmark(consolidate, compact)
+    assert again.same_tuples_as(compact)

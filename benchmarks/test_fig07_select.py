@@ -1,0 +1,32 @@
+"""E7 / Fig. 7: selection — whom do obsequious students respect?
+
+The answer covers every teacher (incoherent ones included, thanks to
+the conflict-resolving tuple), representable as the single condensed
+tuple +(∀obsequious_student, ∀teacher).
+"""
+
+from repro.core import select
+
+
+def test_fig7_rows(school, benchmark):
+    result = benchmark(select, school.respects, {"student": "obsequious_student"})
+    assert [t.item for t in result.tuples()] == [("obsequious_student", "teacher")]
+    assert all(t.truth for t in result.tuples())
+
+
+def test_fig7_extension(school, benchmark):
+    result = select(school.respects, {"student": "obsequious_student"})
+    extension = benchmark(lambda: set(result.extension()))
+    assert extension == {("john", "bill"), ("john", "tom")}
+
+
+def test_fig7_unconsolidated_equivalent(school, benchmark):
+    raw = benchmark(
+        select,
+        school.respects,
+        {"student": "obsequious_student"},
+        None,
+        False,
+    )
+    compact = select(school.respects, {"student": "obsequious_student"})
+    assert set(raw.extension()) == set(compact.extension())

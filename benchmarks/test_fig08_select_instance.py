@@ -1,0 +1,24 @@
+"""E8 / Fig. 8: selection on an instance — whom does John respect?
+
+An instance is a singleton class, so the same selection machinery
+applies; the condensed answer is +(john, ∀teacher).
+"""
+
+from repro.core import select
+
+
+def test_fig8_rows(school, benchmark):
+    result = benchmark(select, school.respects, {"student": "john"})
+    assert [t.item for t in result.tuples()] == [("john", "teacher")]
+
+
+def test_fig8_extension(school, benchmark):
+    result = select(school.respects, {"student": "john"})
+    extension = benchmark(lambda: set(result.extension()))
+    assert extension == {("john", "bill"), ("john", "tom")}
+
+
+def test_fig8_plain_student_empty(school, benchmark):
+    """Mary respects nobody: the selection on her is empty."""
+    result = benchmark(select, school.respects, {"student": "mary"})
+    assert set(result.extension()) == set()

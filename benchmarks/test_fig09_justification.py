@@ -1,0 +1,33 @@
+"""E9 / Fig. 9: a selection on Animal-Colour and its justification.
+
+"One can, in our model, not only obtain the result of a selection, but
+also find out which tuples in the relation were applicable."
+"""
+
+from repro.core import justify, select
+
+
+def test_fig9_selection(elephants, benchmark):
+    result = benchmark(select, elephants.animal_color, {"animal": "clyde"})
+    assert set(result.extension()) == {("clyde", "dappled")}
+
+
+def test_fig9_justification_deciders(elephants, benchmark):
+    j = benchmark(justify, elephants.animal_color, ("appu", "white"))
+    assert j.truth is True
+    assert [t.item for t in j.deciders] == [("royal_elephant", "white")]
+
+
+def test_fig9_applicable_tuples(elephants, benchmark):
+    """The justification lists every applicable stored tuple, most
+    specific first — the rows Fig. 9b prints."""
+    j = benchmark(justify, elephants.animal_color, ("clyde", "grey"))
+    assert j.truth is False
+    applicable = [t.item for t in j.applicable]
+    assert applicable == [("royal_elephant", "grey"), ("elephant", "grey")]
+
+
+def test_fig9_default_answers_are_justified_too(elephants, benchmark):
+    j = benchmark(justify, elephants.animal_color, ("african_elephant", "white"))
+    assert j.truth is False
+    assert j.decided_by_default

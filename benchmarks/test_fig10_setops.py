@@ -1,0 +1,54 @@
+"""E10 / Fig. 10: set operations on the Jack & Jill Loves relations.
+
+Set operations "apply to the explicated item sets represented by the
+relations, and not to the actual set of tuples physically used" — union
+condenses back to +(∀bird), intersection to Peter alone.
+"""
+
+from repro.core import difference, intersection, union
+from repro.flat import algebra as flat_algebra
+from repro.flat import from_hrelation
+
+
+def test_fig10c_union(loves, benchmark):
+    result = benchmark(union, loves.jack_loves, loves.jill_loves)
+    assert [t.item for t in result.tuples()] == [("bird",)]
+    want = flat_algebra.union(
+        from_hrelation(loves.jack_loves), from_hrelation(loves.jill_loves)
+    ).rows()
+    assert set(result.extension()) == want
+
+
+def test_fig10d_intersection(loves, benchmark):
+    result = benchmark(intersection, loves.jack_loves, loves.jill_loves)
+    assert set(result.extension()) == {("peter",)}
+
+
+def test_fig10e_jack_but_not_jill(loves, benchmark):
+    result = benchmark(difference, loves.jack_loves, loves.jill_loves)
+    items = {t.item: t.truth for t in result.tuples()}
+    assert items == {("bird",): True, ("penguin",): False}
+
+
+def test_fig10f_jill_but_not_jack(loves, benchmark):
+    result = benchmark(difference, loves.jill_loves, loves.jack_loves)
+    items = {t.item: t.truth for t in result.tuples()}
+    assert items == {("penguin",): True, ("peter",): False}
+
+
+def test_fig10_all_ops_flat_correct(loves, benchmark):
+    def check():
+        jack = from_hrelation(loves.jack_loves)
+        jill = from_hrelation(loves.jill_loves)
+        pairs = [
+            (union, flat_algebra.union),
+            (intersection, flat_algebra.intersection),
+            (difference, flat_algebra.difference),
+        ]
+        for op, flat_op in pairs:
+            got = set(op(loves.jack_loves, loves.jill_loves).extension())
+            if got != flat_op(jack, jill).rows():
+                return False
+        return True
+
+    assert benchmark(check)

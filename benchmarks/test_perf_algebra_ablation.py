@@ -1,0 +1,92 @@
+"""P5 / ablation: condensed-form algebra versus flatten-then-operate.
+
+The design decision DESIGN.md calls out: the standard operators work on
+the condensed representation (meet-closure pointwise combination)
+instead of explicating to the flat extension first.  Both paths are
+timed on the same inputs; with large classes the condensed path touches
+O(assertions) items while the flat path touches O(extension) rows.
+"""
+
+import pytest
+
+from repro.core import HRelation, RelationSchema, intersection, select, union
+from repro.flat import algebra as flat_algebra
+from repro.flat import from_hrelation
+from repro.workloads.generators import membership_workload
+
+MEMBERS = 150
+
+
+@pytest.fixture(scope="module")
+def pair():
+    hierarchy, left, instances = membership_workload(8, MEMBERS)
+    right = HRelation(left.schema, name="right")
+    for c in range(0, 8, 2):
+        right.assert_item(("group{}".format(c),))
+    right.assert_item(("item0_0",), truth=False)  # one exception in group0
+    return left, right
+
+
+def test_p5_union_condensed(pair, benchmark):
+    left, right = pair
+    result = benchmark(union, left, right)
+    assert result.extension_size() == 8 * MEMBERS
+
+
+def test_p5_union_flattened(pair, benchmark):
+    left, right = pair
+
+    def flat_path():
+        return flat_algebra.union(from_hrelation(left), from_hrelation(right))
+
+    result = benchmark(flat_path)
+    assert len(result) == 8 * MEMBERS
+
+
+def test_p5_intersection_condensed(pair, benchmark):
+    left, right = pair
+    result = benchmark(intersection, left, right)
+    assert result.extension_size() == 4 * MEMBERS - 1
+
+
+def test_p5_intersection_flattened(pair, benchmark):
+    left, right = pair
+
+    def flat_path():
+        return flat_algebra.intersection(from_hrelation(left), from_hrelation(right))
+
+    result = benchmark(flat_path)
+    assert len(result) == 4 * MEMBERS - 1
+
+
+def test_p5_select_condensed(pair, benchmark):
+    left, right = pair
+    result = benchmark(select, left, {"thing": "group3"})
+    assert result.extension_size() == MEMBERS
+
+
+def test_p5_select_flattened(pair, benchmark):
+    left, right = pair
+    hierarchy = left.schema.hierarchy_for("thing")
+    members = set(hierarchy.leaves_under("group3"))
+
+    def flat_path():
+        return flat_algebra.select(
+            from_hrelation(left), lambda row: row["thing"] in members
+        )
+
+    result = benchmark(flat_path)
+    assert len(result) == MEMBERS
+
+
+def test_p5_outputs_agree(pair, benchmark):
+    left, right = pair
+
+    def agree():
+        condensed = set(union(left, right).extension())
+        flat = flat_algebra.union(
+            from_hrelation(left), from_hrelation(right)
+        ).rows()
+        return condensed == flat
+
+    assert benchmark(agree)

@@ -1,0 +1,62 @@
+"""P1 / section 1: storage compression from class-level tuples.
+
+"One can store the class membership once, and use a single tuple with
+the class name to substitute for many tuples with its constituent
+elements."  Hierarchical storage grows with the number of *assertions*;
+flat storage grows with the *extension*.  The benchmark sweeps class
+size and reports both, asserting the compression ratio scales linearly
+with members-per-class.
+"""
+
+import pytest
+
+from repro.flat import from_hrelation
+from repro.workloads.generators import membership_workload
+
+SWEEP = [10, 50, 200]
+CLASSES = 10
+
+
+@pytest.mark.parametrize("members", SWEEP)
+def test_p1_storage_ratio(benchmark, members):
+    hierarchy, relation, instances = membership_workload(CLASSES, members)
+
+    def flatten():
+        return from_hrelation(relation)
+
+    flat = benchmark(flatten)
+    assert len(relation) == CLASSES
+    assert len(flat) == CLASSES * members
+    ratio = len(flat) / len(relation)
+    assert ratio == members  # compression tracks class size exactly
+
+
+def test_p1_exception_cost_is_one_tuple(benchmark):
+    """Exceptions cost one stored tuple each, never a re-enumeration."""
+    hierarchy, relation, instances = membership_workload(CLASSES, 100)
+    excluded = instances[:5]
+
+    def add_exceptions():
+        working = relation.copy()
+        for instance in excluded:
+            working.assert_item((instance,), truth=False)
+        return working
+
+    working = benchmark(add_exceptions)
+    assert len(working) == CLASSES + len(excluded)
+    assert working.extension_size() == CLASSES * 100 - len(excluded)
+
+
+def test_p1_intensional_class_constant_space(benchmark):
+    """'a potentially infinite relation can be stored in constant
+    space': asserting one class tuple is O(1) regardless of the class's
+    current (and future) membership."""
+    hierarchy, relation, instances = membership_workload(1, 500)
+
+    def assert_one():
+        working = relation.copy()
+        working.discard(("group0",))
+        working.assert_item(("group0",))
+        return len(working)
+
+    assert benchmark(assert_one) == 1

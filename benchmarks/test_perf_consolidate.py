@@ -1,0 +1,50 @@
+"""P3 / section 3.3.1: consolidation scaling.
+
+Times consolidate on relations of growing size with a fixed fraction of
+redundant tuples, and on the worst case (nothing redundant — the
+alternating exception chain).
+"""
+
+import pytest
+
+from repro.core import RelationSchema, consolidate
+from repro.workloads.generators import (
+    balanced_tree_hierarchy,
+    chain_hierarchy,
+    exception_chain_relation,
+    random_consistent_relation,
+)
+
+SIZES = [20, 60, 120]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_p3_consolidate_scaling(benchmark, size):
+    hierarchy = balanced_tree_hierarchy("t", depth=3, fanout=4)
+    schema = RelationSchema([("x", hierarchy)])
+    relation = random_consistent_relation(
+        schema, tuple_count=size, negative_ratio=0.25, seed=size
+    )
+    compact = benchmark(consolidate, relation)
+    assert len(compact) <= len(relation)
+    assert set(compact.extension()) == set(relation.extension())
+
+
+def test_p3_worst_case_nothing_redundant(benchmark):
+    hierarchy = chain_hierarchy("c", length=40, siblings=1)
+    relation = exception_chain_relation(hierarchy)
+    compact = benchmark(consolidate, relation)
+    assert len(compact) == len(relation)  # alternating chain: all load-bearing
+
+
+def test_p3_best_case_everything_redundant(benchmark):
+    hierarchy = balanced_tree_hierarchy("t", depth=2, fanout=5)
+    schema = RelationSchema([("x", hierarchy)])
+    from repro.core import HRelation
+
+    relation = HRelation(schema, name="dup")
+    relation.assert_item(("c0",))
+    for child in hierarchy.children("c0"):
+        relation.assert_item((child,))  # all redundant under c0
+    compact = benchmark(consolidate, relation)
+    assert [t.item for t in compact.tuples()] == [("c0",)]

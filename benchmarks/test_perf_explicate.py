@@ -1,0 +1,44 @@
+"""P4 / section 3.3.2: explication scaling.
+
+Explication cost is the size of the extension being produced; the sweep
+grows the class fan-out and checks linear output scaling, plus the
+partial-explication case that leaves one attribute condensed.
+"""
+
+import pytest
+
+from repro.core import HRelation, RelationSchema, explicate
+from repro.workloads.generators import balanced_tree_hierarchy, membership_workload
+
+FANOUTS = [10, 50, 200]
+
+
+@pytest.mark.parametrize("members", FANOUTS)
+def test_p4_full_explication_scaling(benchmark, members):
+    hierarchy, relation, instances = membership_workload(5, members)
+    flat = benchmark(explicate, relation)
+    assert len(flat) == 5 * members
+
+
+def test_p4_exceptions_survive_explication(benchmark):
+    hierarchy, relation, instances = membership_workload(4, 50)
+    working = relation.copy()
+    for instance in instances[:10]:
+        working.assert_item((instance,), truth=False)
+    flat = benchmark(explicate, working)
+    assert len(flat) == 4 * 50 - 10
+
+
+def test_p4_partial_explication(benchmark):
+    tree = balanced_tree_hierarchy("t", depth=2, fanout=4)
+    values = balanced_tree_hierarchy("v", depth=1, fanout=6)
+    schema = RelationSchema([("x", tree), ("y", values)])
+    relation = HRelation(schema, name="partial")
+    relation.assert_item(("c0", "v"))
+    relation.assert_item(("c1", "c0"), truth=False)
+
+    partial = benchmark(explicate, relation, ["y"])
+    # x stays condensed; y becomes atomic.
+    assert all(values.is_leaf(t.item[1]) for t in partial.tuples())
+    assert any(not tree.is_leaf(t.item[0]) for t in partial.tuples())
+    assert set(partial.extension()) == set(relation.extension())

@@ -1,0 +1,65 @@
+"""P2 / section 1, footnote 1: binding versus membership joins.
+
+The footnote's alternative stores class membership in a separate
+relation and answers queries with "repeated joins, causing a
+degradation in performance".  Both designs answer the same queries;
+the benchmark times each side so the report can compare them.
+"""
+
+import pytest
+
+from repro.flat import MembershipBaseline
+from repro.workloads.generators import membership_workload
+
+CLASSES = 20
+MEMBERS = 50
+
+
+@pytest.fixture(scope="module")
+def workload():
+    hierarchy, relation, instances = membership_workload(CLASSES, MEMBERS)
+    baseline = MembershipBaseline(hierarchy)
+    baseline.set_property("p", ["group{}".format(c) for c in range(CLASSES)])
+    return hierarchy, relation, instances, baseline
+
+
+def test_p2_point_queries_hierarchical(workload, benchmark):
+    hierarchy, relation, instances, baseline = workload
+    probe = instances[:100]
+
+    def run():
+        return sum(1 for i in probe if relation.holds(i))
+
+    assert benchmark(run) == len(probe)
+
+
+def test_p2_point_queries_join_baseline(workload, benchmark):
+    hierarchy, relation, instances, baseline = workload
+    probe = instances[:100]
+
+    def run():
+        return sum(1 for i in probe if baseline.has_property(i, "p"))
+
+    assert benchmark(run) == len(probe)
+
+
+def test_p2_full_extension_hierarchical(workload, benchmark):
+    hierarchy, relation, instances, baseline = workload
+    got = benchmark(lambda: {i[0] for i in relation.extension()})
+    assert len(got) == CLASSES * MEMBERS
+
+
+def test_p2_full_extension_join_baseline(workload, benchmark):
+    hierarchy, relation, instances, baseline = workload
+    got = benchmark(baseline.leaf_members_with_property, "p")
+    assert len(got) == CLASSES * MEMBERS
+
+
+def test_p2_answers_agree(workload, benchmark):
+    hierarchy, relation, instances, baseline = workload
+
+    def agree():
+        hier = {i[0] for i in relation.extension()}
+        return hier == baseline.leaf_members_with_property("p")
+
+    assert benchmark(agree)

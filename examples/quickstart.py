@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: classes as attribute values, exceptions, and queries.
+
+The one-minute tour of the model on the paper's opening example:
+birds fly, penguins don't, amazing flying penguins do.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Hierarchy, HRelation, consolidate, explicate, justify
+
+
+def main() -> None:
+    # 1. A taxonomy: a rooted DAG of classes with instances at the leaves.
+    animal = Hierarchy("animal")
+    animal.add_class("bird")
+    animal.add_class("canary", parents=["bird"])
+    animal.add_class("penguin", parents=["bird"])
+    animal.add_class("amazing_flying_penguin", parents=["penguin"])
+    animal.add_instance("tweety", parents=["canary"])
+    animal.add_instance("paul", parents=["penguin"])
+    animal.add_instance("pamela", parents=["amazing_flying_penguin"])
+
+    # 2. A hierarchical relation: one tuple can speak for a whole class,
+    #    and a negated tuple carves out an exception.
+    flies = HRelation([("creature", animal)], name="flies")
+    flies.assert_item(("bird",))                            # all birds fly
+    flies.assert_item(("penguin",), truth=False)            # ... except penguins
+    flies.assert_item(("amazing_flying_penguin",))          # ... except these
+
+    print(flies)
+    print()
+
+    # 3. Queries: truth values are decided by the strongest-binding tuple.
+    for creature in ("tweety", "paul", "pamela"):
+        print("does {} fly? {}".format(creature, flies.holds(creature)))
+    print()
+
+    # 4. Why? Every answer can be justified by the stored tuples.
+    print(justify(flies, ("pamela",)))
+    print()
+
+    # 5. The same relation, flattened (explicate) and re-compacted
+    #    (consolidate) — neither changes the meaning.
+    print("flat extension:", sorted(x[0] for x in explicate(flies).extension()))
+    flies.assert_item(("tweety",))  # redundant: bird already says so
+    print(
+        "tuples before/after consolidate: {} -> {}".format(
+            len(flies), len(consolidate(flies))
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The student/teacher example: multi-attribute items, conflicts,
+transactions, consolidation, and selection (Figs. 2, 3, 6, 7, 8).
+
+The story: all obsequious students respect all teachers; no student
+respects any incoherent teacher.  Those two facts conflict at
+(obsequious student, incoherent teacher) — the database refuses the
+update until the transaction also resolves the conflict, exactly as
+section 3.1 prescribes.
+
+Run:  python examples/university.py
+"""
+
+from repro import InconsistentRelationError, consolidate, select
+from repro.engine import HierarchicalDatabase
+
+
+def main() -> None:
+    db = HierarchicalDatabase("university")
+
+    student = db.create_hierarchy("student")
+    student.add_class("obsequious_student")
+    student.add_instance("john", parents=["obsequious_student"])
+    student.add_instance("mary", parents=["student"])
+
+    teacher = db.create_hierarchy("teacher")
+    teacher.add_class("incoherent_teacher")
+    teacher.add_instance("bill", parents=["incoherent_teacher"])
+    teacher.add_instance("tom", parents=["teacher"])
+
+    db.create_relation("respects", [("student", "student"), ("teacher", "teacher")])
+
+    print("Trying to commit the two Fig. 3 assertions alone:")
+    try:
+        with db.transaction() as txn:
+            txn.assert_item("respects", ("obsequious_student", "teacher"))
+            txn.assert_item("respects", ("student", "incoherent_teacher"), truth=False)
+    except InconsistentRelationError as exc:
+        print("  rejected:", exc.conflicts[0])
+    print()
+
+    print("Committing again with the conflict-resolving tuple:")
+    with db.transaction() as txn:
+        txn.assert_item("respects", ("obsequious_student", "teacher"))
+        txn.assert_item("respects", ("student", "incoherent_teacher"), truth=False)
+        txn.assert_item("respects", ("obsequious_student", "incoherent_teacher"))
+    respects = db.relation("respects")
+    print(respects)
+    print()
+
+    print("Fig. 7 — whom do obsequious students respect?")
+    print(select(respects, {"student": "obsequious_student"}, name="fig7"))
+    print()
+
+    print("Fig. 8 — whom does John respect?")
+    print(select(respects, {"student": "john"}, name="fig8"))
+    print()
+
+    print("Atom-level checks:")
+    for pair in (("john", "bill"), ("john", "tom"), ("mary", "bill"), ("mary", "tom")):
+        print("  {} respects {}: {}".format(pair[0], pair[1], respects.truth_of(pair)))
+    print()
+
+    print("Fig. 6 — consolidation finds both stored exceptions redundant:")
+    compact = consolidate(respects, name="respects_consolidated")
+    print(compact)
+    print(
+        "  same flat relation, {} tuple(s) instead of {}".format(
+            len(compact), len(respects)
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

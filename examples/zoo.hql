@@ -1,0 +1,40 @@
+-- The Fig. 1 flying-creatures database, as a pure HQL script.
+-- Run with:  python -m repro run examples/zoo.hql
+
+CREATE HIERARCHY animal;
+CREATE CLASS bird IN animal;
+CREATE CLASS canary IN animal UNDER bird;
+CREATE CLASS penguin IN animal UNDER bird;
+CREATE CLASS galapagos_penguin IN animal UNDER penguin;
+CREATE CLASS amazing_flying_penguin IN animal UNDER penguin;
+CREATE INSTANCE tweety IN animal UNDER canary;
+CREATE INSTANCE paul IN animal UNDER galapagos_penguin;
+CREATE INSTANCE peter IN animal UNDER penguin;
+CREATE INSTANCE pamela IN animal UNDER amazing_flying_penguin;
+CREATE INSTANCE patricia IN animal UNDER amazing_flying_penguin, galapagos_penguin;
+
+CREATE RELATION flies (creature: animal);
+ASSERT flies (bird);                       -- all birds fly
+ASSERT NOT flies (penguin);                -- except penguins
+ASSERT flies (amazing_flying_penguin);     -- except these penguins
+ASSERT flies (peter);                      -- and Peter specifically
+
+-- The Fig. 1 verdicts:
+TRUTH flies (tweety);
+TRUTH flies (paul);
+TRUTH flies (pamela);
+TRUTH flies (patricia);
+TRUTH flies (peter);
+
+-- Why does Patricia fly?  (Fig. 1d)
+JUSTIFY flies (patricia);
+
+-- Selection (Figs. 7/8 style) with the condition language:
+SELECT FROM flies WHERE creature = penguin AS flying_penguins;
+EXTENSION flying_penguins;
+COUNT flies WHERE creature != penguin;
+
+-- How was that answered?
+EXPLAIN COUNT flies;
+
+SHOW RELATIONS;

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this repo is developed in has no ``wheel`` package and
+no network access, so PEP 517 editable installs (which build a wheel)
+fail; this shim lets ``pip install -e . --no-use-pep517`` fall back to
+the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,140 @@
+"""repro — the hierarchical relational model of Jagadish (SIGMOD 1989).
+
+A faithful, from-scratch implementation of *Incorporating Hierarchy in a
+Relational Model of Data*: classes as attribute values, inheritance with
+exceptions (multiple inheritance included), the ``consolidate`` and
+``explicate`` operators, hierarchical versions of the standard
+relational operators, and a small database engine (catalog,
+transactions, query language) on top.
+
+Quickstart
+----------
+>>> from repro import Hierarchy, HRelation
+>>> animal = Hierarchy("animal")
+>>> animal.add_class("bird")
+>>> animal.add_class("penguin", parents=["bird"])
+>>> animal.add_instance("tweety", parents=["bird"])
+>>> flies = HRelation([("creature", animal)], name="flies")
+>>> flies.assert_item(("bird",))            # all birds fly ...
+>>> flies.assert_item(("penguin",), False)  # ... except penguins
+>>> flies.holds("tweety")
+True
+>>> flies.holds("penguin")
+False
+"""
+
+from repro.errors import (
+    AmbiguityError,
+    CatalogError,
+    CycleError,
+    DuplicateNodeError,
+    HierarchyError,
+    HQLError,
+    HQLSyntaxError,
+    InconsistentRelationError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    TransactionError,
+    TupleError,
+    UnknownNodeError,
+)
+from repro.hierarchy import (
+    Hierarchy,
+    HierarchyBuilder,
+    ProductHierarchy,
+    hierarchy_from_dict,
+    hierarchy_from_edges,
+)
+from repro.core import (
+    HRelation,
+    HTuple,
+    NO_PREEMPTION,
+    OFF_PATH,
+    ON_PATH,
+    RelationSchema,
+    UNIVERSAL,
+    Conflict,
+    Justification,
+    binding_graph,
+    check_consistent,
+    complete_resolution_set,
+    consolidate,
+    difference,
+    explicate,
+    find_conflicts,
+    intersection,
+    is_consistent,
+    join,
+    justify,
+    minimal_resolution_set,
+    project,
+    rename,
+    select,
+    strongest_binders,
+    subsumption_graph,
+    truth_of,
+    union,
+    member,
+    select_where,
+    aggregate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "HierarchyError",
+    "CycleError",
+    "UnknownNodeError",
+    "DuplicateNodeError",
+    "SchemaError",
+    "TupleError",
+    "AmbiguityError",
+    "InconsistentRelationError",
+    "TransactionError",
+    "CatalogError",
+    "HQLError",
+    "HQLSyntaxError",
+    "StorageError",
+    # hierarchy
+    "Hierarchy",
+    "ProductHierarchy",
+    "HierarchyBuilder",
+    "hierarchy_from_dict",
+    "hierarchy_from_edges",
+    # core
+    "RelationSchema",
+    "HRelation",
+    "HTuple",
+    "UNIVERSAL",
+    "OFF_PATH",
+    "ON_PATH",
+    "NO_PREEMPTION",
+    "Conflict",
+    "Justification",
+    "binding_graph",
+    "check_consistent",
+    "complete_resolution_set",
+    "consolidate",
+    "difference",
+    "explicate",
+    "find_conflicts",
+    "intersection",
+    "is_consistent",
+    "join",
+    "justify",
+    "minimal_resolution_set",
+    "project",
+    "rename",
+    "select",
+    "strongest_binders",
+    "subsumption_graph",
+    "truth_of",
+    "union",
+    "member",
+    "select_where",
+    "aggregate",
+]

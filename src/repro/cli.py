@@ -1,0 +1,79 @@
+"""Command-line entry points: ``python -m repro <command>``.
+
+Commands
+--------
+``repl [db.json]``
+    Start the interactive HQL shell, optionally over a saved database.
+``run script.hql [--db db.json] [--save out.json]``
+    Execute an HQL script file (against a loaded database if ``--db``),
+    print each result, optionally save the final state.
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.engine.database import HierarchicalDatabase
+from repro.engine.hql import HQLExecutor
+from repro.engine.repl import HQLRepl
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The hierarchical relational model (Jagadish, SIGMOD 1989).",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    repl = commands.add_parser("repl", help="interactive HQL shell")
+    repl.add_argument("database", nargs="?", help="a saved database (JSON)")
+
+    run = commands.add_parser("run", help="execute an HQL script file")
+    run.add_argument("script", help="path to the .hql file")
+    run.add_argument("--db", help="load this database first")
+    run.add_argument("--save", help="save the database here afterwards")
+    run.add_argument(
+        "--quiet", action="store_true", help="suppress per-statement output"
+    )
+
+    commands.add_parser("version", help="print the package version")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "version":
+        print(__version__)
+        return 0
+    if args.command == "repl":
+        if args.database:
+            database = HierarchicalDatabase.load(args.database)
+        else:
+            database = HierarchicalDatabase("session")
+        HQLRepl(database).run()
+        return 0
+    if args.command == "run":
+        if args.db:
+            database = HierarchicalDatabase.load(args.db)
+        else:
+            database = HierarchicalDatabase("script")
+        with open(args.script, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        session = HQLExecutor(database)
+        for result in session.run(text):
+            if not args.quiet:
+                print(result)
+        if args.save:
+            database.save(args.save)
+        return 0
+    _build_parser().print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""The paper's primary contribution: the hierarchical relational model.
+
+The public surface re-exported here is what the README documents:
+
+* :class:`RelationSchema` — attribute names bound to hierarchy domains;
+* :class:`HTuple` — an item plus a truth value (section 2.1);
+* :class:`HRelation` — a hierarchical relation (sections 2.1–2.2);
+* preemption strategies ``OFF_PATH`` / ``ON_PATH`` / ``NO_PREEMPTION``
+  (appendix);
+* the binding API: :func:`truth_of`, :func:`strongest_binders`,
+  :func:`justify`, :func:`binding_graph`;
+* conflict machinery: :func:`find_conflicts`,
+  :func:`complete_resolution_set`, :func:`minimal_resolution_set`;
+* the two new operators: :func:`consolidate` and :func:`explicate`
+  (section 3.3);
+* the standard operators, redefined for hierarchical relations
+  (section 3.4): :func:`select`, :func:`project`, :func:`join`,
+  :func:`union`, :func:`intersection`, :func:`difference`,
+  :func:`rename`.
+"""
+
+from repro.core.schema import RelationSchema
+from repro.core.htuple import HTuple, UNIVERSAL, format_item
+from repro.core.relation import HRelation
+from repro.core.preemption import (
+    OFF_PATH,
+    ON_PATH,
+    NO_PREEMPTION,
+    PreemptionStrategy,
+)
+from repro.core.binding import (
+    Justification,
+    binding_graph,
+    justify,
+    strongest_binders,
+    subsumption_graph,
+    truth_of,
+)
+from repro.core.conflicts import (
+    Conflict,
+    complete_resolution_set,
+    find_conflicts,
+    is_consistent,
+    minimal_resolution_set,
+)
+from repro.core.consolidate import consolidate
+from repro.core.explicate import explicate
+from repro.core.algebra import (
+    antijoin,
+    difference,
+    divide,
+    intersection,
+    join,
+    project,
+    rename,
+    select,
+    semijoin,
+    union,
+)
+from repro.core.equivalence import (
+    containment_witness,
+    contains,
+    difference_witness,
+    equivalent,
+)
+from repro.core.integrity import IntegrityChecker, check_consistent
+from repro.core.where import And, Condition, Member, Not, Or, member, select_where
+from repro.core import aggregate
+from repro.core.index import BinderIndex
+from repro.core.views import MaterializedView, ViewRegistry
+from repro.core.provenance import AssertionRecord, ProvenanceTracker
+
+__all__ = [
+    "RelationSchema",
+    "HTuple",
+    "UNIVERSAL",
+    "format_item",
+    "HRelation",
+    "OFF_PATH",
+    "ON_PATH",
+    "NO_PREEMPTION",
+    "PreemptionStrategy",
+    "Justification",
+    "binding_graph",
+    "justify",
+    "strongest_binders",
+    "subsumption_graph",
+    "truth_of",
+    "Conflict",
+    "complete_resolution_set",
+    "find_conflicts",
+    "is_consistent",
+    "minimal_resolution_set",
+    "consolidate",
+    "explicate",
+    "select",
+    "project",
+    "join",
+    "semijoin",
+    "antijoin",
+    "divide",
+    "equivalent",
+    "contains",
+    "difference_witness",
+    "containment_witness",
+    "union",
+    "intersection",
+    "difference",
+    "rename",
+    "IntegrityChecker",
+    "check_consistent",
+    "Condition",
+    "Member",
+    "And",
+    "Or",
+    "Not",
+    "member",
+    "select_where",
+    "aggregate",
+    "BinderIndex",
+    "MaterializedView",
+    "ViewRegistry",
+    "ProvenanceTracker",
+    "AssertionRecord",
+]

@@ -1,0 +1,105 @@
+"""Aggregation over hierarchical relations.
+
+Section 3.3.2 motivates explication with exactly this: the operator "is
+useful when a count, average, or other statistical operation is to be
+performed over the relation".  Statistics are only well defined on the
+flat extension — a class-valued tuple would otherwise count once no
+matter how many atoms it speaks for — so every aggregate here first
+explicates (implicitly, via :meth:`HRelation.extension`) and then folds.
+
+Values are strings in this model; numeric aggregates parse them and
+raise :class:`~repro.errors.SchemaError` if any group member does not
+parse, rather than silently skipping rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.hierarchy.product import Item
+
+
+def count(relation, conditions: Optional[Dict[str, str]] = None) -> int:
+    """The number of atomic items in the (optionally selected) extension."""
+    if conditions:
+        from repro.core.algebra import select
+
+        relation = select(relation, conditions)
+    return relation.extension_size()
+
+
+def count_by(relation, attribute: str) -> Dict[str, int]:
+    """Extension size grouped by the atomic value of ``attribute``."""
+    index = relation.schema.index_of(attribute)
+    out: Dict[str, int] = {}
+    for atom in relation.extension():
+        key = atom[index]
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def group_by_class(relation, attribute: str, classes: Sequence[str]) -> Dict[str, int]:
+    """Extension size grouped by membership in the given classes.
+
+    Classes may overlap (multiple inheritance), in which case an atom
+    counts once per class containing it — group-by over a taxonomy is
+    inherently a cover, not a partition.
+    """
+    hierarchy = relation.schema.hierarchy_for(attribute)
+    index = relation.schema.index_of(attribute)
+    members = {klass: set(hierarchy.leaves_under(klass)) for klass in classes}
+    out = {klass: 0 for klass in classes}
+    for atom in relation.extension():
+        for klass, leaves in members.items():
+            if atom[index] in leaves:
+                out[klass] += 1
+    return out
+
+
+def _numeric(value: str, attribute: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise SchemaError(
+            "aggregate over {!r}: value {!r} is not numeric".format(attribute, value)
+        ) from None
+
+
+def _fold(
+    relation,
+    attribute: str,
+    fold: Callable[[List[float]], float],
+    group_by: Optional[str] = None,
+):
+    value_index = relation.schema.index_of(attribute)
+    if group_by is None:
+        values = [
+            _numeric(atom[value_index], attribute) for atom in relation.extension()
+        ]
+        return fold(values) if values else None
+    group_index = relation.schema.index_of(group_by)
+    buckets: Dict[str, List[float]] = {}
+    for atom in relation.extension():
+        buckets.setdefault(atom[group_index], []).append(
+            _numeric(atom[value_index], attribute)
+        )
+    return {key: fold(values) for key, values in sorted(buckets.items())}
+
+
+def total(relation, attribute: str, group_by: Optional[str] = None):
+    """SUM over the numeric values of ``attribute`` in the extension."""
+    return _fold(relation, attribute, sum, group_by)
+
+
+def average(relation, attribute: str, group_by: Optional[str] = None):
+    """AVG over the numeric values of ``attribute`` in the extension."""
+    return _fold(relation, attribute, lambda vs: sum(vs) / len(vs), group_by)
+
+
+def minimum(relation, attribute: str, group_by: Optional[str] = None):
+    return _fold(relation, attribute, min, group_by)
+
+
+def maximum(relation, attribute: str, group_by: Optional[str] = None):
+    return _fold(relation, attribute, max, group_by)

@@ -1,0 +1,371 @@
+"""Standard relational operators over hierarchical relations (section 3.4).
+
+The paper fixes the semantics rather than the algorithms: "any
+manipulations on hierarchical relations should have the same effect
+whether performed on the hierarchical relations or on the equivalent
+flat relations".  The algorithms here operate directly on the condensed
+form — flattening only when the semantics itself is existential — via
+one engine, the **pointwise combinator**:
+
+    Given consistent relations R₁…Rₖ over one schema and a boolean
+    function *fn* with fn(false,…,false) = false, emit the tuple
+    ``(m, fn(truth₁(m), …, truthₖ(m)))`` for every item *m* in the
+    *meet-closure* of the inputs' asserted items (plus any extra seed
+    items).  The result's flat extension is the pointwise combination
+    of the inputs' flat extensions.
+
+    Why it works: let *m* be a minimal emitted item containing an item
+    *y*, and let *t* be any minimal binder of *y* in Rᵢ.  Some maximal
+    common descendant *q* of (m, t) lies above *y*; *q* is in the
+    closure, and minimality of *m* forces q = m, hence m ⊆ t.  Then *t*
+    is a minimal binder of *m* too (an interposer at *m* would interpose
+    at *y*), so by Rᵢ's consistency truthᵢ(m) = truthᵢ(y).  Thus every
+    strongest binder of *y* in the result carries
+    fn(truth₁(y), …, truthₖ(y)); items below no candidate default to
+    false, which fn's zero-preservation matches.  ∎
+
+The operators then fall out:
+
+* **union** = OR, **intersection** = AND, **difference** = AND-NOT;
+* **selection** = AND with a one-tuple *cone* relation (the selection
+  class, padded with hierarchy roots on the other attributes);
+* **join** = AND of cylindric extensions over the merged schema;
+* **projection** is existential, so it partially explicates the dropped
+  attributes and ORs the per-dropped-atom slices.
+
+Results may contain redundant tuples (the paper notes the same of its
+own examples); every operator takes ``consolidate=`` (default ``True``)
+since consolidation never changes the flat relation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.errors import AmbiguityError, InconsistentRelationError, SchemaError
+from repro.hierarchy.product import Item, ProductHierarchy
+from repro.core import binding as _binding
+from repro.core.conflicts import Conflict
+from repro.core.consolidate import consolidate as _consolidate
+from repro.core.explicate import explicate as _explicate
+from repro.core.relation import HRelation
+from repro.core.schema import RelationSchema
+
+
+def meet_closure(product: ProductHierarchy, items: Iterable[Item]) -> Set[Item]:
+    """The smallest superset of ``items`` closed under pairwise meets
+    (maximal common descendants)."""
+    pool: Set[Item] = set(items)
+    frontier: List[Item] = list(pool)
+    while frontier:
+        fresh: List[Item] = []
+        for new in frontier:
+            for old in list(pool):
+                if old == new:
+                    continue
+                for meet in product.meet(new, old):
+                    if meet not in pool:
+                        pool.add(meet)
+                        fresh.append(meet)
+        frontier = fresh
+    return pool
+
+
+def combine(
+    relations: Sequence[HRelation],
+    fn: Callable[..., bool],
+    name: str = "combined",
+    extra_items: Iterable[Item] = (),
+    consolidate: bool = True,
+) -> HRelation:
+    """The pointwise combinator (see module docstring).
+
+    All ``relations`` must share one schema and be consistent;
+    ``fn`` must map all-false to false (checked).  Raises
+    :class:`InconsistentRelationError` if evaluating a candidate hits a
+    conflict in any input.
+    """
+    if not relations:
+        raise SchemaError("combine needs at least one relation")
+    schema = relations[0].schema
+    for other in relations[1:]:
+        schema.require_same_as(other.schema, "combine")
+    if fn(*([False] * len(relations))):
+        raise SchemaError(
+            "combine requires fn(false, ..., false) == false; items below "
+            "no candidate default to false and fn must agree"
+        )
+    product = schema.product
+    seeds: Set[Item] = set(extra_items)
+    for relation in relations:
+        seeds.update(relation.asserted)
+    candidates = sorted(meet_closure(product, seeds), key=product.topological_key)
+    out = HRelation(schema, name=name, strategy=relations[0].strategy)
+    for item in candidates:
+        truths: List[bool] = []
+        for relation in relations:
+            try:
+                truths.append(_binding.truth_of(relation, item))
+            except AmbiguityError as exc:
+                raise InconsistentRelationError(
+                    [Conflict(item=item, binders=())]
+                ) from exc
+        out.assert_item(item, truth=fn(*truths))
+    if consolidate:
+        out = _consolidate(out, name=name)
+    return out
+
+
+# ----------------------------------------------------------------------
+# set operations (Fig. 10)
+# ----------------------------------------------------------------------
+
+
+def union(
+    left: HRelation, right: HRelation, name: str | None = None, consolidate: bool = True
+) -> HRelation:
+    """Flat semantics: an atom satisfies the union iff it satisfies
+    either argument ("Jack and Jill between them love")."""
+    return combine(
+        [left, right],
+        lambda a, b: a or b,
+        name=name or "{}_union_{}".format(left.name, right.name),
+        consolidate=consolidate,
+    )
+
+
+def intersection(
+    left: HRelation, right: HRelation, name: str | None = None, consolidate: bool = True
+) -> HRelation:
+    """Flat semantics: both arguments ("Jack and Jill both love")."""
+    return combine(
+        [left, right],
+        lambda a, b: a and b,
+        name=name or "{}_intersect_{}".format(left.name, right.name),
+        consolidate=consolidate,
+    )
+
+
+def difference(
+    left: HRelation, right: HRelation, name: str | None = None, consolidate: bool = True
+) -> HRelation:
+    """Flat semantics: the left but not the right ("Jack loves but Jill
+    does not")."""
+    return combine(
+        [left, right],
+        lambda a, b: a and not b,
+        name=name or "{}_minus_{}".format(left.name, right.name),
+        consolidate=consolidate,
+    )
+
+
+# ----------------------------------------------------------------------
+# selection (Figs. 7–9)
+# ----------------------------------------------------------------------
+
+
+def select(
+    relation: HRelation,
+    conditions: Mapping[str, str],
+    name: str | None = None,
+    consolidate: bool = True,
+) -> HRelation:
+    """Selection by class membership: keep the atoms whose value on each
+    conditioned attribute lies inside the given class (or equals the
+    given atom).
+
+    ``select(respects, {"student": "obsequious_student"})`` is Fig. 7;
+    conditioning on an instance, as in Fig. 8, is the same call because
+    an instance is a singleton class.
+    """
+    if not conditions:
+        return relation.copy(name=name or relation.name)
+    cone_item = relation.schema.item_from_mapping(dict(conditions), default_top=True)
+    cone = HRelation(relation.schema, name="cone", strategy=relation.strategy)
+    cone.assert_item(cone_item, truth=True)
+    return combine(
+        [relation, cone],
+        lambda a, b: a and b,
+        name=name or "{}_where".format(relation.name),
+        consolidate=consolidate,
+    )
+
+
+# ----------------------------------------------------------------------
+# projection and join (Fig. 11)
+# ----------------------------------------------------------------------
+
+
+def project(
+    relation: HRelation,
+    attributes: Sequence[str],
+    name: str | None = None,
+    consolidate: bool = True,
+) -> HRelation:
+    """Projection onto ``attributes`` with flat (existential) semantics:
+    a projected atom is in the result iff *some* extension of it over the
+    dropped attributes is in the relation.
+
+    Existential quantification is not pointwise, so the dropped
+    attributes are partially explicated and the per-atom slices are
+    ORed together; the kept attributes stay condensed throughout.
+    """
+    kept = list(attributes)
+    if not kept:
+        raise SchemaError("projection needs at least one attribute")
+    schema = relation.schema
+    kept_indices = [schema.index_of(a) for a in kept]
+    dropped = [a for a in schema.attributes if a not in set(kept)]
+    out_schema = schema.restrict(kept)
+    out_name = name or "{}_project".format(relation.name)
+    if not dropped:
+        out = HRelation(out_schema, name=out_name, strategy=relation.strategy)
+        for item, truth in relation.asserted.items():
+            out.assert_item(tuple(item[i] for i in kept_indices), truth=truth)
+        return _consolidate(out, name=out_name) if consolidate else out
+
+    partial = _explicate(relation, attributes=dropped, drop_negated=False)
+    dropped_indices = [schema.index_of(a) for a in dropped]
+    slices: Dict[Tuple[str, ...], HRelation] = {}
+    for item, truth in partial.asserted.items():
+        atom_key = tuple(item[i] for i in dropped_indices)
+        kept_item = tuple(item[i] for i in kept_indices)
+        piece = slices.get(atom_key)
+        if piece is None:
+            piece = HRelation(out_schema, name="slice", strategy=relation.strategy)
+            slices[atom_key] = piece
+        piece.assert_item(kept_item, truth=truth)
+    pieces = [slices[key] for key in sorted(slices)]
+    if not pieces:  # empty input: the projection is empty too
+        return HRelation(out_schema, name=out_name, strategy=relation.strategy)
+    return combine(
+        pieces,
+        lambda *truths: any(truths),
+        name=out_name,
+        consolidate=consolidate,
+    )
+
+
+def join(
+    left: HRelation, right: HRelation, name: str | None = None, consolidate: bool = True
+) -> HRelation:
+    """Natural join on the shared attribute names (which must be bound
+    to the same hierarchy objects).
+
+    Implemented as the pointwise AND of the two *cylindric extensions*
+    over the merged schema: each relation's tuples are padded with the
+    hierarchy root (the whole domain) on the attributes it lacks, which
+    preserves its binding structure exactly.
+    """
+    merged_schema, shared = left.schema.join_schema(right.schema)
+    out_name = name or "{}_join_{}".format(left.name, right.name)
+
+    left_cyl = HRelation(merged_schema, name="cyl_left", strategy=left.strategy)
+    for item, truth in left.asserted.items():
+        padded = list(merged_schema.product.top)
+        for value, attribute in zip(item, left.schema.attributes):
+            padded[merged_schema.index_of(attribute)] = value
+        left_cyl.assert_item(tuple(padded), truth=truth)
+
+    right_cyl = HRelation(merged_schema, name="cyl_right", strategy=left.strategy)
+    for item, truth in right.asserted.items():
+        padded = list(merged_schema.product.top)
+        for value, attribute in zip(item, right.schema.attributes):
+            padded[merged_schema.index_of(attribute)] = value
+        right_cyl.assert_item(tuple(padded), truth=truth)
+
+    return combine(
+        [left_cyl, right_cyl],
+        lambda a, b: a and b,
+        name=out_name,
+        consolidate=consolidate,
+    )
+
+
+def divide(
+    dividend: HRelation, divisor: HRelation, name: str | None = None,
+    consolidate: bool = True,
+) -> HRelation:
+    """Relational division with flat semantics: the kept sub-items of
+    ``dividend`` related to *every* atom of ``divisor``'s extension.
+
+    Division is a universal quantifier, i.e. a conjunction over the
+    divisor's atoms — which *is* pointwise: partially explicate the
+    shared attributes, slice per divisor atom, and AND the slices with
+    the combinator.  An empty divisor divides out to the plain
+    projection, matching the textbook convention.
+    """
+    shared = list(divisor.schema.attributes)
+    for attribute in shared:
+        if dividend.schema.hierarchy_for(attribute) is not divisor.schema.hierarchy_for(
+            attribute
+        ):
+            raise SchemaError(
+                "division attribute {!r} is bound to different hierarchies".format(
+                    attribute
+                )
+            )
+    kept = [a for a in dividend.schema.attributes if a not in set(shared)]
+    if not kept:
+        raise SchemaError("division needs at least one surviving attribute")
+    out_name = name or "{}_divide_{}".format(dividend.name, divisor.name)
+    divisor_atoms = sorted(divisor.extension())
+    if not divisor_atoms:
+        return project(dividend, kept, name=out_name, consolidate=consolidate)
+
+    out_schema = dividend.schema.restrict(kept)
+    kept_indices = [dividend.schema.index_of(a) for a in kept]
+    shared_indices = [dividend.schema.index_of(a) for a in shared]
+    partial = _explicate(dividend, attributes=shared, drop_negated=False)
+    slices: Dict[Tuple[str, ...], HRelation] = {}
+    for item, truth in partial.asserted.items():
+        atom_key = tuple(item[i] for i in shared_indices)
+        piece = slices.get(atom_key)
+        if piece is None:
+            piece = HRelation(out_schema, name="slice", strategy=dividend.strategy)
+            slices[atom_key] = piece
+        piece.assert_item(tuple(item[i] for i in kept_indices), truth=truth)
+    empty = HRelation(out_schema, name="empty", strategy=dividend.strategy)
+    pieces = [slices.get(atom, empty) for atom in divisor_atoms]
+    return combine(
+        pieces,
+        lambda *truths: all(truths),
+        name=out_name,
+        consolidate=consolidate,
+    )
+
+
+def semijoin(
+    left: HRelation, right: HRelation, name: str | None = None, consolidate: bool = True
+) -> HRelation:
+    """``left ⋉ right``: the left atoms with at least one join partner.
+
+    Flat semantics: project the natural join back onto the left schema
+    and intersect with the left relation — built from the primitives so
+    it inherits their flat-equivalence guarantee.
+    """
+    out_name = name or "{}_semijoin_{}".format(left.name, right.name)
+    joined = join(left, right, consolidate=False)
+    back = project(joined, list(left.schema.attributes), consolidate=False)
+    return intersection(left, back, name=out_name, consolidate=consolidate)
+
+
+def antijoin(
+    left: HRelation, right: HRelation, name: str | None = None, consolidate: bool = True
+) -> HRelation:
+    """``left ▷ right``: the left atoms with *no* join partner."""
+    out_name = name or "{}_antijoin_{}".format(left.name, right.name)
+    matched = semijoin(left, right, consolidate=False)
+    return difference(left, matched, name=out_name, consolidate=consolidate)
+
+
+def rename(
+    relation: HRelation, mapping: Mapping[str, str], name: str | None = None
+) -> HRelation:
+    """A copy of ``relation`` with attributes renamed (values untouched)."""
+    out_schema = relation.schema.renamed(dict(mapping))
+    out = HRelation(out_schema, name=name or relation.name, strategy=relation.strategy)
+    for item, truth in relation.asserted.items():
+        out.assert_item(item, truth=truth)
+    return out

@@ -1,0 +1,173 @@
+"""Conflict detection and resolution sets (sections 2.1, 2.2, 3.1).
+
+A *conflict* is an item whose strongest-binding tuples carry differing
+truth values — the state the paper refuses to permit ("we treat such a
+conflict as an inconsistent state of the database").  The *ambiguity
+constraint* of section 3.1 demands that every item of D* either carries
+its own tuple or has unanimous strongest binders.
+
+Detection is *optimistic*, exactly as the paper prescribes: two classes
+are assumed disjoint unless the hierarchy offers evidence of an
+intersection — a common node (an instance, or a declared intersection
+class).  The candidate items that need checking are the **maximal common
+descendants** (meet sets) of opposite-sign asserted pairs:
+
+    If any item conflicts under off-path preemption, then some maximal
+    common descendant of two opposite-sign asserted items conflicts.
+
+    Proof sketch: let Z be a conflicted item with minimal binders t⁺ and
+    t⁻.  Pick a maximal common descendant Z' of (t⁺, t⁻) with Z ⊆ Z'.
+    Any asserted k with t ⊃ k ⊇ Z' would satisfy t ⊃ k ⊇ Z and
+    contradict t's minimality at Z, so both t⁺ and t⁻ are still minimal
+    binders at Z'; a tuple asserted at Z' itself would equally
+    contradict minimality (or make Z' = Z conflict-free).  Hence Z'
+    conflicts.  ∎
+
+For the appendix strategies the same candidates are checked (complete
+for no-preemption by the identical argument on *applicable* sets;
+for on-path the candidate set is a heuristic and ``exhaustive=True``
+is available — the hypothesis suite cross-validates both against the
+brute-force oracle on small universes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.hierarchy.product import Item
+from repro.core.htuple import HTuple
+from repro.core import binding as _binding
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """An item whose strongest binders disagree.
+
+    Attributes
+    ----------
+    item:
+        The conflicted item.
+    binders:
+        The strongest-binding tuples, mixed in truth value.
+    """
+
+    item: Item
+    binders: Tuple[HTuple, ...]
+
+    @property
+    def positive(self) -> Tuple[HTuple, ...]:
+        return tuple(b for b in self.binders if b.truth)
+
+    @property
+    def negative(self) -> Tuple[HTuple, ...]:
+        return tuple(b for b in self.binders if not b.truth)
+
+    def __str__(self) -> str:
+        return "conflict at ({}) between {}".format(
+            ", ".join(self.item), " and ".join(str(b) for b in self.binders)
+        )
+
+
+def conflict_candidates(relation) -> List[Item]:
+    """The items worth probing: every maximal common descendant of an
+    opposite-sign pair of asserted items (deduplicated, in a linear
+    extension of the subsumption order)."""
+    product = relation.schema.product
+    positives = [item for item, truth in relation.asserted.items() if truth]
+    negatives = [item for item, truth in relation.asserted.items() if not truth]
+    seen: Set[Item] = set()
+    for pos in positives:
+        for neg in negatives:
+            for meet in product.meet(pos, neg):
+                seen.add(meet)
+    return sorted(seen, key=product.topological_key)
+
+
+def find_conflicts(relation, exhaustive: bool = False) -> List[Conflict]:
+    """All conflicts in ``relation``.
+
+    ``exhaustive=True`` scans every item of D* — exponential in arity,
+    intended for tests and tiny universes; the default probes only the
+    meet candidates (complete for off-path preemption, see module doc).
+    """
+    product = relation.schema.product
+    if exhaustive:
+        candidates: Iterator[Item] | List[Item] = product.all_items()
+    else:
+        candidates = conflict_candidates(relation)
+    out: List[Conflict] = []
+    seen: Set[Item] = set()
+    for item in candidates:
+        if item in seen:
+            continue
+        seen.add(item)
+        truth, binders = _binding.truth_and_binders(relation, item)
+        if truth is None:
+            out.append(Conflict(item=item, binders=tuple(binders)))
+    return out
+
+
+def is_consistent(relation, exhaustive: bool = False) -> bool:
+    """True iff the ambiguity constraint holds for every item."""
+    return not find_conflicts(relation, exhaustive=exhaustive)
+
+
+# ----------------------------------------------------------------------
+# resolution sets (section 3.1)
+# ----------------------------------------------------------------------
+
+
+def complete_resolution_set(relation, a: Sequence[str], b: Sequence[str]) -> List[Item]:
+    """The *complete conflict resolution set* for asserted items ``a``
+    and ``b``: every item X with X ⊆ a and X ⊆ b.
+
+    Unique for a given conflict on a given item hierarchy.  Note the
+    size is the product of the per-attribute common-descendant counts.
+    """
+    product = relation.schema.product
+    a = relation.schema.check_item(a)
+    b = relation.schema.check_item(b)
+    import itertools
+
+    per_attribute: List[List[str]] = []
+    for h, va, vb in zip(relation.schema.hierarchies, a, b):
+        common = sorted(
+            h.descendants(va) & h.descendants(vb), key=h.topological_rank
+        )
+        if not common:
+            return []
+        per_attribute.append(common)
+    return [tuple(combo) for combo in itertools.product(*per_attribute)]
+
+
+def minimal_resolution_set(relation, a: Sequence[str], b: Sequence[str]) -> List[Item]:
+    """The *minimal conflict resolution set*: the maximal elements of the
+    complete set — derived componentwise as the product of per-attribute
+    maximal common descendants ("by virtue of the transitivity of
+    subsumption", section 3.1)."""
+    product = relation.schema.product
+    a = relation.schema.check_item(a)
+    b = relation.schema.check_item(b)
+    return sorted(product.meet(a, b), key=product.topological_key)
+
+
+def resolution_tuples(relation, conflict: Conflict, truth: bool) -> List[HTuple]:
+    """A set of tuples that, once asserted, resolves ``conflict`` in
+    favour of ``truth``: one tuple per member of the minimal conflict
+    resolution set of every opposite-sign binder pair.
+
+    The paper notes fewer tuples may suffice (an item binding closer to
+    several members at once); this planner returns the straightforward
+    sound set, which the integrity checker verifies creates no *new*
+    unresolved conflict.
+    """
+    items: Set[Item] = set()
+    for pos in conflict.positive:
+        for neg in conflict.negative:
+            items.update(minimal_resolution_set(relation, pos.item, neg.item))
+    product = relation.schema.product
+    return [
+        HTuple(item, truth)
+        for item in sorted(items, key=product.topological_key)
+    ]

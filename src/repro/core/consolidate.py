@@ -1,0 +1,59 @@
+"""The ``consolidate`` operator (section 3.3.1).
+
+Consolidation removes *redundant* tuples — tuples carrying the same
+truth value as all of their immediate predecessors in the relation's
+subsumption graph — without changing the equivalent flat relation.  The
+subsumption graph is rooted at the universal negated tuple, so a
+parentless negated tuple is redundant too.
+
+The nodes are examined in topologically sorted order; the paper (citing
+its companion memorandum [15]) states this achieves the unique minimum
+relation with no redundant tuples.  When a tuple is deleted, the
+corresponding node is eliminated from the subsumption graph by the node
+elimination procedure, so subsequent redundancy tests see the updated
+graph — this is what lets both the ``(student, incoherent-teacher)``
+tuple *and* the conflict-resolving ``(obsequious-student,
+incoherent-teacher)`` tuple of Fig. 6 be removed in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.hierarchy import algorithms
+from repro.hierarchy.product import Item
+from repro.core.htuple import UNIVERSAL
+from repro.core import binding as _binding
+
+
+def consolidate(relation, name: str | None = None):
+    """Return a copy of ``relation`` with every redundant tuple removed.
+
+    The result has exactly the same flat extension; it is the unique
+    minimum representation under the relation's item hierarchy.
+    """
+    out = relation.copy(name=name or relation.name)
+    for item in redundant_tuples(relation):
+        out.discard(item)
+    return out
+
+
+def redundant_tuples(relation) -> List[Item]:
+    """The items consolidation would remove, in removal order (useful
+    for explaining a consolidation without performing it)."""
+    graph = _binding.subsumption_graph(relation)
+    order = algorithms.topological_order(graph)
+    removed: List[Item] = []
+    for node in order:
+        if node is UNIVERSAL:
+            continue
+        truth = relation.asserted[node]
+        preds = algorithms.immediate_predecessors(graph, node)
+        pred_truths = {
+            UNIVERSAL.truth if p is UNIVERSAL else relation.asserted[p]
+            for p in preds
+        }
+        if pred_truths == {truth}:
+            algorithms.eliminate_node(graph, node, keep_redundant=False)
+            removed.append(node)
+    return removed

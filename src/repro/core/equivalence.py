@@ -1,0 +1,64 @@
+"""Extension equivalence and containment, decided on the condensed form.
+
+Two hierarchical relations are *equivalent* when their unique flat
+relations coincide — the notion behind every guarantee in section 3
+("the same effect whether performed on the hierarchical relations or on
+the equivalent flat relations").  Explication decides it but costs the
+extension; the pointwise combinator decides it on the condensed form:
+
+* ``R ≡ S``  iff  the pointwise XOR of R and S has an empty extension
+  (XOR maps all-false to false, so the combinator applies);
+* ``R ⊇ S``  iff  the pointwise ``S AND NOT R`` is empty.
+
+The emptiness test never materialises the symmetric difference — it
+stops at the first witness atom, which is also returned for debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hierarchy.product import Item
+from repro.core.algebra import combine
+from repro.core.relation import HRelation
+
+
+def _first_atom(relation: HRelation) -> Optional[Item]:
+    for atom in relation.extension():
+        return atom
+    return None
+
+
+def difference_witness(left: HRelation, right: HRelation) -> Optional[Item]:
+    """An atom on which the two relations disagree, or ``None`` if they
+    are equivalent."""
+    xor = combine(
+        [left, right],
+        lambda a, b: a != b,
+        name="xor",
+        consolidate=False,
+    )
+    return _first_atom(xor)
+
+
+def equivalent(left: HRelation, right: HRelation) -> bool:
+    """True iff the two relations have the same flat extension (their
+    stored tuples may differ arbitrarily — consolidation invariance is
+    the canonical example)."""
+    return difference_witness(left, right) is None
+
+
+def containment_witness(bigger: HRelation, smaller: HRelation) -> Optional[Item]:
+    """An atom of ``smaller`` missing from ``bigger``, or ``None``."""
+    leftover = combine(
+        [smaller, bigger],
+        lambda s, b: s and not b,
+        name="leftover",
+        consolidate=False,
+    )
+    return _first_atom(leftover)
+
+
+def contains(bigger: HRelation, smaller: HRelation) -> bool:
+    """True iff ``bigger``'s flat extension includes ``smaller``'s."""
+    return containment_witness(bigger, smaller) is None

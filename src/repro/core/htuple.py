@@ -1,0 +1,98 @@
+"""Tuples of the hierarchical model: an item plus a truth value.
+
+Section 2.1: "Every tuple is an item with an associated truth value.
+The truth value of a tuple is a Boolean variable that is true for a
+positive (normal) tuple and false for a negated tuple."
+
+The module also defines :data:`UNIVERSAL`, the *universal negated tuple*
+of section 3.3.1 — the virtual root of every subsumption graph, standing
+for the closed-world default that unmentioned elements of D* are mapped
+to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+Item = Tuple[str, ...]
+
+
+@dataclass(frozen=True, order=True)
+class HTuple:
+    """An immutable tuple of a hierarchical relation.
+
+    Attributes
+    ----------
+    item:
+        One hierarchy node per attribute.  A non-leaf node reads as the
+        universally quantified "∀ class" of the paper; a leaf is an
+        ordinary atomic value, so a purely-leaf tuple is exactly a
+        standard relational tuple (upward compatibility).
+    truth:
+        ``True`` for a positive tuple, ``False`` for a negated tuple
+        ("for every element of the item, the relation does not hold").
+    """
+
+    item: Item
+    truth: bool = True
+
+    def negated(self) -> "HTuple":
+        """The same item with the opposite truth value."""
+        return HTuple(self.item, not self.truth)
+
+    @property
+    def sign(self) -> str:
+        return "+" if self.truth else "-"
+
+    def __str__(self) -> str:
+        return "{}({})".format(self.sign, ", ".join(self.item))
+
+
+class _UniversalTuple:
+    """The universal negated tuple over D* (section 3.3.1).
+
+    It never belongs to a relation; it appears only as the virtual root
+    of subsumption and tuple-binding graphs, feeding every parentless
+    node, so that a parentless *negated* tuple is recognised as
+    redundant.  Its truth value is ``False`` by definition.
+    """
+
+    truth = False
+    item: Tuple[str, ...] = ()
+    sign = "-"
+
+    _instance: "_UniversalTuple | None" = None
+
+    def __new__(cls) -> "_UniversalTuple":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNIVERSAL"
+
+    def __str__(self) -> str:
+        return "-(D*)"
+
+
+UNIVERSAL = _UniversalTuple()
+
+
+def format_item(item: Iterable[str], leaf_flags: Iterable[bool] | None = None) -> str:
+    """Render an item the way the paper's figures do: class-valued
+    attributes get the universal-quantifier prefix (``∀bird``), atomic
+    values appear bare (``tweety``).
+
+    ``leaf_flags`` says, per attribute, whether the value is a leaf; when
+    omitted every value is shown bare.
+    """
+    values = list(item)
+    if leaf_flags is None:
+        flags = [True] * len(values)
+    else:
+        flags = list(leaf_flags)
+    return ", ".join(
+        value if is_leaf else "∀{}".format(value)
+        for value, is_leaf in zip(values, flags)
+    )

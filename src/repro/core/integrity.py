@@ -1,0 +1,86 @@
+"""Integrity enforcement (section 3.1).
+
+Two constraints are specific to the hierarchical model:
+
+* **type irredundancy** — no cycles in any hierarchy graph; enforced
+  structurally by :class:`~repro.hierarchy.Hierarchy` at mutation time;
+* the **ambiguity constraint** — every item of D* either carries its own
+  tuple or has unanimous strongest binders; checked here.
+
+The checker also hosts the classic, application-level constraints the
+paper waves at ("restrictions on attribute values as a function of
+other attribute values, restrictions on the number of tuples…"): they
+are arbitrary predicates over the relation, registered by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import InconsistentRelationError
+from repro.core.conflicts import Conflict, find_conflicts, resolution_tuples
+from repro.core.htuple import HTuple
+
+
+def check_consistent(relation, exhaustive: bool = False) -> None:
+    """Raise :class:`InconsistentRelationError` if any item conflicts."""
+    conflicts = find_conflicts(relation, exhaustive=exhaustive)
+    if conflicts:
+        raise InconsistentRelationError(conflicts)
+
+
+class IntegrityChecker:
+    """Ambiguity-constraint checking plus user-registered predicates.
+
+    Examples
+    --------
+    >>> checker = IntegrityChecker()
+    >>> checker.add_constraint("nonempty", lambda r: len(r) > 0)
+    >>> # checker.check(relation) raises on a conflict or a failed predicate
+    """
+
+    def __init__(self, exhaustive: bool = False) -> None:
+        self.exhaustive = exhaustive
+        self._constraints: Dict[str, Callable[[object], bool]] = {}
+
+    def add_constraint(self, name: str, predicate: Callable[[object], bool]) -> None:
+        """Register a named predicate that must hold for the relation."""
+        self._constraints[name] = predicate
+
+    def remove_constraint(self, name: str) -> None:
+        self._constraints.pop(name, None)
+
+    def constraint_names(self) -> List[str]:
+        return sorted(self._constraints)
+
+    def violations(self, relation) -> List[str]:
+        """Names of registered constraints the relation fails."""
+        return [
+            name
+            for name, predicate in sorted(self._constraints.items())
+            if not predicate(relation)
+        ]
+
+    def conflicts(self, relation) -> List[Conflict]:
+        return find_conflicts(relation, exhaustive=self.exhaustive)
+
+    def check(self, relation) -> None:
+        """Raise on any conflict or failed registered constraint."""
+        conflicts = self.conflicts(relation)
+        if conflicts:
+            raise InconsistentRelationError(conflicts)
+        failed = self.violations(relation)
+        if failed:
+            raise InconsistentRelationError(
+                [
+                    Conflict(item=("constraint", name), binders=())
+                    for name in failed
+                ]
+            )
+
+    def plan_resolution(
+        self, relation, conflict: Conflict, truth: bool
+    ) -> List[HTuple]:
+        """Tuples that would resolve ``conflict`` in favour of ``truth``
+        (see :func:`repro.core.conflicts.resolution_tuples`)."""
+        return resolution_tuples(relation, conflict, truth)

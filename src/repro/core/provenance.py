@@ -1,0 +1,160 @@
+"""Assertion provenance and dependent retraction (section 3.2).
+
+The paper's redundancy discussion turns on *why* a tuple was asserted:
+
+    "If t₁ was asserted due to a justification different from the one
+    due to which t₂ was asserted, the two tuples should indeed both be
+    retained … If t₁ is later retracted, for example because its
+    justification no longer was valid, t₂ should still remain valid.
+    On the other hand, if t₁ was obtained as a generalization of
+    several assertions such as t₂, it may be appropriate to delete t₂
+    once t₁ has been inserted … In general, there is no way for the
+    database to know whether there is any dependence between the
+    justifications for two (or more) tuples, and therefore assumes
+    independence."
+
+:class:`ProvenanceTracker` lets a front end *state* the dependence the
+database cannot infer: every assertion may carry a reason and a list of
+tuples it was derived from.  Retraction can then cascade to dependents
+(the generalisation case) or leave them alone (the default,
+independence), and `consolidate` can be told to remove only tuples
+whose reasons are subsumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TupleError
+from repro.hierarchy.product import Item
+from repro.core.relation import HRelation
+
+
+@dataclass
+class AssertionRecord:
+    """What is known about one stored tuple's origin."""
+
+    item: Item
+    truth: bool
+    reason: Optional[str] = None
+    derived_from: Tuple[Item, ...] = ()
+
+
+class ProvenanceTracker:
+    """An :class:`HRelation` wrapper recording assertion provenance.
+
+    Examples
+    --------
+    >>> # tracker = ProvenanceTracker(flies)
+    >>> # tracker.assert_item(("tweety",), reason="observed 1988-03-01")
+    >>> # tracker.assert_item(("bird",), reason="generalisation",
+    >>> #                     derived_from=[("tweety",)])
+    >>> # tracker.retract(("bird",), cascade=True)  # takes tweety along
+    """
+
+    def __init__(self, relation: HRelation) -> None:
+        self.relation = relation
+        self._records: Dict[Item, AssertionRecord] = {}
+
+    # ------------------------------------------------------------------
+
+    def assert_item(
+        self,
+        item: Sequence[str],
+        truth: bool = True,
+        reason: Optional[str] = None,
+        derived_from: Sequence[Sequence[str]] = (),
+        replace: bool = False,
+    ) -> AssertionRecord:
+        """Assert with provenance.  ``derived_from`` lists stored items
+        this assertion generalises (each must currently be stored)."""
+        key = self.relation.schema.check_item(item)
+        sources = tuple(
+            self.relation.schema.check_item(source) for source in derived_from
+        )
+        for source in sources:
+            if source not in self.relation.asserted:
+                raise TupleError(
+                    "derived_from item ({}) is not asserted".format(", ".join(source))
+                )
+        self.relation.assert_item(key, truth=truth, replace=replace)
+        record = AssertionRecord(
+            item=key, truth=truth, reason=reason, derived_from=sources
+        )
+        self._records[key] = record
+        return record
+
+    def record_for(self, item: Sequence[str]) -> Optional[AssertionRecord]:
+        return self._records.get(self.relation.schema.check_item(item))
+
+    def reason_for(self, item: Sequence[str]) -> Optional[str]:
+        record = self.record_for(item)
+        return record.reason if record else None
+
+    # ------------------------------------------------------------------
+
+    def dependents_of(self, item: Sequence[str]) -> List[Item]:
+        """Stored items recorded as derived from ``item`` (directly)."""
+        key = self.relation.schema.check_item(item)
+        return [
+            record.item
+            for record in self._records.values()
+            if key in record.derived_from and record.item in self.relation.asserted
+        ]
+
+    def sources_of(self, item: Sequence[str]) -> List[Item]:
+        """The stored items ``item`` was derived from (still asserted)."""
+        record = self.record_for(item)
+        if record is None:
+            return []
+        return [s for s in record.derived_from if s in self.relation.asserted]
+
+    def retract(self, item: Sequence[str], cascade: bool = False) -> List[Item]:
+        """Retract the tuple; with ``cascade=True`` also retract
+        everything *derived from* it, transitively (the generalisation
+        reading).  Default is the paper's independence assumption: only
+        the named tuple goes.  Returns everything removed."""
+        key = self.relation.schema.check_item(item)
+        removed: List[Item] = []
+        queue = [key]
+        seen: Set[Item] = set()
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self.relation.asserted:
+                self.relation.retract(current)
+                removed.append(current)
+                self._records.pop(current, None)
+            if cascade:
+                queue.extend(
+                    record.item
+                    for record in list(self._records.values())
+                    if current in record.derived_from
+                )
+        return removed
+
+    def absorb(self, generalisation: Sequence[str]) -> List[Item]:
+        """The paper's generalisation clean-up: once ``generalisation``
+        is stored, delete the stored tuples it was derived from (they
+        are the `t₂`s it subsumes).  Returns what was removed."""
+        record = self.record_for(generalisation)
+        if record is None:
+            return []
+        removed: List[Item] = []
+        for source in record.derived_from:
+            if source in self.relation.asserted:
+                self.relation.retract(source)
+                self._records.pop(source, None)
+                removed.append(source)
+        return removed
+
+    def records(self) -> List[AssertionRecord]:
+        """Every record whose tuple is still stored, in storage order."""
+        return [
+            self._records[item]
+            for item in self.relation.items()
+            if item in self._records
+        ]

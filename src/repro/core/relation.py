@@ -1,0 +1,296 @@
+"""Hierarchical relations: the central data structure of the model.
+
+An :class:`HRelation` stores a set of signed tuples over a
+:class:`~repro.core.schema.RelationSchema`.  Storage is *condensed*: a
+tuple whose value is a class stands for every member of the class, and a
+negated tuple cancels a more general positive one.  Section 3's key
+invariant holds throughout: "every hierarchical relation must be
+equivalent to a unique flat relation for a given item hierarchy", and
+:meth:`extension` / :meth:`to_flat` realise that equivalence.
+
+Upward compatibility (section 4): a relation whose every value is a leaf
+behaves exactly like a standard relation — binding never fires because
+no item is below any other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, TupleError
+from repro.hierarchy.graph import Hierarchy
+from repro.hierarchy.product import Item
+from repro.core.htuple import HTuple, format_item
+from repro.core.preemption import OFF_PATH, PreemptionStrategy
+from repro.core.schema import RelationSchema
+from repro.core import binding as _binding
+
+
+class HRelation:
+    """A hierarchical relation: signed tuples over a schema.
+
+    Parameters
+    ----------
+    schema:
+        Either a :class:`RelationSchema` or a sequence of
+        ``(attribute, Hierarchy)`` pairs.
+    name:
+        Optional label used by rendering and the engine catalog.
+    strategy:
+        The preemption strategy for truth evaluation; defaults to the
+        paper's off-path semantics.
+
+    Examples
+    --------
+    >>> from repro.hierarchy import hierarchy_from_dict
+    >>> animal = hierarchy_from_dict("animal", {"bird": {"penguin": None}})
+    >>> flies = HRelation([("creature", animal)], name="flies")
+    >>> flies.assert_item(("bird",))
+    >>> flies.assert_item(("penguin",), truth=False)
+    >>> flies.truth_of(("penguin",))
+    False
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema | Sequence[Tuple[str, Hierarchy]],
+        name: str = "relation",
+        strategy: PreemptionStrategy = OFF_PATH,
+    ) -> None:
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        self.schema = schema
+        self.name = name
+        self.strategy = strategy
+        self._tuples: Dict[Item, bool] = {}
+        self._insertion: List[Item] = []
+        self._version = 0
+        self._binder_cache: Dict[object, Tuple[HTuple, ...]] = {}
+        self._binder_index = None
+
+    #: Relations holding at least this many tuples answer subsumer
+    #: lookups from a :class:`~repro.core.index.BinderIndex` instead of
+    #: scanning every stored tuple.  Tune per workload; tests force
+    #: either path by setting it on an instance.
+    index_threshold = 32
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def assert_item(
+        self, item: Sequence[str], truth: bool = True, replace: bool = False
+    ) -> None:
+        """Add a signed tuple.
+
+        Re-asserting an item with the same truth value is a no-op
+        (relations are sets); re-asserting with the *opposite* truth
+        value raises :class:`TupleError` unless ``replace=True``, because
+        a relation mapping one item to both 0 and 1 is meaningless.
+        """
+        key = self.schema.check_item(item)
+        if key in self._tuples:
+            if self._tuples[key] == truth:
+                return
+            if not replace:
+                raise TupleError(
+                    "item ({}) is already asserted with truth {}; "
+                    "pass replace=True to flip it".format(
+                        ", ".join(key), self._tuples[key]
+                    )
+                )
+        else:
+            self._insertion.append(key)
+        self._tuples[key] = truth
+        self._bump()
+
+    def assert_tuple(self, htuple: HTuple, replace: bool = False) -> None:
+        """Add an :class:`HTuple` (see :meth:`assert_item`)."""
+        self.assert_item(htuple.item, truth=htuple.truth, replace=replace)
+
+    def assert_all(
+        self, pairs: Iterable[Tuple[Sequence[str], bool]] | Iterable[HTuple]
+    ) -> None:
+        """Bulk-add ``(item, truth)`` pairs or :class:`HTuple` objects."""
+        for entry in pairs:
+            if isinstance(entry, HTuple):
+                self.assert_tuple(entry)
+            else:
+                item, truth = entry
+                self.assert_item(item, truth=truth)
+
+    def retract(self, item: Sequence[str]) -> None:
+        """Remove the tuple asserted at ``item``; raises if absent."""
+        key = self.schema.check_item(item)
+        if key not in self._tuples:
+            raise TupleError("no tuple asserted at ({})".format(", ".join(key)))
+        del self._tuples[key]
+        self._insertion.remove(key)
+        self._bump()
+
+    def discard(self, item: Sequence[str]) -> bool:
+        """Remove the tuple at ``item`` if present; returns whether it was."""
+        key = self.schema.check_item(item)
+        if key not in self._tuples:
+            return False
+        del self._tuples[key]
+        self._insertion.remove(key)
+        self._bump()
+        return True
+
+    def clear(self) -> None:
+        self._tuples.clear()
+        self._insertion.clear()
+        self._bump()
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._binder_cache.clear()
+
+    # ------------------------------------------------------------------
+    # storage views
+    # ------------------------------------------------------------------
+
+    @property
+    def asserted(self) -> Mapping[Item, bool]:
+        """The raw item -> truth mapping (read-only by convention)."""
+        return self._tuples
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def tuples(self) -> List[HTuple]:
+        """All stored tuples, in insertion order."""
+        return [HTuple(item, self._tuples[item]) for item in self._insertion]
+
+    def items(self) -> List[Item]:
+        return list(self._insertion)
+
+    def truth_of_stored(self, item: Sequence[str]) -> Optional[bool]:
+        """The stored sign at exactly ``item`` (no binding), else ``None``."""
+        return self._tuples.get(self.schema.check_item(item))
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, item: object) -> bool:
+        try:
+            key = self.schema.check_item(item)  # type: ignore[arg-type]
+        except Exception:
+            return False
+        return key in self._tuples
+
+    def __iter__(self) -> Iterator[HTuple]:
+        return iter(self.tuples())
+
+    def copy(self, name: str | None = None) -> "HRelation":
+        out = HRelation(self.schema, name=name or self.name, strategy=self.strategy)
+        for item in self._insertion:
+            out._insertion.append(item)
+            out._tuples[item] = self._tuples[item]
+        return out
+
+    def same_tuples_as(self, other: "HRelation") -> bool:
+        """True iff both relations store exactly the same signed tuples
+        (physical equality, not just the same flat extension)."""
+        return self._tuples == other._tuples
+
+    # ------------------------------------------------------------------
+    # truth / semantics
+    # ------------------------------------------------------------------
+
+    def truth_of(self, item: Sequence[str]) -> bool:
+        """Truth value of any item (class-level or atomic), by binding."""
+        return _binding.truth_of(self, self.schema.check_item(item))
+
+    def holds(self, *values: str) -> bool:
+        """Sugar: ``r.holds("tweety")`` == ``r.truth_of(("tweety",))``."""
+        return self.truth_of(tuple(values))
+
+    def strongest_binders(self, item: Sequence[str]) -> List[HTuple]:
+        return _binding.strongest_binders(self, self.schema.check_item(item))
+
+    def subsumers_of(self, item: Sequence[str]) -> List[Item]:
+        """Every asserted item subsuming ``item`` (itself included when
+        asserted) — the applicability set binding starts from.  Served
+        by the binder index above :attr:`index_threshold` tuples."""
+        key = self.schema.check_item(item)
+        if len(self._tuples) >= self.index_threshold:
+            from repro.core.index import BinderIndex
+
+            if self._binder_index is None or self._binder_index.version != self._version:
+                self._binder_index = BinderIndex(self)
+            return self._binder_index.subsumers_of(self.schema, key)
+        product = self.schema.product
+        return [other for other in self._tuples if product.subsumes(other, key)]
+
+    def justify(self, item: Sequence[str]) -> "_binding.Justification":
+        return _binding.justify(self, self.schema.check_item(item))
+
+    def extension(self) -> Iterator[Item]:
+        """The equivalent flat relation: every atomic item mapped to 1.
+
+        Enumerates the atoms below the positive tuples (rather than all
+        of D*) and filters by binding, so the cost scales with the
+        positive cones, not the domain.
+        """
+        seen = set()
+        for item, truth in self._tuples.items():
+            if not truth:
+                continue
+            for atom in self.schema.product.leaves_under(item):
+                if atom in seen:
+                    continue
+                seen.add(atom)
+                if _binding.truth_of(self, atom):
+                    yield atom
+
+    def extension_size(self) -> int:
+        return sum(1 for _ in self.extension())
+
+    def is_consistent(self) -> bool:
+        from repro.core import conflicts
+
+        return conflicts.is_consistent(self)
+
+    def conflicts(self) -> List["object"]:
+        from repro.core import conflicts
+
+        return conflicts.find_conflicts(self)
+
+    # ------------------------------------------------------------------
+    # operators (sugar around repro.core.{consolidate,explicate,algebra})
+    # ------------------------------------------------------------------
+
+    def consolidated(self) -> "HRelation":
+        from repro.core.consolidate import consolidate
+
+        return consolidate(self)
+
+    def explicated(
+        self, attributes: Sequence[str] | None = None, drop_negated: bool | None = None
+    ) -> "HRelation":
+        from repro.core.explicate import explicate
+
+        return explicate(self, attributes=attributes, drop_negated=drop_negated)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def format_tuple(self, htuple: HTuple) -> str:
+        flags = [
+            h.is_leaf(v) for h, v in zip(self.schema.hierarchies, htuple.item)
+        ]
+        return "{} {}".format(htuple.sign, format_item(htuple.item, flags))
+
+    def __repr__(self) -> str:
+        return "HRelation({!r}, {} tuples, schema={})".format(
+            self.name, len(self), self.schema
+        )
+
+    def __str__(self) -> str:
+        from repro.render.table import render_relation
+
+        return render_relation(self)

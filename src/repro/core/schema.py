@@ -1,0 +1,142 @@
+"""Relation schemas: attribute names bound to hierarchy domains.
+
+In the standard relational model each attribute ranges over a flat
+domain; here (section 2.2) each attribute ranges over a *hierarchy* of
+sub-domains.  A :class:`RelationSchema` is the ordered binding of
+attribute names to :class:`~repro.hierarchy.Hierarchy` objects, plus the
+derived :class:`~repro.hierarchy.ProductHierarchy` every item-level
+question is delegated to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.hierarchy.graph import Hierarchy
+from repro.hierarchy.product import Item, ProductHierarchy
+
+
+class RelationSchema:
+    """An ordered mapping of attribute names to hierarchy domains.
+
+    Examples
+    --------
+    >>> animals = Hierarchy("animal")
+    >>> schema = RelationSchema([("creature", animals)])
+    >>> schema.attributes
+    ('creature',)
+    """
+
+    def __init__(self, attributes: Sequence[Tuple[str, Hierarchy]]) -> None:
+        if not attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [name for name, _ in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate attribute names in schema: {}".format(names))
+        self.attributes: Tuple[str, ...] = tuple(names)
+        self.hierarchies: Tuple[Hierarchy, ...] = tuple(h for _, h in attributes)
+        self.product = ProductHierarchy(self.hierarchies)
+        self._index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self._index[attribute]
+        except KeyError:
+            raise SchemaError(
+                "unknown attribute {!r}; schema has {}".format(
+                    attribute, list(self.attributes)
+                )
+            ) from None
+
+    def hierarchy_for(self, attribute: str) -> Hierarchy:
+        return self.hierarchies[self.index_of(attribute)]
+
+    def check_item(self, item: Sequence[str]) -> Item:
+        """Validate an item against this schema; returns it as a tuple."""
+        return self.product.check_item(item)
+
+    def item_from_mapping(self, values: Dict[str, str], default_top: bool = False) -> Item:
+        """Build an item from an attribute->value mapping.
+
+        With ``default_top=True`` missing attributes take the hierarchy
+        root (the whole domain) — handy for selection cones.
+        """
+        out: List[str] = []
+        for name, hierarchy in zip(self.attributes, self.hierarchies):
+            if name in values:
+                out.append(values[name])
+            elif default_top:
+                out.append(hierarchy.root)
+            else:
+                raise SchemaError("missing value for attribute {!r}".format(name))
+        extra = set(values) - set(self.attributes)
+        if extra:
+            raise SchemaError("unknown attributes in item: {}".format(sorted(extra)))
+        return self.check_item(out)
+
+    def same_as(self, other: "RelationSchema") -> bool:
+        """True iff the two schemas have identical attribute names bound
+        to identical hierarchy objects (section 3.4's set operations
+        require it)."""
+        return (
+            self.attributes == other.attributes
+            and all(a is b for a, b in zip(self.hierarchies, other.hierarchies))
+        )
+
+    def require_same_as(self, other: "RelationSchema", operation: str) -> None:
+        if not self.same_as(other):
+            raise SchemaError(
+                "{} requires identical schemas; got {} and {}".format(
+                    operation, self, other
+                )
+            )
+
+    def restrict(self, attributes: Sequence[str]) -> "RelationSchema":
+        """The schema projected onto ``attributes`` (order as given)."""
+        return RelationSchema([(a, self.hierarchy_for(a)) for a in attributes])
+
+    def renamed(self, mapping: Dict[str, str]) -> "RelationSchema":
+        """A copy with attributes renamed via ``mapping`` (partial ok)."""
+        unknown = set(mapping) - set(self.attributes)
+        if unknown:
+            raise SchemaError("cannot rename unknown attributes {}".format(sorted(unknown)))
+        return RelationSchema(
+            [(mapping.get(name, name), h) for name, h in zip(self.attributes, self.hierarchies)]
+        )
+
+    def join_schema(self, other: "RelationSchema") -> Tuple["RelationSchema", List[str]]:
+        """The natural-join schema: our attributes followed by the
+        other's non-shared attributes.  Shared attribute names must be
+        bound to the same hierarchy object.  Returns ``(schema,
+        shared_names)``."""
+        shared = [name for name in self.attributes if name in other._index]
+        for name in shared:
+            if self.hierarchy_for(name) is not other.hierarchy_for(name):
+                raise SchemaError(
+                    "shared attribute {!r} is bound to different hierarchies".format(name)
+                )
+        merged: List[Tuple[str, Hierarchy]] = list(zip(self.attributes, self.hierarchies))
+        merged.extend(
+            (name, h)
+            for name, h in zip(other.attributes, other.hierarchies)
+            if name not in self._index
+        )
+        return RelationSchema(merged), shared
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RelationSchema) and self.same_as(other)
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, tuple(id(h) for h in self.hierarchies)))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            "{}: {}".format(name, h.name)
+            for name, h in zip(self.attributes, self.hierarchies)
+        )
+        return "RelationSchema({})".format(parts)

@@ -1,0 +1,124 @@
+"""Materialized views over hierarchical relations.
+
+A view is a named operator result that callers can query like a stored
+relation; because every layer of this library is versioned (relations
+bump a counter per mutation, hierarchies too), the view can tell
+precisely when its cache is stale and recompute lazily.
+
+This rounds out the paper's positioning of the model as a back-end for
+reasoning systems: the front end "issues less queries to the database"
+precisely when the database can keep derived relations fresh itself.
+
+Examples
+--------
+>>> # penguin_flyers = MaterializedView(
+>>> #     "penguin_flyers",
+>>> #     lambda: select(flies, {"creature": "penguin"}),
+>>> #     sources=[flies])
+>>> # penguin_flyers.relation()   # computed once ...
+>>> # flies.assert_item(("penguin",), truth=True, replace=True)
+>>> # penguin_flyers.relation()   # ... recomputed only now
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.relation import HRelation
+
+
+def _stamp(sources: Sequence[HRelation]) -> Tuple:
+    return tuple(
+        (relation.version, relation.schema.product.version) for relation in sources
+    )
+
+
+class MaterializedView:
+    """A lazily-refreshed cached computation over source relations.
+
+    Parameters
+    ----------
+    name:
+        The view's name (stamped onto the cached relation).
+    compute:
+        A zero-argument callable producing an :class:`HRelation`.
+    sources:
+        Every relation the computation reads.  The cache is invalidated
+        when any source (or any of its hierarchies) mutates; listing too
+        few sources silently serves stale data, so list them all.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        compute: Callable[[], HRelation],
+        sources: Sequence[HRelation],
+    ) -> None:
+        self.name = name
+        self._compute = compute
+        self._sources = list(sources)
+        self._cached: Optional[HRelation] = None
+        self._stamp: Optional[Tuple] = None
+        self.refresh_count = 0
+
+    def is_stale(self) -> bool:
+        """Would :meth:`relation` recompute right now?"""
+        return self._cached is None or self._stamp != _stamp(self._sources)
+
+    def relation(self) -> HRelation:
+        """The view's current contents, recomputing only when stale."""
+        if self.is_stale():
+            self._cached = self._compute()
+            self._cached.name = self.name
+            self._stamp = _stamp(self._sources)
+            self.refresh_count += 1
+        return self._cached
+
+    def invalidate(self) -> None:
+        """Force the next access to recompute (e.g. after an effectful
+        change the stamps cannot see)."""
+        self._cached = None
+        self._stamp = None
+
+    def truth_of(self, item) -> bool:
+        return self.relation().truth_of(item)
+
+    def extension(self):
+        return self.relation().extension()
+
+    def __len__(self) -> int:
+        return len(self.relation())
+
+    def __repr__(self) -> str:
+        state = "stale" if self.is_stale() else "fresh"
+        return "MaterializedView({!r}, {}, {} refreshes)".format(
+            self.name, state, self.refresh_count
+        )
+
+
+class ViewRegistry:
+    """A named collection of views, e.g. one per database."""
+
+    def __init__(self) -> None:
+        self._views: dict[str, MaterializedView] = {}
+
+    def define(
+        self,
+        name: str,
+        compute: Callable[[], HRelation],
+        sources: Sequence[HRelation],
+    ) -> MaterializedView:
+        if name in self._views:
+            raise ValueError("view {!r} already defined".format(name))
+        view = MaterializedView(name, compute, sources)
+        self._views[name] = view
+        return view
+
+    def view(self, name: str) -> MaterializedView:
+        return self._views[name]
+
+    def drop(self, name: str) -> None:
+        del self._views[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._views)

@@ -1,0 +1,50 @@
+"""HQL — a small statement language over the hierarchical model.
+
+One statement per ``;``.  The verbs map one-to-one onto the model's
+operations:
+
+.. code-block:: text
+
+    CREATE HIERARCHY animal;
+    CREATE CLASS bird IN animal;
+    CREATE CLASS penguin IN animal UNDER bird;
+    CREATE INSTANCE tweety IN animal UNDER bird;
+    PREFER royal OVER indian IN animal;
+    CREATE RELATION flies (creature: animal);
+    CREATE RELATION sizes (animal: animal, size: size) WITH STRATEGY 'on-path';
+    ASSERT flies (bird);
+    ASSERT NOT flies (penguin);
+    RETRACT flies (penguin);
+    TRUTH flies (tweety);
+    JUSTIFY flies (tweety);
+    SELECT FROM flies WHERE creature = penguin AS penguin_flyers;
+    PROJECT sizes ON animal AS housed;
+    JOIN sizes WITH flies AS both;
+    UNION a WITH b AS c;          -- also INTERSECT / DIFFERENCE
+    CONSOLIDATE flies;            -- in place; AS name writes a copy
+    EXPLICATE flies ON creature AS flat_flies;
+    CONFLICTS flies;
+    EXTENSION flies;
+    SHOW RELATIONS;  SHOW HIERARCHIES;
+    BEGIN;  ...  COMMIT;  ROLLBACK;
+    DROP RELATION flies;  DROP HIERARCHY animal;
+    SAVE 'zoo.json';
+
+Use :func:`execute` for one-shot scripts or :class:`HQLExecutor` to keep
+a session (open transactions) across calls.
+"""
+
+from repro.engine.hql.lexer import tokenize, Token
+from repro.engine.hql.parser import parse
+from repro.engine.hql.executor import HQLExecutor, Result, execute
+from repro.engine.hql import ast
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse",
+    "ast",
+    "HQLExecutor",
+    "Result",
+    "execute",
+]

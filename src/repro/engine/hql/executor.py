@@ -1,0 +1,396 @@
+"""HQL execution against a :class:`HierarchicalDatabase`.
+
+An :class:`HQLExecutor` holds a session: statements between ``BEGIN``
+and ``COMMIT``/``ROLLBACK`` stage their writes in one transaction;
+outside a transaction each DML statement auto-commits (and is therefore
+individually subject to the ambiguity constraint).
+
+Every statement yields a :class:`Result` with a ``kind``, a ``payload``
+(relation, bool, justification, …) and a rendered ``message``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.errors import HQLError
+from repro.core import algebra
+from repro.core.binding import justify as _justify
+from repro.core.conflicts import find_conflicts
+from repro.render.table import render_justification, render_relation, render_rows
+from repro.engine.hql import ast
+from repro.engine.hql.parser import parse
+
+
+@dataclass
+class Result:
+    """The outcome of one HQL statement."""
+
+    kind: str
+    payload: Any = None
+    message: str = ""
+
+    def __str__(self) -> str:
+        return self.message or "{}: {!r}".format(self.kind, self.payload)
+
+
+class HQLExecutor:
+    """A stateful HQL session over one database.
+
+    ``log`` optionally attaches an
+    :class:`~repro.engine.oplog.OperationLog`: every successfully
+    executed mutating statement is appended (transaction bodies only on
+    COMMIT), so replaying the log rebuilds the database.
+    """
+
+    def __init__(self, database, log=None) -> None:
+        self.database = database
+        self.log = log
+        self._transaction = None
+        self._pending_log: List[ast.Statement] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, text: str) -> List[Result]:
+        """Parse and execute a script; one :class:`Result` per statement."""
+        return [self.execute_statement(stmt) for stmt in parse(text)]
+
+    def execute_statement(self, statement: ast.Statement) -> Result:
+        handler = getattr(self, "_exec_{}".format(type(statement).__name__.lower()), None)
+        if handler is None:
+            raise HQLError("no executor for {}".format(type(statement).__name__))
+        result = handler(statement)
+        self._record(statement)
+        return result
+
+    def _record(self, statement: ast.Statement) -> None:
+        if self.log is None or not isinstance(statement, ast.MUTATING):
+            return
+        if self._transaction is not None:
+            self._pending_log.append(statement)
+        else:
+            self.log.append(statement)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _relation(self, name: str):
+        if self._transaction is not None:
+            return self._transaction.relation(name)
+        return self.database.relation(name)
+
+    def _store(self, relation, alias: Optional[str]) -> Result:
+        if alias:
+            relation.name = alias
+            if alias in self.database.relations:
+                self.database.relations[alias] = relation
+            else:
+                self.database.register_relation(relation)
+        return Result(
+            kind="relation",
+            payload=relation,
+            message=render_relation(relation),
+        )
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def _exec_createhierarchy(self, stmt: ast.CreateHierarchy) -> Result:
+        self.database.create_hierarchy(stmt.name, root=stmt.root)
+        return Result(kind="ok", message="hierarchy {} created".format(stmt.name))
+
+    def _exec_createnode(self, stmt: ast.CreateNode) -> Result:
+        hierarchy = self.database.hierarchy(stmt.hierarchy)
+        parents = list(stmt.parents) or None
+        if stmt.instance:
+            hierarchy.add_instance(stmt.name, parents=parents)
+        else:
+            hierarchy.add_class(stmt.name, parents=parents)
+        return Result(
+            kind="ok",
+            message="{} {} created in {}".format(
+                "instance" if stmt.instance else "class", stmt.name, stmt.hierarchy
+            ),
+        )
+
+    def _exec_prefer(self, stmt: ast.Prefer) -> Result:
+        hierarchy = self.database.hierarchy(stmt.hierarchy)
+        hierarchy.add_preference_edge(stmt.weaker, stmt.stronger)
+        return Result(
+            kind="ok",
+            message="preference {} over {} in {}".format(
+                stmt.stronger, stmt.weaker, stmt.hierarchy
+            ),
+        )
+
+    def _exec_createrelation(self, stmt: ast.CreateRelation) -> Result:
+        self.database.create_relation(
+            stmt.name,
+            list(stmt.attributes),
+            strategy=stmt.strategy or "off-path",
+        )
+        return Result(kind="ok", message="relation {} created".format(stmt.name))
+
+    def _exec_drop(self, stmt: ast.Drop) -> Result:
+        if stmt.kind == "RELATION":
+            self.database.drop_relation(stmt.name)
+        else:
+            self.database.drop_hierarchy(stmt.name)
+        return Result(kind="ok", message="{} {} dropped".format(stmt.kind.lower(), stmt.name))
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _exec_assert(self, stmt: ast.Assert) -> Result:
+        if self._transaction is not None:
+            self._transaction.assert_item(stmt.relation, stmt.values, truth=stmt.truth)
+        else:
+            self.database.insert(stmt.relation, stmt.values, truth=stmt.truth)
+        return Result(
+            kind="ok",
+            message="asserted {}({})".format(
+                "" if stmt.truth else "NOT ", ", ".join(stmt.values)
+            ),
+        )
+
+    def _exec_retract(self, stmt: ast.Retract) -> Result:
+        if self._transaction is not None:
+            self._transaction.retract(stmt.relation, stmt.values)
+        else:
+            self.database.delete(stmt.relation, stmt.values)
+        return Result(kind="ok", message="retracted ({})".format(", ".join(stmt.values)))
+
+    def _exec_begin(self, stmt: ast.Begin) -> Result:
+        if self._transaction is not None:
+            raise HQLError("transaction already open")
+        self._transaction = self.database.transaction()
+        return Result(kind="ok", message="transaction started")
+
+    def _exec_commit(self, stmt: ast.Commit) -> Result:
+        if self._transaction is None:
+            raise HQLError("no open transaction")
+        try:
+            self._transaction.commit()
+        finally:
+            self._transaction = None
+        if self.log is not None:
+            for pending in self._pending_log:
+                self.log.append(pending)
+        self._pending_log = []
+        return Result(kind="ok", message="committed")
+
+    def _exec_rollback(self, stmt: ast.Rollback) -> Result:
+        if self._transaction is None:
+            raise HQLError("no open transaction")
+        self._transaction.rollback()
+        self._transaction = None
+        self._pending_log = []
+        return Result(kind="ok", message="rolled back")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _exec_truth(self, stmt: ast.Truth) -> Result:
+        value = self._relation(stmt.relation).truth_of(stmt.values)
+        return Result(
+            kind="truth",
+            payload=value,
+            message="({}) is {}".format(", ".join(stmt.values), str(value).lower()),
+        )
+
+    def _exec_justify(self, stmt: ast.Justify) -> Result:
+        justification = _justify(self._relation(stmt.relation), tuple(stmt.values))
+        return Result(
+            kind="justification",
+            payload=justification,
+            message=render_justification(justification),
+        )
+
+    def _condition(self, where: ast.WhereExpr):
+        from repro.core import where as conditions
+
+        if isinstance(where, ast.WhereTest):
+            test = conditions.member(where.attribute, where.value)
+            return conditions.Not(test) if where.negated else test
+        if isinstance(where, ast.WhereAnd):
+            return conditions.And(*(self._condition(p) for p in where.parts))
+        if isinstance(where, ast.WhereOr):
+            return conditions.Or(*(self._condition(p) for p in where.parts))
+        if isinstance(where, ast.WhereNot):
+            return conditions.Not(self._condition(where.part))
+        raise HQLError("unknown WHERE node {}".format(type(where).__name__))
+
+    def _exec_select(self, stmt: ast.Select) -> Result:
+        from repro.core.where import select_where
+
+        relation = self._relation(stmt.relation)
+        if stmt.where is None:
+            result = relation.copy(name="{}_where".format(relation.name))
+        else:
+            result = select_where(relation, self._condition(stmt.where))
+        if stmt.attributes:
+            result = algebra.project(result, list(stmt.attributes))
+        return self._store(result, stmt.alias)
+
+    def _exec_project(self, stmt: ast.Project) -> Result:
+        relation = self._relation(stmt.relation)
+        result = algebra.project(relation, list(stmt.attributes))
+        return self._store(result, stmt.alias)
+
+    def _exec_binaryop(self, stmt: ast.BinaryOp) -> Result:
+        left = self._relation(stmt.left)
+        right = self._relation(stmt.right)
+        op = {
+            "JOIN": algebra.join,
+            "UNION": algebra.union,
+            "INTERSECT": algebra.intersection,
+            "DIFFERENCE": algebra.difference,
+            "DIVIDE": algebra.divide,
+            "SEMIJOIN": algebra.semijoin,
+            "ANTIJOIN": algebra.antijoin,
+        }[stmt.op]
+        return self._store(op(left, right), stmt.alias)
+
+    def _exec_consolidate(self, stmt: ast.Consolidate) -> Result:
+        if stmt.alias:
+            result = self._relation(stmt.relation).consolidated()
+            return self._store(result, stmt.alias)
+        removed = self.database.consolidate_in_place(stmt.relation)
+        return Result(
+            kind="ok",
+            payload=removed,
+            message="consolidated {}: {} redundant tuple(s) removed".format(
+                stmt.relation, removed
+            ),
+        )
+
+    def _exec_explicate(self, stmt: ast.Explicate) -> Result:
+        attributes = list(stmt.attributes) or None
+        if stmt.alias:
+            result = self._relation(stmt.relation).explicated(attributes)
+            return self._store(result, stmt.alias)
+        delta = self.database.explicate_in_place(stmt.relation, attributes)
+        return Result(
+            kind="ok",
+            payload=delta,
+            message="explicated {}: tuple count changed by {:+d}".format(
+                stmt.relation, delta
+            ),
+        )
+
+    def _exec_conflicts(self, stmt: ast.Conflicts) -> Result:
+        conflicts = find_conflicts(self._relation(stmt.relation))
+        lines = [str(c) for c in conflicts] or ["(consistent)"]
+        return Result(kind="conflicts", payload=conflicts, message="\n".join(lines))
+
+    def _exec_extension(self, stmt: ast.Extension) -> Result:
+        relation = self._relation(stmt.relation)
+        rows = sorted(relation.extension())
+        table = render_rows(list(relation.schema.attributes), rows)
+        return Result(kind="extension", payload=rows, message=table)
+
+    def _exec_show(self, stmt: ast.Show) -> Result:
+        if stmt.what == "RELATIONS":
+            rows = [
+                (r.name, str(len(r)), ", ".join(r.schema.attributes))
+                for r in self.database.relations.values()
+            ]
+            table = render_rows(["relation", "tuples", "attributes"], rows)
+            return Result(kind="show", payload=rows, message=table)
+        rows = [
+            (h.name, str(len(h)), str(len(h.leaves())))
+            for h in self.database.hierarchies.values()
+        ]
+        table = render_rows(["hierarchy", "nodes", "leaves"], rows)
+        return Result(kind="show", payload=rows, message=table)
+
+    def _exec_count(self, stmt: ast.Count) -> Result:
+        from repro.core import aggregate
+        from repro.core.where import select_where
+
+        relation = self._relation(stmt.relation)
+        if stmt.where is not None:
+            relation = select_where(relation, self._condition(stmt.where))
+        value = aggregate.count(relation)
+        return Result(
+            kind="count",
+            payload=value,
+            message="{} atom(s)".format(value),
+        )
+
+    def _exec_save(self, stmt: ast.Save) -> Result:
+        self.database.save(stmt.path)
+        return Result(kind="ok", message="saved to {}".format(stmt.path))
+
+    def _exec_explain(self, stmt: ast.Explain) -> Result:
+        import time
+
+        inner = stmt.inner
+        if isinstance(inner, (ast.Select, ast.Count, ast.Project)):
+            input_names = [inner.relation]
+        else:  # BinaryOp
+            input_names = [inner.left, inner.right]
+        inputs = [self._relation(name) for name in input_names]
+
+        lines = ["plan for: {}".format(type(inner).__name__.lower())]
+        for relation in inputs:
+            if len(relation) >= relation.index_threshold:
+                path = "indexed applicability (BinderIndex)"
+            elif relation.schema.product.needs_elimination_binding():
+                path = "node-elimination binding (non-normal-form hierarchy)"
+            else:
+                path = "scan + minimal-binder fast path"
+            lines.append(
+                "  input {}: {} stored tuple(s), strategy={}, {}".format(
+                    relation.name, len(relation), relation.strategy.name, path
+                )
+            )
+        schemas_match = all(
+            r.schema.same_as(inputs[0].schema) for r in inputs[1:]
+        )
+        if schemas_match:
+            from repro.core.algebra import meet_closure
+
+            seeds = set()
+            for relation in inputs:
+                seeds.update(relation.asserted)
+            closure = meet_closure(inputs[0].schema.product, seeds)
+            lines.append(
+                "  meet-closure candidates: {} (from {} seed item(s))".format(
+                    len(closure), len(seeds)
+                )
+            )
+        else:
+            lines.append("  meet-closure candidates: over the merged schema")
+        started = time.perf_counter()
+        result = self.execute_statement(inner)
+        elapsed = time.perf_counter() - started
+        if result.kind == "relation":
+            lines.append(
+                "  result: {} tuple(s), consolidated".format(len(result.payload))
+            )
+        else:
+            lines.append("  result: {}".format(result.payload))
+        lines.append("  wall time: {:.3f} ms".format(elapsed * 1000))
+        return Result(kind="plan", payload=result, message="\n".join(lines))
+
+    def _exec_load(self, stmt: ast.Load) -> Result:
+        from repro.engine.storage import load_database
+
+        if self._transaction is not None:
+            raise HQLError("cannot LOAD inside a transaction")
+        loaded = load_database(stmt.path)
+        self.database.name = loaded.name
+        self.database.hierarchies = loaded.hierarchies
+        self.database.relations = loaded.relations
+        return Result(kind="ok", message="loaded from {}".format(stmt.path))
+
+
+def execute(database, text: str) -> List[Result]:
+    """One-shot execution of a script on a fresh session."""
+    return HQLExecutor(database).run(text)

@@ -1,0 +1,110 @@
+"""Tokeniser for HQL.
+
+Token types: ``IDENT`` (bare words, including number-like values such as
+``3000``), ``STRING`` (single- or double-quoted, for names with spaces
+or file paths), and the punctuation ``( ) , ; : =``.  Keywords are plain
+idents — the parser decides keyword-ness case-insensitively, so
+``select`` and ``SELECT`` are the same verb while attribute and node
+names stay case-sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import HQLSyntaxError
+
+PUNCTUATION = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ";": "SEMI",
+    ":": "COLON",
+    "=": "EQ",
+    "*": "STAR",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def keyword(self) -> str:
+        """The uppercase form used for keyword matching."""
+        return self.value.upper() if self.type == "IDENT" else self.type
+
+    def __str__(self) -> str:
+        return "{}({!r})".format(self.type, self.value)
+
+
+def _ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_-."
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise ``text``; raises :class:`HQLSyntaxError` on junk."""
+    out: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            column += 1
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            # comment to end of line
+            while i < length and text[i] != "\n":
+                i += 1
+            continue
+        if text[i : i + 2] in ("!=", "<>"):
+            out.append(Token("NEQ", text[i : i + 2], line, column))
+            i += 2
+            column += 2
+            continue
+        if ch in PUNCTUATION:
+            out.append(Token(PUNCTUATION[ch], ch, line, column))
+            i += 1
+            column += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            start_line, start_column = line, column
+            i += 1
+            column += 1
+            chars: List[str] = []
+            while i < length and text[i] != quote:
+                if text[i] == "\n":
+                    raise HQLSyntaxError("unterminated string", start_line, start_column)
+                chars.append(text[i])
+                i += 1
+                column += 1
+            if i >= length:
+                raise HQLSyntaxError("unterminated string", start_line, start_column)
+            i += 1
+            column += 1
+            out.append(Token("STRING", "".join(chars), start_line, start_column))
+            continue
+        if _ident_char(ch):
+            start_column = column
+            chars = []
+            while i < length and _ident_char(text[i]):
+                chars.append(text[i])
+                i += 1
+                column += 1
+            out.append(Token("IDENT", "".join(chars), line, start_column))
+            continue
+        raise HQLSyntaxError("unexpected character {!r}".format(ch), line, column)
+    out.append(Token("EOF", "", line, column))
+    return out

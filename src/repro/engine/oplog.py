@@ -1,0 +1,64 @@
+"""A statement-level operation log (write-ahead journal).
+
+Snapshots (:mod:`repro.engine.storage`) capture a database at a point in
+time; the operation log complements them with durability between
+snapshots: every mutating HQL statement is appended as one line of HQL
+text, and :meth:`OperationLog.replay` rebuilds state by re-executing
+them.  Attach a log to an :class:`~repro.engine.hql.HQLExecutor` via its
+``log`` parameter; transaction bodies are journalled only on COMMIT, so
+a replayed log never reproduces a rolled-back write.
+
+The format is deliberately trivial — one statement per line, ``--``
+comments allowed — so a log is also a human-readable audit trail and a
+valid HQL script.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Union
+
+from repro.engine.hql import ast as hql_ast
+
+
+class OperationLog:
+    """Append-only journal of mutating HQL statements."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, statement: Union[hql_ast.Statement, str]) -> None:
+        """Append one statement (AST node or raw HQL text) durably."""
+        if isinstance(statement, hql_ast.Statement):
+            line = hql_ast.to_hql(statement)
+        else:
+            line = statement.strip()
+            if not line.endswith(";"):
+                line += ";"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def entries(self) -> List[str]:
+        """Every journalled statement, in append order."""
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            return [line.strip() for line in handle if line.strip()]
+
+    def replay(self, database) -> int:
+        """Re-execute the journal against ``database``; returns the
+        number of statements applied."""
+        entries = self.entries()
+        if entries:
+            database.execute("\n".join(entries))
+        return len(entries)
+
+    def truncate(self) -> None:
+        """Discard the journal (e.g. after folding it into a snapshot)."""
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+    def __len__(self) -> int:
+        return len(self.entries())

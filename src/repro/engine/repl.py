@@ -1,0 +1,103 @@
+"""An interactive HQL shell.
+
+``python -m repro.engine.repl [database.json]`` starts a session; every
+line is parsed as HQL (statements may span lines until the terminating
+``;``).  Meta-commands: ``\\q`` quits, ``\\h`` prints help.  Errors are
+reported and the session continues.  The class is stream-parameterised
+so tests can drive it with ``io.StringIO``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional
+
+from repro.errors import ReproError
+from repro.engine.database import HierarchicalDatabase
+from repro.engine.hql import HQLExecutor
+
+HELP = """\
+HQL quick reference:
+  CREATE HIERARCHY h;              CREATE CLASS c IN h UNDER p;
+  CREATE INSTANCE i IN h UNDER c;  CREATE RELATION r (a: h, ...);
+  ASSERT r (v, ...);               ASSERT NOT r (v, ...);
+  RETRACT r (v, ...);              TRUTH r (v, ...);
+  JUSTIFY r (v, ...);              SELECT FROM r WHERE a = v AS out;
+  PROJECT r ON a, b AS out;        JOIN/UNION/INTERSECT/DIFFERENCE x WITH y AS out;
+  CONSOLIDATE r;  EXPLICATE r;     CONFLICTS r;  EXTENSION r;  COUNT r;
+  SHOW RELATIONS; SHOW HIERARCHIES;
+  BEGIN; COMMIT; ROLLBACK;         SAVE 'file'; LOAD 'file';
+Meta: \\h help, \\q quit."""
+
+
+class HQLRepl:
+    """A line-oriented HQL session over input/output streams."""
+
+    def __init__(
+        self,
+        database: Optional[HierarchicalDatabase] = None,
+        stdin: IO[str] | None = None,
+        stdout: IO[str] | None = None,
+        prompt: str = "hql> ",
+        continuation: str = "...> ",
+    ) -> None:
+        self.database = database if database is not None else HierarchicalDatabase()
+        self.session = HQLExecutor(self.database)
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.prompt = prompt
+        self.continuation = continuation
+
+    # ------------------------------------------------------------------
+
+    def _write(self, text: str) -> None:
+        self.stdout.write(text)
+        if not text.endswith("\n"):
+            self.stdout.write("\n")
+
+    def run(self) -> None:
+        """Read-eval-print until EOF or ``\\q``."""
+        self._write("repro HQL shell — \\h for help, \\q to quit")
+        buffered = ""
+        while True:
+            self.stdout.write(self.continuation if buffered else self.prompt)
+            self.stdout.flush()
+            line = self.stdin.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if not buffered and stripped in ("\\q", "\\quit", "exit", "quit"):
+                break
+            if not buffered and stripped in ("\\h", "\\help", "help"):
+                self._write(HELP)
+                continue
+            if not stripped:
+                continue
+            buffered = (buffered + "\n" + line) if buffered else line
+            if not stripped.endswith(";"):
+                continue  # statement not finished; keep buffering
+            script, buffered = buffered, ""
+            self.execute(script)
+        self._write("bye")
+
+    def execute(self, script: str) -> None:
+        """Run one buffered script, printing results or the error."""
+        try:
+            for result in self.session.run(script):
+                self._write(str(result))
+        except ReproError as exc:
+            self._write("error: {}".format(exc))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if args:
+        database = HierarchicalDatabase.load(args[0])
+    else:
+        database = HierarchicalDatabase("session")
+    HQLRepl(database).run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

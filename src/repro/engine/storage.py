@@ -1,0 +1,135 @@
+"""JSON persistence for whole databases.
+
+The format is versioned and human-readable: hierarchies serialise as
+node lists in insertion order (each with its parents and an instance
+flag) plus preference edges; relations serialise as attribute bindings
+plus signed tuples.  ``load_database(save_database(db))`` round-trips
+everything, including preemption strategies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.errors import StorageError
+from repro.hierarchy.graph import Hierarchy
+from repro.core.preemption import STRATEGIES
+
+FORMAT_NAME = "repro-db"
+FORMAT_VERSION = 1
+
+
+def database_to_dict(database) -> Dict[str, Any]:
+    """The serialisable form of a database."""
+    hierarchies = []
+    for hierarchy in database.hierarchies.values():
+        nodes = []
+        for node in hierarchy.nodes():
+            if node == hierarchy.root:
+                continue
+            nodes.append(
+                {
+                    "name": node,
+                    "parents": sorted(hierarchy.parents(node)),
+                    "instance": hierarchy.is_instance(node),
+                }
+            )
+        hierarchies.append(
+            {
+                "name": hierarchy.name,
+                "root": hierarchy.root,
+                "nodes": nodes,
+                "preference_edges": [
+                    list(edge) for edge in hierarchy.preference_edges()
+                ],
+            }
+        )
+    relations = []
+    for relation in database.relations.values():
+        relations.append(
+            {
+                "name": relation.name,
+                "strategy": relation.strategy.name,
+                "attributes": [
+                    [attr, h.name]
+                    for attr, h in zip(
+                        relation.schema.attributes, relation.schema.hierarchies
+                    )
+                ],
+                "tuples": [[list(t.item), t.truth] for t in relation.tuples()],
+            }
+        )
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": database.name,
+        "hierarchies": hierarchies,
+        "relations": relations,
+    }
+
+
+def database_from_dict(payload: Dict[str, Any]):
+    """Rebuild a database from :func:`database_to_dict` output."""
+    from repro.engine.database import HierarchicalDatabase
+
+    if payload.get("format") != FORMAT_NAME:
+        raise StorageError(
+            "not a {} file (format={!r})".format(FORMAT_NAME, payload.get("format"))
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            "unsupported format version {!r} (supported: {})".format(
+                payload.get("version"), FORMAT_VERSION
+            )
+        )
+    database = HierarchicalDatabase(payload.get("name", "db"))
+    for spec in payload.get("hierarchies", ()):
+        hierarchy = Hierarchy(spec["name"], root=spec.get("root"))
+        # Nodes are stored in insertion order, so parents always precede
+        # children; first parent creates the node, the rest become edges.
+        for node in spec.get("nodes", ()):
+            parents = node.get("parents") or [hierarchy.root]
+            if node.get("instance"):
+                hierarchy.add_instance(node["name"], parents=parents[:1])
+            else:
+                hierarchy.add_class(node["name"], parents=parents[:1])
+            for parent in parents[1:]:
+                hierarchy.add_edge(parent, node["name"])
+        for weaker, stronger in spec.get("preference_edges", ()):
+            hierarchy.add_preference_edge(weaker, stronger)
+        database.register_hierarchy(hierarchy)
+    for spec in payload.get("relations", ()):
+        strategy_name = spec.get("strategy", "off-path")
+        if strategy_name not in STRATEGIES:
+            raise StorageError("unknown preemption strategy {!r}".format(strategy_name))
+        relation = database.create_relation(
+            spec["name"],
+            [(attr, hier) for attr, hier in spec["attributes"]],
+            strategy=STRATEGIES[strategy_name],
+        )
+        for item, truth in spec.get("tuples", ()):
+            relation.assert_item(tuple(item), truth=bool(truth))
+    return database
+
+
+def save_database(database, path: str) -> None:
+    """Write the database to ``path`` atomically (write + rename)."""
+    payload = database_to_dict(database)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+
+
+def load_database(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise StorageError("no such database file: {}".format(path)) from None
+    except json.JSONDecodeError as exc:
+        raise StorageError("corrupt database file {}: {}".format(path, exc)) from None
+    return database_from_dict(payload)

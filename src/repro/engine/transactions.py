@@ -1,0 +1,134 @@
+"""Transactions that maintain the ambiguity constraint (section 3.1).
+
+"Whenever an update is made we require that the update does not create
+an unresolved conflict.  If an update creates a conflict, within the
+same transaction, before the update is committed, other updates must be
+made that resolve the conflict, and themselves create no new unresolved
+conflict."
+
+A :class:`Transaction` stages all writes on copy-on-write snapshots of
+the touched relations; :meth:`commit` re-checks every touched relation
+for conflicts and either installs all snapshots atomically or raises
+:class:`~repro.errors.InconsistentRelationError` leaving the database
+untouched.  Reads inside the transaction see the staged state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import InconsistentRelationError, TransactionError
+from repro.core.conflicts import Conflict, find_conflicts, resolution_tuples
+from repro.core.relation import HRelation
+
+
+class Transaction:
+    """A unit of work over a :class:`HierarchicalDatabase`.
+
+    Use as a context manager: the block commits on normal exit and
+    rolls back on any exception.
+
+    Examples
+    --------
+    >>> # with db.transaction() as txn:
+    >>> #     txn.assert_item("respects", ("obsequious_student", "teacher"))
+    >>> #     txn.assert_item("respects", ("student", "incoherent_teacher"), truth=False)
+    >>> #     txn.assert_item("respects", ("obsequious_student", "incoherent_teacher"))
+    """
+
+    def __init__(self, database) -> None:
+        self._database = database
+        self._staged: Dict[str, HRelation] = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------
+
+    def _working(self, relation_name: str) -> HRelation:
+        if self._finished:
+            raise TransactionError("transaction already committed or rolled back")
+        if relation_name not in self._staged:
+            self._staged[relation_name] = self._database.relation(relation_name).copy()
+        return self._staged[relation_name]
+
+    def assert_item(
+        self,
+        relation_name: str,
+        item: Sequence[str],
+        truth: bool = True,
+        replace: bool = False,
+    ) -> None:
+        self._working(relation_name).assert_item(item, truth=truth, replace=replace)
+
+    def retract(self, relation_name: str, item: Sequence[str]) -> None:
+        self._working(relation_name).retract(item)
+
+    def relation(self, relation_name: str) -> HRelation:
+        """The staged view of a relation (reads-your-writes)."""
+        if relation_name in self._staged:
+            return self._staged[relation_name]
+        return self._database.relation(relation_name)
+
+    def resolve_conflicts(self, relation_name: str, truth: bool) -> List[Conflict]:
+        """Auto-resolve every pending conflict in a staged relation in
+        favour of ``truth`` by asserting the minimal resolution sets —
+        the paper's compiled-front-end behaviour.  Returns the conflicts
+        that were resolved."""
+        working = self._working(relation_name)
+        resolved: List[Conflict] = []
+        for _ in range(100):  # resolution can cascade; bound it
+            conflicts = find_conflicts(working)
+            if not conflicts:
+                return resolved
+            for conflict in conflicts:
+                for t in resolution_tuples(working, conflict, truth):
+                    working.assert_item(t.item, truth=t.truth, replace=True)
+                resolved.append(conflict)
+        raise InconsistentRelationError(find_conflicts(working))
+
+    # ------------------------------------------------------------------
+
+    def pending_conflicts(self) -> Dict[str, List[Conflict]]:
+        """Conflicts in each staged relation, keyed by relation name."""
+        return {
+            name: find_conflicts(relation)
+            for name, relation in self._staged.items()
+            if find_conflicts(relation)
+        }
+
+    def commit(self) -> None:
+        """Install all staged relations, or raise and change nothing."""
+        if self._finished:
+            raise TransactionError("transaction already committed or rolled back")
+        all_conflicts: List[Conflict] = []
+        for name, relation in self._staged.items():
+            all_conflicts.extend(find_conflicts(relation))
+            checker = getattr(self._database, "checker_for", lambda _n: None)(name)
+            if checker is not None:
+                all_conflicts.extend(
+                    Conflict(item=("constraint", failed), binders=())
+                    for failed in checker.violations(relation)
+                )
+        if all_conflicts:
+            raise InconsistentRelationError(all_conflicts)
+        for name, relation in self._staged.items():
+            self._database.relations[name] = relation
+        self._finished = True
+
+    def rollback(self) -> None:
+        if self._finished:
+            raise TransactionError("transaction already committed or rolled back")
+        self._staged.clear()
+        self._finished = True
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            if not self._finished:
+                self.rollback()
+            return False
+        self.commit()
+        return False

@@ -1,0 +1,122 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  The more
+specific types mirror the paper's vocabulary:
+
+* :class:`CycleError` — the *type-irredundancy* constraint of section 3.1
+  (the hierarchy graph must be acyclic).
+* :class:`AmbiguityError` — the *ambiguity constraint* of section 3.1: an
+  item whose strongest-binding tuples carry mixed truth values.
+* :class:`InconsistentRelationError` — a whole-relation integrity failure
+  (one or more unresolved conflicts), raised when a transaction attempts
+  to commit an inconsistent state.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class HierarchyError(ReproError):
+    """A structural problem with a hierarchy graph."""
+
+
+class CycleError(HierarchyError):
+    """The type-irredundancy constraint was violated: the graph has a cycle."""
+
+
+class UnknownNodeError(HierarchyError, KeyError):
+    """A class or instance name does not exist in the hierarchy."""
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable.
+        return Exception.__str__(self)
+
+
+class DuplicateNodeError(HierarchyError):
+    """A class or instance name was defined twice in one hierarchy."""
+
+
+class SchemaError(ReproError):
+    """A relation was used with incompatible attributes or hierarchies."""
+
+
+class TupleError(ReproError):
+    """A malformed tuple: wrong arity, unknown value, or a contradictory
+    re-assertion of an item with the opposite truth value."""
+
+
+class AmbiguityError(ReproError):
+    """The ambiguity constraint failed for some item.
+
+    Attributes
+    ----------
+    item:
+        The item (tuple of node names) whose truth value is ambiguous.
+    binders:
+        The conflicting strongest-binding tuples, as ``(item, truth)``
+        pairs.
+    """
+
+    def __init__(self, item, binders) -> None:
+        self.item = tuple(item)
+        self.binders = tuple(binders)
+        names = ", ".join(
+            "{}{}".format("+" if truth else "-", "/".join(b)) for b, truth in self.binders
+        )
+        super().__init__(
+            "ambiguous truth value for item {}: conflicting strongest binders {}".format(
+                "/".join(self.item), names
+            )
+        )
+
+
+class InconsistentRelationError(ReproError):
+    """A relation (or a transaction result) contains unresolved conflicts.
+
+    Attributes
+    ----------
+    conflicts:
+        A tuple of :class:`repro.core.conflicts.Conflict` records.
+    """
+
+    def __init__(self, conflicts) -> None:
+        self.conflicts = tuple(conflicts)
+        super().__init__(
+            "relation is inconsistent: {} unresolved conflict(s); first: {}".format(
+                len(self.conflicts), self.conflicts[0] if self.conflicts else "<none>"
+            )
+        )
+
+
+class TransactionError(ReproError):
+    """Misuse of the transaction API (e.g. commit after rollback)."""
+
+
+class CatalogError(ReproError):
+    """A name clash or missing object in the engine catalog."""
+
+
+class HQLError(ReproError):
+    """A problem with an HQL statement."""
+
+
+class HQLSyntaxError(HQLError):
+    """The HQL text could not be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+        super().__init__("{} (line {}, column {})".format(message, line, column))
+
+
+class StorageError(ReproError):
+    """A persistence problem: unreadable file or unsupported format version."""

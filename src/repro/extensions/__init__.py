@@ -1,0 +1,48 @@
+"""Extensions the paper's conclusion and section 3.2 sketch as future work.
+
+* :mod:`threevalued` — "through the use of … three-valued (positive,
+  negative, and unknown) rather than two-valued assertions, it may be
+  possible to have a sound and conceptually pleasing treatment of
+  partial information" (section 4).
+* :mod:`discovery` — "the database system could mechanically organize
+  traditional relation(s) … into hierarchical relations with classes
+  being defined in such a way that storage is minimized" (section 4).
+* :mod:`partition` — "such redundancy cannot be detected unless there is
+  a way to express the concepts of partition and mutual exhaustion in
+  the data model" (section 3.2).
+"""
+
+from repro.extensions.threevalued import (
+    ThreeValuedRelation,
+    TruthValue3,
+    combine3,
+    complement3,
+    intersection3,
+    kleene_and,
+    kleene_not,
+    kleene_or,
+    union3,
+)
+from repro.extensions.discovery import (
+    DiscoveryResult,
+    discover_hierarchy,
+    discover_with_exceptions,
+)
+from repro.extensions.partition import PartitionRegistry, consolidate_with_partitions
+
+__all__ = [
+    "TruthValue3",
+    "ThreeValuedRelation",
+    "combine3",
+    "union3",
+    "intersection3",
+    "complement3",
+    "kleene_or",
+    "kleene_and",
+    "kleene_not",
+    "DiscoveryResult",
+    "discover_hierarchy",
+    "discover_with_exceptions",
+    "PartitionRegistry",
+    "consolidate_with_partitions",
+]

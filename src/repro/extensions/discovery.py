@@ -1,0 +1,250 @@
+"""Mechanical hierarchy discovery (section 4's second research topic).
+
+Given ordinary flat unary relations over one universe of atoms, invent
+classes "in such a way that storage is minimized" and re-express every
+relation hierarchically.
+
+Two strategies:
+
+* :func:`discover_hierarchy` — exact: group atoms by *signature* (the
+  set of relations each atom belongs to); one class per signature, one
+  class-level tuple per (class, relation) membership.  Lossless and
+  conflict-free by construction; optimal among partitions into
+  signature-pure classes.
+* :func:`discover_with_exceptions` — exploit negated tuples: start from
+  the signature classes and greedily merge sibling classes whenever
+  expressing the difference as exceptions costs fewer tuples than
+  keeping the classes apart.  (The paper notes the exact minimisation is
+  NP-hard — minimum cover is a special case — hence greedy.)
+
+Both return a :class:`DiscoveryResult` carrying the invented hierarchy,
+the hierarchical relations, and the storage accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
+
+from repro.hierarchy.graph import Hierarchy
+from repro.core.relation import HRelation
+
+
+@dataclass
+class DiscoveryResult:
+    """The output of hierarchy discovery.
+
+    Attributes
+    ----------
+    hierarchy:
+        The invented class hierarchy (classes over the atom universe).
+    relations:
+        One hierarchical relation per input relation, same extensions.
+    flat_tuple_count:
+        Total rows in the flat inputs.
+    hierarchical_tuple_count:
+        Total stored tuples in the hierarchical outputs.
+    class_members:
+        Mapping class name -> member atoms, for inspection.
+    """
+
+    hierarchy: Hierarchy
+    relations: Dict[str, HRelation]
+    flat_tuple_count: int
+    hierarchical_tuple_count: int
+    class_members: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.hierarchical_tuple_count == 0:
+            return float("inf")
+        return self.flat_tuple_count / self.hierarchical_tuple_count
+
+
+def _signatures(
+    relations: Mapping[str, Set[str]], universe: Sequence[str]
+) -> Dict[FrozenSet[str], List[str]]:
+    groups: Dict[FrozenSet[str], List[str]] = {}
+    for atom in universe:
+        signature = frozenset(
+            name for name, members in relations.items() if atom in members
+        )
+        groups.setdefault(signature, []).append(atom)
+    return groups
+
+
+def discover_hierarchy(
+    relations: Mapping[str, Set[str]],
+    universe: Sequence[str] | None = None,
+    hierarchy_name: str = "discovered",
+) -> DiscoveryResult:
+    """Exact signature-based discovery (see module docstring).
+
+    ``relations`` maps relation names to atom sets; ``universe``
+    defaults to the union of all atom sets.
+    """
+    if universe is None:
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for members in relations.values():
+            for atom in sorted(members):
+                if atom not in seen:
+                    seen.add(atom)
+                    ordered.append(atom)
+        universe = ordered
+    groups = _signatures(relations, universe)
+
+    hierarchy = Hierarchy(hierarchy_name)
+    class_members: Dict[str, FrozenSet[str]] = {}
+    class_of_signature: Dict[FrozenSet[str], str] = {}
+    for i, (signature, atoms) in enumerate(
+        sorted(groups.items(), key=lambda kv: (sorted(kv[0]), kv[1]))
+    ):
+        if not signature:
+            # Atoms in no relation need no class: the closed world
+            # already excludes them everywhere.
+            for atom in atoms:
+                hierarchy.add_instance(atom)
+            continue
+        if len(atoms) == 1:
+            # A singleton class saves nothing; assert the atom directly.
+            hierarchy.add_instance(atoms[0])
+            class_of_signature[signature] = atoms[0]
+            continue
+        name = "class_{}".format(i)
+        hierarchy.add_class(name)
+        class_members[name] = frozenset(atoms)
+        class_of_signature[signature] = name
+        for atom in atoms:
+            hierarchy.add_instance(atom, parents=[name])
+
+    out: Dict[str, HRelation] = {}
+    hierarchical_count = 0
+    flat_count = 0
+    for name, members in sorted(relations.items()):
+        flat_count += len(members)
+        relation = HRelation([("x", hierarchy)], name=name)
+        for signature, klass in sorted(class_of_signature.items(), key=lambda kv: kv[1]):
+            if name in signature:
+                relation.assert_item((klass,), truth=True)
+        hierarchical_count += len(relation)
+        out[name] = relation
+    return DiscoveryResult(
+        hierarchy=hierarchy,
+        relations=out,
+        flat_tuple_count=flat_count,
+        hierarchical_tuple_count=hierarchical_count,
+        class_members=class_members,
+    )
+
+
+def discover_with_exceptions(
+    relations: Mapping[str, Set[str]],
+    universe: Sequence[str] | None = None,
+    hierarchy_name: str = "discovered",
+) -> DiscoveryResult:
+    """Greedy merge of signature groups using negated tuples.
+
+    Repeatedly merge the pair of groups whose merge saves the most
+    stored tuples, counting: one positive tuple per relation covering
+    the merged class, plus one negated *sub-class* tuple per relation
+    where only one side belongs.  Stops when no merge saves anything.
+    """
+    if universe is None:
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for members in relations.values():
+            for atom in sorted(members):
+                if atom not in seen:
+                    seen.add(atom)
+                    ordered.append(atom)
+        universe = ordered
+    groups = [
+        (signature, tuple(atoms))
+        for signature, atoms in sorted(
+            _signatures(relations, universe).items(),
+            key=lambda kv: (sorted(kv[0]), kv[1]),
+        )
+        if signature
+    ]
+
+    def cost_separate(sig_a: FrozenSet[str], sig_b: FrozenSet[str]) -> int:
+        return len(sig_a) + len(sig_b)
+
+    def cost_merged(sig_a: FrozenSet[str], sig_b: FrozenSet[str]) -> int:
+        # Union signature asserted on the merged class; each one-sided
+        # relation needs one exception tuple on the other side's sub-class.
+        return len(sig_a | sig_b) + len(sig_a ^ sig_b)
+
+    # Merges are single-level: a group that already absorbed another is
+    # not merged again, so every exception stays expressible with one
+    # negated sub-class tuple (re-merging would need exception chains
+    # the cost model above does not count).
+    merged = True
+    while merged and len(groups) > 1:
+        merged = False
+        best: Tuple[int, int, int] | None = None
+        for i in range(len(groups)):
+            for j in range(i + 1, len(groups)):
+                if len(groups[i]) > 2 or len(groups[j]) > 2:
+                    continue
+                saving = cost_separate(groups[i][0], groups[j][0]) - cost_merged(
+                    groups[i][0], groups[j][0]
+                )
+                if saving > 0 and (best is None or saving > best[0]):
+                    best = (saving, i, j)
+        if best is not None:
+            _, i, j = best
+            sig_a, atoms_a = groups[i]
+            sig_b, atoms_b = groups[j]
+            replacement = (sig_a | sig_b, atoms_a + atoms_b)
+            groups = [g for k, g in enumerate(groups) if k not in (i, j)]
+            groups.append((replacement[0], replacement[1], (sig_a, atoms_a, sig_b, atoms_b)))  # type: ignore[arg-type]
+            merged = True
+
+    # Build the hierarchy: merged groups become a parent class with two
+    # sub-classes when they carry merge history, else a flat class.
+    hierarchy = Hierarchy(hierarchy_name)
+    class_members: Dict[str, FrozenSet[str]] = {}
+    plan: List[Tuple[str, FrozenSet[str], List[Tuple[str, FrozenSet[str]]]]] = []
+    for i, group in enumerate(groups):
+        signature, atoms = group[0], group[1]
+        history = group[2] if len(group) > 2 else None  # type: ignore[misc]
+        name = "class_{}".format(i)
+        hierarchy.add_class(name)
+        class_members[name] = frozenset(atoms)
+        subclasses: List[Tuple[str, FrozenSet[str]]] = []
+        if history is not None:
+            sig_a, atoms_a, sig_b, atoms_b = history
+            for suffix, sig, part in (("a", sig_a, atoms_a), ("b", sig_b, atoms_b)):
+                sub = "{}_{}".format(name, suffix)
+                hierarchy.add_class(sub, parents=[name])
+                class_members[sub] = frozenset(part)
+                for atom in part:
+                    hierarchy.add_instance(atom, parents=[sub])
+                subclasses.append((sub, sig))
+        else:
+            for atom in atoms:
+                hierarchy.add_instance(atom, parents=[name])
+        plan.append((name, signature, subclasses))
+
+    out: Dict[str, HRelation] = {}
+    hierarchical_count = 0
+    flat_count = sum(len(m) for m in relations.values())
+    for rel_name in sorted(relations):
+        relation = HRelation([("x", hierarchy)], name=rel_name)
+        for class_name, signature, subclasses in plan:
+            if rel_name in signature:
+                relation.assert_item((class_name,), truth=True)
+                for sub, sub_sig in subclasses:
+                    if rel_name not in sub_sig:
+                        relation.assert_item((sub,), truth=False)
+        hierarchical_count += len(relation)
+        out[rel_name] = relation
+    return DiscoveryResult(
+        hierarchy=hierarchy,
+        relations=out,
+        flat_tuple_count=flat_count,
+        hierarchical_tuple_count=hierarchical_count,
+        class_members=class_members,
+    )

@@ -1,0 +1,263 @@
+"""Three-valued assertions: TRUE / FALSE / UNKNOWN (section 4).
+
+The base model makes the closed-world assumption: an item below no
+asserted tuple is *false*.  Dropping that assumption means the default
+becomes *unknown*, and negated tuples now carry real information at the
+top of the lattice rather than being redundant defaults.  This module
+provides :class:`ThreeValuedRelation`, a sibling of
+:class:`~repro.core.relation.HRelation` with:
+
+* per-tuple truth in {TRUE, FALSE, UNKNOWN} — asserting UNKNOWN is
+  meaningful: it *cancels inheritance* below a class without committing
+  either way;
+* off-path binding with the same minimal-binder rule; mixed binders are
+  a conflict exactly as before;
+* ``truth_of`` returning :class:`TruthValue3` with UNKNOWN as default;
+* ``to_closed_world()`` mapping back into the two-valued model
+  (UNKNOWN -> FALSE) for interoperation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import AmbiguityError, TupleError
+from repro.hierarchy.graph import Hierarchy
+from repro.hierarchy.product import Item
+from repro.core.relation import HRelation
+from repro.core.schema import RelationSchema
+
+
+class TruthValue3(enum.Enum):
+    TRUE = "true"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+    @property
+    def sign(self) -> str:
+        return {"true": "+", "false": "-", "unknown": "?"}[self.value]
+
+
+class ThreeValuedRelation:
+    """A hierarchical relation over the three-valued truth lattice.
+
+    Examples
+    --------
+    >>> h = Hierarchy("animal")
+    >>> h.add_class("bird")
+    >>> h.add_instance("tweety", parents=["bird"])
+    >>> r = ThreeValuedRelation([("creature", h)], name="sings")
+    >>> r.truth_of(("tweety",))        # open world: nothing known
+    <TruthValue3.UNKNOWN: 'unknown'>
+    >>> r.assert_item(("bird",), TruthValue3.TRUE)
+    >>> r.truth_of(("tweety",))
+    <TruthValue3.TRUE: 'true'>
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema | Sequence[Tuple[str, Hierarchy]],
+        name: str = "relation3",
+    ) -> None:
+        if not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        self.schema = schema
+        self.name = name
+        self._tuples: Dict[Item, TruthValue3] = {}
+        self._insertion: List[Item] = []
+
+    # ------------------------------------------------------------------
+
+    def assert_item(
+        self,
+        item: Sequence[str],
+        truth: TruthValue3 = TruthValue3.TRUE,
+        replace: bool = False,
+    ) -> None:
+        key = self.schema.check_item(item)
+        if key in self._tuples and self._tuples[key] != truth and not replace:
+            raise TupleError(
+                "item ({}) already asserted as {}".format(
+                    ", ".join(key), self._tuples[key].value
+                )
+            )
+        if key not in self._tuples:
+            self._insertion.append(key)
+        self._tuples[key] = truth
+
+    def retract(self, item: Sequence[str]) -> None:
+        key = self.schema.check_item(item)
+        if key not in self._tuples:
+            raise TupleError("no tuple asserted at ({})".format(", ".join(key)))
+        del self._tuples[key]
+        self._insertion.remove(key)
+
+    def tuples(self) -> List[Tuple[Item, TruthValue3]]:
+        return [(item, self._tuples[item]) for item in self._insertion]
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    # ------------------------------------------------------------------
+
+    def strongest_binders(self, item: Sequence[str]) -> List[Tuple[Item, TruthValue3]]:
+        """Off-path minimal binders, as in the two-valued model."""
+        key = self.schema.check_item(item)
+        product = self.schema.product
+        if key in self._tuples:
+            return [(key, self._tuples[key])]
+        relevant = [
+            other for other in self._tuples if other != key and product.subsumes(other, key)
+        ]
+        pool = set(relevant)
+        minimal = [
+            a
+            for a in relevant
+            if not any(b != a and product.binding_subsumes(a, b) for b in pool)
+        ]
+        minimal.sort(key=product.topological_key)
+        return [(other, self._tuples[other]) for other in minimal]
+
+    def truth_of(self, item: Sequence[str]) -> TruthValue3:
+        """Open-world truth: UNKNOWN when nothing applies; conflicts
+        raise :class:`AmbiguityError` exactly as in the base model."""
+        binders = self.strongest_binders(item)
+        if not binders:
+            return TruthValue3.UNKNOWN
+        values = {truth for _, truth in binders}
+        if len(values) == 1:
+            return binders[0][1]
+        raise AmbiguityError(
+            tuple(item), [(b, t.value) for b, t in binders]
+        )
+
+    def known_extension(self) -> Dict[Item, TruthValue3]:
+        """Every atomic item whose truth is not UNKNOWN."""
+        out: Dict[Item, TruthValue3] = {}
+        seen = set()
+        for item in self._tuples:
+            for atom in self.schema.product.leaves_under(item):
+                if atom in seen:
+                    continue
+                seen.add(atom)
+                truth = self.truth_of(atom)
+                if truth is not TruthValue3.UNKNOWN:
+                    out[atom] = truth
+        return out
+
+    # ------------------------------------------------------------------
+
+    def to_closed_world(self, name: Optional[str] = None) -> HRelation:
+        """The two-valued projection: UNKNOWN-asserted tuples vanish
+        (the closed world already defaults below them to false at the
+        atom level only if nothing else applies — to preserve the
+        cancellation semantics, UNKNOWN tuples are mapped to negated
+        tuples, the closest two-valued reading)."""
+        out = HRelation(self.schema, name=name or self.name)
+        for item, truth in self.tuples():
+            out.assert_item(item, truth=(truth is TruthValue3.TRUE))
+        return out
+
+    @classmethod
+    def from_hrelation(cls, relation: HRelation, name: Optional[str] = None) -> "ThreeValuedRelation":
+        out = cls(relation.schema, name=name or relation.name)
+        for t in relation.tuples():
+            out.assert_item(t.item, TruthValue3.TRUE if t.truth else TruthValue3.FALSE)
+        return out
+
+    def __repr__(self) -> str:
+        return "ThreeValuedRelation({!r}, {} tuples)".format(self.name, len(self))
+
+
+# ----------------------------------------------------------------------
+# Kleene (K3) algebra over three-valued relations
+# ----------------------------------------------------------------------
+#
+# The meet-closure pointwise combinator of repro.core.algebra carries
+# over unchanged: for consistent inputs, the truth at every minimal
+# emitted candidate equals the truth at the items below it, and items
+# under no candidate take the default — which here is UNKNOWN, so the
+# combining function must preserve it: fn(UNKNOWN, …, UNKNOWN) ==
+# UNKNOWN.  Kleene's strong connectives do (U∨U = U, U∧U = U, ¬U = U),
+# which also makes *complement* expressible — something the two-valued
+# closed world cannot offer.
+
+
+def kleene_or(*values: TruthValue3) -> TruthValue3:
+    if TruthValue3.TRUE in values:
+        return TruthValue3.TRUE
+    if all(v is TruthValue3.FALSE for v in values):
+        return TruthValue3.FALSE
+    return TruthValue3.UNKNOWN
+
+
+def kleene_and(*values: TruthValue3) -> TruthValue3:
+    if TruthValue3.FALSE in values:
+        return TruthValue3.FALSE
+    if all(v is TruthValue3.TRUE for v in values):
+        return TruthValue3.TRUE
+    return TruthValue3.UNKNOWN
+
+
+def kleene_not(value: TruthValue3) -> TruthValue3:
+    if value is TruthValue3.TRUE:
+        return TruthValue3.FALSE
+    if value is TruthValue3.FALSE:
+        return TruthValue3.TRUE
+    return TruthValue3.UNKNOWN
+
+
+def combine3(relations, fn, name: str = "combined3") -> "ThreeValuedRelation":
+    """The pointwise combinator over the three-valued lattice.
+
+    ``fn`` maps a tuple of :class:`TruthValue3` to one, and must satisfy
+    ``fn(UNKNOWN, …, UNKNOWN) == UNKNOWN`` (checked) so that items below
+    no candidate keep the open-world default.
+    """
+    from repro.errors import SchemaError
+    from repro.core.algebra import meet_closure
+
+    if not relations:
+        raise SchemaError("combine3 needs at least one relation")
+    schema = relations[0].schema
+    for other in relations[1:]:
+        schema.require_same_as(other.schema, "combine3")
+    unknowns = tuple([TruthValue3.UNKNOWN] * len(relations))
+    if fn(*unknowns) is not TruthValue3.UNKNOWN:
+        raise SchemaError(
+            "combine3 requires fn(UNKNOWN, ..., UNKNOWN) == UNKNOWN"
+        )
+    seeds = set()
+    for relation in relations:
+        seeds.update(item for item, _ in relation.tuples())
+    product = schema.product
+    out = ThreeValuedRelation(schema, name=name)
+    for item in sorted(meet_closure(product, seeds), key=product.topological_key):
+        out.assert_item(item, fn(*(r.truth_of(item) for r in relations)))
+    return out
+
+
+def union3(left: "ThreeValuedRelation", right: "ThreeValuedRelation",
+           name: Optional[str] = None) -> "ThreeValuedRelation":
+    """Kleene disjunction, pointwise on the flat semantics."""
+    return combine3(
+        [left, right], kleene_or, name=name or "{}_or_{}".format(left.name, right.name)
+    )
+
+
+def intersection3(left: "ThreeValuedRelation", right: "ThreeValuedRelation",
+                  name: Optional[str] = None) -> "ThreeValuedRelation":
+    """Kleene conjunction, pointwise on the flat semantics."""
+    return combine3(
+        [left, right], kleene_and, name=name or "{}_and_{}".format(left.name, right.name)
+    )
+
+
+def complement3(relation: "ThreeValuedRelation",
+                name: Optional[str] = None) -> "ThreeValuedRelation":
+    """Kleene negation — well-defined here because the open-world
+    default (UNKNOWN) is its own negation."""
+    return combine3(
+        [relation], kleene_not, name=name or "not_{}".format(relation.name)
+    )

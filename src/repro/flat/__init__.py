@@ -1,0 +1,27 @@
+"""The standard (flat) relational model the paper extends.
+
+This package serves three roles:
+
+* the **upward-compatibility layer** of section 4 — a flat relation is
+  the degenerate hierarchical relation whose every value is atomic, and
+  :func:`from_hrelation` / :func:`to_hrelation` move between the two;
+* the **reference oracle** for the property-based tests: every
+  hierarchical operator must commute with flattening;
+* the **footnote-1 baseline** (``membership``): class membership stored
+  in a separate relation and queried with repeated joins, the design the
+  introduction argues degrades performance.
+"""
+
+from repro.flat.relation import FlatRelation, from_hrelation, to_hrelation
+from repro.flat import algebra
+from repro.flat import io
+from repro.flat.membership import MembershipBaseline
+
+__all__ = [
+    "FlatRelation",
+    "from_hrelation",
+    "to_hrelation",
+    "algebra",
+    "io",
+    "MembershipBaseline",
+]

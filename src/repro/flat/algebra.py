@@ -1,0 +1,133 @@
+"""Textbook relational algebra over :class:`FlatRelation`.
+
+These are the *reference semantics*: the property-based suite asserts,
+for every hierarchical operator ``op``, that
+``flatten(op(R…)) == flat_op(flatten(R)…)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.flat.relation import FlatRelation, Row
+
+
+def _require_same(left: FlatRelation, right: FlatRelation, op: str) -> None:
+    if left.attributes != right.attributes:
+        raise SchemaError(
+            "{} requires identical attribute lists; got {} and {}".format(
+                op, list(left.attributes), list(right.attributes)
+            )
+        )
+
+
+def union(left: FlatRelation, right: FlatRelation, name: str = "union") -> FlatRelation:
+    _require_same(left, right, "union")
+    return FlatRelation(left.attributes, left.rows() | right.rows(), name=name)
+
+
+def intersection(
+    left: FlatRelation, right: FlatRelation, name: str = "intersection"
+) -> FlatRelation:
+    _require_same(left, right, "intersection")
+    return FlatRelation(left.attributes, left.rows() & right.rows(), name=name)
+
+
+def difference(
+    left: FlatRelation, right: FlatRelation, name: str = "difference"
+) -> FlatRelation:
+    _require_same(left, right, "difference")
+    return FlatRelation(left.attributes, left.rows() - right.rows(), name=name)
+
+
+def select(
+    relation: FlatRelation,
+    predicate: Callable[[Dict[str, str]], bool],
+    name: str = "selection",
+) -> FlatRelation:
+    """Selection by arbitrary predicate over an attribute->value dict."""
+    rows = []
+    for row in relation.rows():
+        mapping = dict(zip(relation.attributes, row))
+        if predicate(mapping):
+            rows.append(row)
+    return FlatRelation(relation.attributes, rows, name=name)
+
+
+def select_eq(
+    relation: FlatRelation, conditions: Mapping[str, str], name: str = "selection"
+) -> FlatRelation:
+    """Conjunctive equality selection."""
+    indices = {relation.index_of(a): v for a, v in conditions.items()}
+    rows = [
+        row
+        for row in relation.rows()
+        if all(row[i] == v for i, v in indices.items())
+    ]
+    return FlatRelation(relation.attributes, rows, name=name)
+
+
+def project(
+    relation: FlatRelation, attributes: Sequence[str], name: str = "projection"
+) -> FlatRelation:
+    indices = [relation.index_of(a) for a in attributes]
+    rows = {tuple(row[i] for i in indices) for row in relation.rows()}
+    return FlatRelation(attributes, rows, name=name)
+
+
+def join(left: FlatRelation, right: FlatRelation, name: str = "join") -> FlatRelation:
+    """Natural join on the shared attribute names (hash join)."""
+    shared = [a for a in left.attributes if a in right.attributes]
+    left_idx = [left.index_of(a) for a in shared]
+    right_idx = [right.index_of(a) for a in shared]
+    right_extra = [a for a in right.attributes if a not in shared]
+    right_extra_idx = [right.index_of(a) for a in right_extra]
+
+    buckets: Dict[Row, list] = {}
+    for row in right.rows():
+        key = tuple(row[i] for i in right_idx)
+        buckets.setdefault(key, []).append(tuple(row[i] for i in right_extra_idx))
+
+    out_attributes = list(left.attributes) + right_extra
+    rows = []
+    for row in left.rows():
+        key = tuple(row[i] for i in left_idx)
+        for extra in buckets.get(key, ()):
+            rows.append(tuple(row) + extra)
+    return FlatRelation(out_attributes, rows, name=name)
+
+
+def divide(
+    dividend: FlatRelation, divisor: FlatRelation, name: str = "division"
+) -> FlatRelation:
+    """Relational division: the sub-tuples of ``dividend`` (over its
+    attributes minus the divisor's) paired with *every* divisor row.
+
+    The divisor's attributes must all appear in the dividend.
+    """
+    shared = list(divisor.attributes)
+    for attribute in shared:
+        dividend.index_of(attribute)  # raises SchemaError if missing
+    kept = [a for a in dividend.attributes if a not in set(shared)]
+    if not kept:
+        raise SchemaError("division needs at least one surviving attribute")
+    kept_idx = [dividend.index_of(a) for a in kept]
+    shared_idx = [dividend.index_of(a) for a in shared]
+    needed = divisor.rows()
+    seen: Dict[Row, set] = {}
+    for row in dividend.rows():
+        key = tuple(row[i] for i in kept_idx)
+        seen.setdefault(key, set()).add(tuple(row[i] for i in shared_idx))
+    rows = [key for key, partners in seen.items() if needed <= partners]
+    return FlatRelation(kept, rows, name=name)
+
+
+def rename(
+    relation: FlatRelation, mapping: Mapping[str, str], name: str = "renamed"
+) -> FlatRelation:
+    unknown = set(mapping) - set(relation.attributes)
+    if unknown:
+        raise SchemaError("cannot rename unknown attributes {}".format(sorted(unknown)))
+    attributes = [mapping.get(a, a) for a in relation.attributes]
+    return FlatRelation(attributes, relation.rows(), name=name)

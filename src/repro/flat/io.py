@@ -1,0 +1,118 @@
+"""CSV import/export for relations.
+
+Flat relations read and write plain CSV (header row = attribute names).
+A hierarchical relation exports two ways: its stored *assertions*
+(with a leading ``truth`` column — lossless) or its flat *extension*
+(interoperable with any tool); and a CSV of atoms can be lifted into a
+hierarchical relation over an existing schema.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Sequence
+
+from repro.errors import SchemaError, StorageError
+from repro.flat.relation import FlatRelation
+
+TRUTH_COLUMN = "truth"
+_TRUE_WORDS = {"true", "1", "+", "yes"}
+_FALSE_WORDS = {"false", "0", "-", "no"}
+
+
+def save_flat_csv(relation: FlatRelation, path: str) -> None:
+    """Write a flat relation as CSV with a header row."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.attributes)
+        for row in relation.sorted_rows():
+            writer.writerow(row)
+
+
+def load_flat_csv(path: str, name: str = "csv") -> FlatRelation:
+    """Read a CSV (header row = attributes) into a flat relation."""
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError("empty CSV file: {}".format(path)) from None
+        relation = FlatRelation(header, name=name)
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise StorageError(
+                    "{}:{}: expected {} columns, found {}".format(
+                        path, line_number, len(header), len(row)
+                    )
+                )
+            relation.add(row)
+        return relation
+
+
+def save_assertions_csv(relation, path: str) -> None:
+    """Write a hierarchical relation's stored tuples: ``truth`` column
+    first, then one column per attribute.  Lossless."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([TRUTH_COLUMN, *relation.schema.attributes])
+        for t in relation.tuples():
+            writer.writerow(["true" if t.truth else "false", *t.item])
+
+
+def load_assertions_csv(path: str, schema, name: str = "csv"):
+    """Rebuild a hierarchical relation from :func:`save_assertions_csv`
+    output (values must be nodes of the schema's hierarchies)."""
+    from repro.core.relation import HRelation
+
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError("empty CSV file: {}".format(path)) from None
+        if not header or header[0] != TRUTH_COLUMN:
+            raise StorageError(
+                "{}: first column must be {!r}".format(path, TRUTH_COLUMN)
+            )
+        if tuple(header[1:]) != tuple(schema.attributes):
+            raise SchemaError(
+                "CSV attributes {} do not match schema {}".format(
+                    header[1:], list(schema.attributes)
+                )
+            )
+        relation = HRelation(schema, name=name)
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            word = row[0].strip().lower()
+            if word in _TRUE_WORDS:
+                truth = True
+            elif word in _FALSE_WORDS:
+                truth = False
+            else:
+                raise StorageError(
+                    "{}:{}: unreadable truth value {!r}".format(path, line_number, row[0])
+                )
+            relation.assert_item(tuple(row[1:]), truth=truth)
+        return relation
+
+
+def save_extension_csv(relation, path: str) -> None:
+    """Write a hierarchical relation's flat extension (positive atoms
+    only) — the interoperable export."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attributes)
+        for atom in sorted(relation.extension()):
+            writer.writerow(atom)
+
+
+def load_extension_csv(path: str, schema, name: str = "csv"):
+    """Lift a CSV of atoms into a hierarchical relation (one positive
+    tuple per row) — upward compatibility from files."""
+    from repro.flat.relation import to_hrelation
+
+    flat = load_flat_csv(path, name=name)
+    return to_hrelation(flat, schema, name=name)

@@ -1,0 +1,73 @@
+"""The footnote-1 baseline: membership as data, queried by joins.
+
+Section 1, footnote 1: "One could, of course, store the class
+membership in a separate relation and keep only a single tuple with a
+class name … in the standard relational model.  The problem then is
+that repeated joins are required, causing a degradation in
+performance."
+
+:class:`MembershipBaseline` implements exactly that design so the P2
+benchmark can measure the degradation: the hierarchy's transitive
+membership is materialised into an ``isa(member, class)`` flat relation,
+properties are flat relations of class names, and every query is a join.
+Exceptions (negated tuples) are out of scope here, as they are for the
+footnote's strawman.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.flat import algebra
+from repro.flat.relation import FlatRelation
+from repro.hierarchy.graph import Hierarchy
+
+
+class MembershipBaseline:
+    """Class membership in a relation; property queries via joins."""
+
+    def __init__(self, hierarchy: Hierarchy) -> None:
+        self.hierarchy = hierarchy
+        rows = []
+        for node in hierarchy.nodes():
+            for descendant in hierarchy.descendants(node):
+                rows.append((descendant, node))
+        #: member -> every class it transitively belongs to (incl. itself)
+        self.isa = FlatRelation(["member", "klass"], rows, name="isa")
+        self._properties: Dict[str, FlatRelation] = {}
+
+    def set_property(self, name: str, classes: Sequence[str]) -> None:
+        """Record that every member of each class has the property —
+        one row per class name, the 'single tuple with a class name'."""
+        self._properties[name] = FlatRelation(
+            ["klass"], [(klass,) for klass in classes], name=name
+        )
+
+    def property_relation(self, name: str) -> FlatRelation:
+        return self._properties[name]
+
+    def members_with_property(self, name: str) -> FlatRelation:
+        """The flat extension of the property, via the join the footnote
+        complains about: ``isa ⋈ property`` projected onto member."""
+        joined = algebra.join(self.isa, self._properties[name])
+        return algebra.project(joined, ["member"], name="{}_members".format(name))
+
+    def has_property(self, member: str, name: str) -> bool:
+        """Point query, still by join-then-probe (the baseline has no
+        shortcut: that is its point)."""
+        mine = algebra.select_eq(self.isa, {"member": member})
+        joined = algebra.join(mine, self._properties[name])
+        return len(joined) > 0
+
+    def leaf_members_with_property(self, name: str) -> Set[str]:
+        """Leaves only, to compare against HRelation.extension()."""
+        out: Set[str] = set()
+        for (member,) in self.members_with_property(name).rows():
+            if self.hierarchy.is_leaf(member):
+                out.add(member)
+        return out
+
+    def storage_rows(self, name: str) -> int:
+        """Total stored rows backing the property: membership plus the
+        property relation itself."""
+        return len(self.isa) + len(self._properties[name])

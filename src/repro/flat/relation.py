@@ -1,0 +1,131 @@
+"""Flat relations: plain sets of atomic tuples over named attributes.
+
+A deliberately classical implementation — a relation is a frozenset-like
+collection of value tuples plus an attribute list — so that the
+hierarchical model can be tested against textbook semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+
+from repro.errors import SchemaError
+
+Row = Tuple[str, ...]
+
+
+class FlatRelation:
+    """An immutable-ish standard relation.
+
+    Examples
+    --------
+    >>> r = FlatRelation(["who"], [("tweety",), ("peter",)], name="flies")
+    >>> len(r)
+    2
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[str]] = (),
+        name: str = "flat",
+    ) -> None:
+        if not attributes:
+            raise SchemaError("a flat relation needs at least one attribute")
+        names = list(attributes)
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate attribute names: {}".format(names))
+        self.attributes: Tuple[str, ...] = tuple(names)
+        self.name = name
+        self._rows: Set[Row] = set()
+        for row in rows:
+            self.add(row)
+
+    # ------------------------------------------------------------------
+
+    def add(self, row: Sequence[str]) -> None:
+        values = tuple(row)
+        if len(values) != len(self.attributes):
+            raise SchemaError(
+                "row {} has arity {}, expected {}".format(
+                    values, len(values), len(self.attributes)
+                )
+            )
+        self._rows.add(values)
+
+    def discard(self, row: Sequence[str]) -> None:
+        self._rows.discard(tuple(row))
+
+    def rows(self) -> FrozenSet[Row]:
+        return frozenset(self._rows)
+
+    def sorted_rows(self) -> List[Row]:
+        return sorted(self._rows)
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                "unknown attribute {!r}; relation has {}".format(
+                    attribute, list(self.attributes)
+                )
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self._rows))
+
+    def __contains__(self, row: object) -> bool:
+        return tuple(row) in self._rows  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FlatRelation)
+            and self.attributes == other.attributes
+            and self._rows == other._rows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, frozenset(self._rows)))
+
+    def copy(self, name: str | None = None) -> "FlatRelation":
+        return FlatRelation(self.attributes, self._rows, name=name or self.name)
+
+    def __repr__(self) -> str:
+        return "FlatRelation({!r}, {} rows, attrs={})".format(
+            self.name, len(self), list(self.attributes)
+        )
+
+
+def from_hrelation(relation, name: str | None = None) -> FlatRelation:
+    """The unique equivalent flat relation of a hierarchical relation:
+    its atomic extension (section 2's equivalence)."""
+    return FlatRelation(
+        relation.schema.attributes,
+        relation.extension(),
+        name=name or relation.name,
+    )
+
+
+def to_hrelation(flat: FlatRelation, schema, name: str | None = None):
+    """Lift a flat relation into the hierarchical model unchanged
+    (upward compatibility): one positive tuple per row.
+
+    Every row value must be a node of the corresponding hierarchy in
+    ``schema`` (typically a leaf; class names are accepted and then mean
+    universal quantification, which is the model's whole point)."""
+    from repro.core.relation import HRelation
+
+    if tuple(flat.attributes) != tuple(schema.attributes):
+        raise SchemaError(
+            "schema attributes {} do not match flat attributes {}".format(
+                list(schema.attributes), list(flat.attributes)
+            )
+        )
+    out = HRelation(schema, name=name or flat.name)
+    for row in flat.sorted_rows():
+        out.assert_item(row, truth=True)
+    return out

@@ -1,0 +1,38 @@
+"""Front ends over the data model.
+
+Section 2.1: "An appropriate front-end to the database could choose to
+issue warnings when an exception occurs, completely prevent exceptions,
+freely permit exceptions, or do one of the three depending on factors
+such as the class involved" — that is :class:`ExceptionPolicy` /
+:class:`GuardedRelation`.
+
+Section 3.1: "A front end can easily be added to provide any desired
+conflict resolution semantics, including left precedence, by compiling
+a user generated update request into a transaction that maintains
+consistency by performing additional updates for conflict resolution" —
+that is :class:`PrecedenceFrontend`.
+
+Section 3.1 (Fig. 4 discussion): automatic *explicit cancellation* for
+unique properties ("a front end … can generate the negation of the
+'inherited' tuple automatically whenever an exception is stated") —
+that is :func:`assert_unique_property`.
+
+And the conclusion's target application — "the hierarchical relational
+model can be used as a basis for implementing a frame-based knowledge
+representation system" — is :class:`FrameSystem`.
+"""
+
+from repro.frontend.policies import ExceptionPolicy, GuardedRelation, ExceptionWarning
+from repro.frontend.resolution import PrecedenceFrontend, assert_unique_property
+from repro.frontend.frames import FrameSystem
+from repro.frontend.semantic_net import SemanticNet
+
+__all__ = [
+    "ExceptionPolicy",
+    "GuardedRelation",
+    "ExceptionWarning",
+    "PrecedenceFrontend",
+    "assert_unique_property",
+    "FrameSystem",
+    "SemanticNet",
+]

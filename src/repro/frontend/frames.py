@@ -1,0 +1,117 @@
+"""A frame-based knowledge representation front end.
+
+The paper's conclusion: "The hierarchical relational model can be used
+as a basis for implementing a frame-based knowledge representation
+system."  :class:`FrameSystem` is that system: frames are classes in
+one hierarchy, slots are binary hierarchical relations ``(frame,
+value)``, slot values inherit down the frame taxonomy, and slot
+overrides compile into the explicit cancellations the model requires.
+
+Examples
+--------
+>>> ks = FrameSystem("zoo")
+>>> ks.define_frame("elephant")
+>>> ks.define_frame("royal_elephant", is_a=["elephant"])
+>>> ks.define_individual("clyde", is_a=["royal_elephant"])
+>>> ks.set_slot("elephant", "color", "grey")
+>>> ks.set_slot("royal_elephant", "color", "white")
+>>> ks.get_slot("clyde", "color")
+'white'
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.hierarchy.graph import Hierarchy
+from repro.core.relation import HRelation
+from repro.frontend.resolution import assert_unique_property
+
+
+class FrameSystem:
+    """Frames with single-valued, inheritable, overridable slots."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.frames = Hierarchy("{}_frames".format(name), root="thing")
+        self._slot_relations: Dict[str, HRelation] = {}
+        self._slot_values: Dict[str, Hierarchy] = {}
+
+    # ------------------------------------------------------------------
+    # taxonomy
+    # ------------------------------------------------------------------
+
+    def define_frame(self, name: str, is_a: Sequence[str] | None = None) -> None:
+        """A frame (class); ``is_a`` lists parent frames (default: root)."""
+        self.frames.add_class(name, parents=list(is_a) if is_a else None)
+
+    def define_individual(self, name: str, is_a: Sequence[str]) -> None:
+        """An individual (instance) belonging to the listed frames."""
+        if not is_a:
+            raise ReproError("an individual needs at least one frame")
+        self.frames.add_instance(name, parents=list(is_a))
+
+    def is_a(self, specific: str, general: str) -> bool:
+        return self.frames.subsumes(general, specific)
+
+    # ------------------------------------------------------------------
+    # slots
+    # ------------------------------------------------------------------
+
+    def _slot(self, slot: str) -> HRelation:
+        if slot not in self._slot_relations:
+            values = Hierarchy("{}_{}_values".format(self.name, slot), root="any")
+            relation = HRelation(
+                [("frame", self.frames), ("value", values)],
+                name="{}.{}".format(self.name, slot),
+            )
+            self._slot_values[slot] = values
+            self._slot_relations[slot] = relation
+        return self._slot_relations[slot]
+
+    def set_slot(self, frame: str, slot: str, value: str) -> None:
+        """Set a slot value on a frame or individual.
+
+        Inherited values are cancelled automatically (the Fig. 4
+        pattern), so overriding just works.
+        """
+        relation = self._slot(slot)
+        values = self._slot_values[slot]
+        if value not in values:
+            values.add_instance(value)
+        assert_unique_property(relation, frame, value)
+
+    def get_slot(self, frame: str, slot: str) -> Optional[str]:
+        """The slot value ``frame`` holds or inherits; ``None`` if unset."""
+        if slot not in self._slot_relations:
+            return None
+        relation = self._slot_relations[slot]
+        values = self._slot_values[slot]
+        for value in values.leaves():
+            if relation.truth_of((frame, value)):
+                return value
+        return None
+
+    def slot_justification(self, frame: str, slot: str, value: str):
+        """Why (or why not) the frame holds the value — the model's
+        justification machinery, verbatim."""
+        return self._slot(slot).justify((frame, value))
+
+    def individuals_with(self, slot: str, value: str) -> List[str]:
+        """Every individual whose slot resolves to ``value``."""
+        if slot not in self._slot_relations:
+            return []
+        relation = self._slot_relations[slot]
+        out = []
+        for individual in self.frames.leaves():
+            if relation.truth_of((individual, value)):
+                out.append(individual)
+        return sorted(out)
+
+    def slots(self) -> List[str]:
+        return sorted(self._slot_relations)
+
+    def slot_relation(self, slot: str) -> HRelation:
+        """The backing hierarchical relation (for inspection/rendering)."""
+        return self._slot(slot)

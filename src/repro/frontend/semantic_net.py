@@ -1,0 +1,131 @@
+"""A semantic-net front end.
+
+Section 2.1 compares the model with the semantic nets of Fahlman's NETL
+and Shastri [21, 26]: those systems make "the set of flying things … as
+much a class as, say, birds", while this model separates the *taxonomy*
+(an IS-A hierarchy) from *associations* (relations over it) — and wins
+multi-attribute inheritance "without an attendant geometric growth in
+the size of the semantic net".
+
+:class:`SemanticNet` offers the net-style API — concepts, IS-A links,
+typed associations with exceptions — storing every association verb as
+one hierarchical relation over (subject taxonomy × object taxonomy).
+Queries inherit down both ends at once, which is exactly the product-
+hierarchy binding the nets could not express without squaring their
+node count.
+
+Examples
+--------
+>>> net = SemanticNet("zoo")
+>>> net.concept("bird")
+>>> net.concept("penguin", isa=["bird"])
+>>> net.individual("tweety", isa=["bird"])
+>>> net.concept("worm")
+>>> net.assert_link("bird", "eats", "worm")
+>>> net.ask("tweety", "eats", "worm")
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.hierarchy.graph import Hierarchy
+from repro.core import binding as _binding
+from repro.core.relation import HRelation
+
+
+class SemanticNet:
+    """Concepts in one taxonomy; typed associations between them."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.taxonomy = Hierarchy("{}_things".format(name), root="thing")
+        self._links: Dict[str, HRelation] = {}
+
+    # ------------------------------------------------------------------
+    # taxonomy
+    # ------------------------------------------------------------------
+
+    def concept(self, name: str, isa: Sequence[str] | None = None) -> None:
+        """Add a concept node; ``isa`` lists its parent concepts."""
+        self.taxonomy.add_class(name, parents=list(isa) if isa else None)
+
+    def individual(self, name: str, isa: Sequence[str]) -> None:
+        """Add an individual (a leaf concept)."""
+        if not isa:
+            raise ReproError("an individual needs at least one concept")
+        self.taxonomy.add_instance(name, parents=list(isa))
+
+    def isa(self, specific: str, general: str) -> bool:
+        return self.taxonomy.subsumes(general, specific)
+
+    # ------------------------------------------------------------------
+    # associations
+    # ------------------------------------------------------------------
+
+    def _relation(self, verb: str) -> HRelation:
+        if verb not in self._links:
+            self._links[verb] = HRelation(
+                [("subject", self.taxonomy), ("object", self.taxonomy)],
+                name="{}.{}".format(self.name, verb),
+            )
+        return self._links[verb]
+
+    def assert_link(
+        self, subject: str, verb: str, obj: str, positive: bool = True
+    ) -> None:
+        """Assert ``subject --verb--> object``; class-level subjects and
+        objects quantify universally, ``positive=False`` is an exception
+        ("penguins do not eat worms")."""
+        self._relation(verb).assert_item((subject, obj), truth=positive)
+
+    def retract_link(self, subject: str, verb: str, obj: str) -> None:
+        self._relation(verb).retract((subject, obj))
+
+    def ask(self, subject: str, verb: str, obj: str) -> bool:
+        """Does the association hold, inheriting down both ends?"""
+        if verb not in self._links:
+            return False
+        return self._links[verb].truth_of((subject, obj))
+
+    def explain(self, subject: str, verb: str, obj: str):
+        """The justification for :meth:`ask` (binding deciders etc.)."""
+        return self._relation(verb).justify((subject, obj))
+
+    def objects_of(self, subject: str, verb: str) -> List[str]:
+        """Every leaf object the subject is linked to (inherited links
+        included, exceptions excluded)."""
+        if verb not in self._links:
+            return []
+        relation = self._links[verb]
+        out = []
+        for obj in self.taxonomy.leaves():
+            if relation.truth_of((subject, obj)):
+                out.append(obj)
+        return sorted(out)
+
+    def subjects_of(self, verb: str, obj: str) -> List[str]:
+        """Every leaf subject linked to the object."""
+        if verb not in self._links:
+            return []
+        relation = self._links[verb]
+        out = []
+        for subject in self.taxonomy.leaves():
+            if relation.truth_of((subject, obj)):
+                out.append(subject)
+        return sorted(out)
+
+    def verbs(self) -> List[str]:
+        return sorted(self._links)
+
+    def link_relation(self, verb: str) -> HRelation:
+        """The backing relation, for algebra/justification/rendering."""
+        return self._relation(verb)
+
+    def stored_link_count(self) -> int:
+        """Total stored tuples across all verbs — the 'size of the
+        semantic net', which stays proportional to what was *said*, not
+        to the product of the taxonomy with itself."""
+        return sum(len(r) for r in self._links.values())

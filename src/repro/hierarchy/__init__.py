@@ -1,0 +1,28 @@
+"""Hierarchy graphs: the taxonomies the data model inherits over.
+
+This package implements section 2.1's *hierarchy graph* — a rooted
+directed acyclic graph with the domain at the root, edges from each more
+general class to its more specific derived classes, and instances at the
+leaves — together with the graph algorithms the paper's constructions
+need (topological order, reachability, transitive reduction, the
+node-elimination procedure) and the lazily-evaluated cartesian *product*
+hierarchy of section 2.2.
+"""
+
+from repro.hierarchy.graph import Hierarchy
+from repro.hierarchy.product import ProductHierarchy
+from repro.hierarchy.builder import (
+    HierarchyBuilder,
+    hierarchy_from_dict,
+    hierarchy_from_edges,
+)
+from repro.hierarchy import algorithms
+
+__all__ = [
+    "Hierarchy",
+    "ProductHierarchy",
+    "HierarchyBuilder",
+    "hierarchy_from_dict",
+    "hierarchy_from_edges",
+    "algorithms",
+]

@@ -1,0 +1,290 @@
+"""Pure graph algorithms over adjacency-dict digraphs.
+
+Every function here operates on a plain ``dict[node, set[node] | list]``
+mapping each node to its successors (children).  Nothing in this module
+knows about classes, tuples, or relations; the :class:`~repro.hierarchy.
+graph.Hierarchy` and the binding-graph machinery build on these
+primitives.
+
+The one paper-specific algorithm is :func:`eliminate_node`, the *node
+elimination procedure* of section 2.1, used to derive subsumption graphs
+and tuple-binding graphs from a hierarchy graph.  Its ``keep_redundant``
+flag switches between the paper's default behaviour (off-path
+preemption: never introduce an edge parallel to an existing path) and
+the appendix's on-path variant (always reconnect predecessor to
+successor).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import CycleError
+
+Node = Hashable
+Digraph = Dict[Node, Set[Node]]
+
+
+def copy_graph(graph: Dict[Node, Iterable[Node]]) -> Digraph:
+    """Deep-copy an adjacency mapping into ``dict[node, set]`` form.
+
+    Nodes that appear only as successors are promoted to keys so that the
+    result is *closed*: every node mentioned anywhere is a key.
+    """
+    out: Digraph = {node: set(succs) for node, succs in graph.items()}
+    for succs in list(out.values()):
+        for node in succs:
+            out.setdefault(node, set())
+    return out
+
+
+def invert(graph: Dict[Node, Iterable[Node]]) -> Digraph:
+    """Return the reverse graph (edges flipped)."""
+    out: Digraph = {node: set() for node in graph}
+    for node, succs in graph.items():
+        for succ in succs:
+            out.setdefault(succ, set()).add(node)
+            out.setdefault(node, set())
+    return out
+
+
+def topological_order(
+    graph: Dict[Node, Iterable[Node]],
+    tie_break: Sequence[Node] | None = None,
+) -> List[Node]:
+    """Kahn topological order of ``graph``; raises :class:`CycleError` on a cycle.
+
+    ``tie_break`` fixes the order in which same-depth nodes are emitted
+    (first-come in the sequence wins), which makes every downstream
+    construction — subsumption graphs, consolidation — deterministic.
+    """
+    closed = copy_graph(graph)
+    indegree: Dict[Node, int] = {node: 0 for node in closed}
+    for succs in closed.values():
+        for succ in succs:
+            indegree[succ] += 1
+    if tie_break is None:
+        rank = {node: i for i, node in enumerate(closed)}
+    else:
+        rank = {node: i for i, node in enumerate(tie_break)}
+        for node in closed:
+            rank.setdefault(node, len(rank))
+
+    ready = sorted((node for node, deg in indegree.items() if deg == 0), key=rank.__getitem__)
+    queue = deque(ready)
+    order: List[Node] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        newly_ready = []
+        for succ in closed[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                newly_ready.append(succ)
+        for succ in sorted(newly_ready, key=rank.__getitem__):
+            queue.append(succ)
+    if len(order) != len(closed):
+        stuck = sorted(
+            (str(node) for node, deg in indegree.items() if deg > 0), key=str
+        )
+        raise CycleError("graph contains a cycle through: {}".format(", ".join(stuck)))
+    return order
+
+
+def find_cycle(graph: Dict[Node, Iterable[Node]]) -> List[Node] | None:
+    """Return one directed cycle as a node list, or ``None`` if acyclic."""
+    closed = copy_graph(graph)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in closed}
+    parent: Dict[Node, Node] = {}
+    for start in closed:
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(closed[start]))]
+        color[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if color[succ] == WHITE:
+                    color[succ] = GREY
+                    parent[succ] = node
+                    stack.append((succ, iter(closed[succ])))
+                    advanced = True
+                    break
+                if color[succ] == GREY:
+                    cycle = [succ, node]
+                    walker = node
+                    while walker != succ:
+                        walker = parent[walker]
+                        cycle.append(walker)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+        # fallthrough: this component is acyclic
+    return None
+
+
+def reachable_from(graph: Dict[Node, Iterable[Node]], start: Node) -> Set[Node]:
+    """All nodes reachable from ``start`` (including ``start`` itself)."""
+    closed = copy_graph(graph)
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        node = queue.popleft()
+        for succ in closed.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen
+
+
+def has_path(
+    graph: Dict[Node, Iterable[Node]],
+    source: Node,
+    target: Node,
+    avoiding: Iterable[Node] = (),
+) -> bool:
+    """True iff a directed path ``source -> target`` exists that visits no
+    node in ``avoiding`` (endpoints are never excluded).
+
+    The ``avoiding`` parameter is what makes on-path preemption checks
+    ("does every path from j to x pass through i?") one call:
+    ``not has_path(g, j, x, avoiding=[i])``.
+    """
+    if source == target:
+        return True
+    banned = set(avoiding) - {source, target}
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for succ in graph.get(node, ()):
+            if succ == target:
+                return True
+            if succ not in seen and succ not in banned:
+                seen.add(succ)
+                queue.append(succ)
+    return False
+
+
+def transitive_closure(graph: Dict[Node, Iterable[Node]]) -> Digraph:
+    """Closure: ``u -> v`` for every distinct pair with a path ``u ->* v``."""
+    closed = copy_graph(graph)
+    order = topological_order(closed)
+    reach: Dict[Node, Set[Node]] = {}
+    for node in reversed(order):
+        acc: Set[Node] = set()
+        for succ in closed[node]:
+            acc.add(succ)
+            acc |= reach[succ]
+        reach[node] = acc
+    return reach
+
+
+def transitive_reduction(graph: Dict[Node, Iterable[Node]]) -> Digraph:
+    """The unique transitive reduction of a DAG.
+
+    The paper's off-path preemption assumes the hierarchy is its own
+    transitive reduction ("we wish to retain only the transitive
+    reduction of the hierarchy graph", appendix footnote 7); this is how
+    a caller normalises an arbitrary DAG into that form.
+    """
+    closed = copy_graph(graph)
+    redundant = redundant_edges(closed)
+    return {
+        node: {succ for succ in succs if (node, succ) not in redundant}
+        for node, succs in closed.items()
+    }
+
+
+def redundant_edges(graph: Dict[Node, Iterable[Node]]) -> Set[Tuple[Node, Node]]:
+    """Edges ``(u, v)`` for which a longer path ``u ->* v`` also exists.
+
+    Such edges change binding semantics (appendix: a redundant link from
+    Penguin to Pamela creates a conflict at Pamela), so the hierarchy
+    reports them and the binding machinery falls back from the fast
+    subsumption-order path to full node elimination when any exist.
+    """
+    closed = copy_graph(graph)
+    reach = transitive_closure(closed)
+    redundant: Set[Tuple[Node, Node]] = set()
+    for node, succs in closed.items():
+        for succ in succs:
+            for other in succs:
+                if other != succ and succ in reach[other]:
+                    redundant.add((node, succ))
+                    break
+    return redundant
+
+
+def induced_subgraph(graph: Dict[Node, Iterable[Node]], keep: Iterable[Node]) -> Digraph:
+    """The subgraph on ``keep`` with only edges between kept nodes."""
+    kept = set(keep)
+    return {node: set(graph.get(node, ())) & kept for node in kept}
+
+
+def eliminate_node(graph: Digraph, node: Node, keep_redundant: bool = False) -> None:
+    """The paper's node-elimination procedure, in place (section 2.1).
+
+    Delete ``node`` and its incident edges; then for each immediate
+    predecessor ``j`` (taken in *reverse* topological order) and each
+    immediate successor ``k`` (taken in topological order), add an edge
+    ``j -> k`` unless a path ``j ->* k`` already exists after the
+    deletion.  The prescribed processing order, plus the path check,
+    guarantees no redundant edge is introduced.
+
+    With ``keep_redundant=True`` the path check is skipped: every
+    predecessor is wired to every successor, the construction the
+    appendix prescribes for *on-path* preemption.
+    """
+    preds = [p for p, succs in graph.items() if node in succs]
+    succs = list(graph.get(node, ()))
+    for p in preds:
+        graph[p].discard(node)
+    graph.pop(node, None)
+    if not preds or not succs:
+        return
+    order = topological_order(graph)
+    rank = {n: i for i, n in enumerate(order)}
+    preds.sort(key=rank.__getitem__, reverse=True)
+    succs.sort(key=rank.__getitem__)
+    for j in preds:
+        for k in succs:
+            if keep_redundant or not has_path(graph, j, k):
+                graph[j].add(k)
+
+
+def eliminate_nodes(
+    graph: Digraph,
+    nodes: Iterable[Node],
+    keep_redundant: bool = False,
+) -> Digraph:
+    """Eliminate ``nodes`` one at a time, in topological order, returning
+    the mutated graph (a convenience wrapper over :func:`eliminate_node`).
+
+    Eliminating in topological order keeps the procedure deterministic;
+    when the input graph is transitively reduced the result is
+    order-independent anyway.
+    """
+    rank = {n: i for i, n in enumerate(topological_order(graph))}
+    for node in sorted(nodes, key=rank.__getitem__):
+        eliminate_node(graph, node, keep_redundant=keep_redundant)
+    return graph
+
+
+def immediate_predecessors(graph: Dict[Node, Iterable[Node]], node: Node) -> Set[Node]:
+    """The set of nodes with an edge into ``node``."""
+    return {p for p, succs in graph.items() if node in succs}
+
+
+def is_antichain(
+    ancestors_of: Dict[Node, Set[Node]], nodes: Iterable[Node]
+) -> bool:
+    """True iff no element of ``nodes`` is an ancestor of another, given a
+    precomputed strict-ancestor map."""
+    pool = set(nodes)
+    return all(not (ancestors_of[n] & pool) for n in pool)

@@ -1,0 +1,144 @@
+"""Convenience constructors for hierarchies.
+
+Building a taxonomy node by node is verbose; these helpers let examples,
+tests, and workloads declare one as a nested dict or an edge list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.errors import HierarchyError
+from repro.hierarchy.graph import Hierarchy
+
+NestedSpec = Mapping[str, Union["NestedSpec", Sequence[str], None]]
+
+
+class HierarchyBuilder:
+    """Fluent builder for a :class:`Hierarchy`.
+
+    Examples
+    --------
+    >>> h = (HierarchyBuilder("animal")
+    ...      .klass("bird")
+    ...      .klass("penguin", under="bird")
+    ...      .instance("tweety", under="bird")
+    ...      .build())
+    >>> sorted(h.children("bird"))
+    ['penguin', 'tweety']
+    """
+
+    def __init__(self, name: str, root: str | None = None) -> None:
+        self._hierarchy = Hierarchy(name, root=root)
+
+    def klass(self, name: str, under: Union[str, Sequence[str], None] = None) -> "HierarchyBuilder":
+        """Add a class; ``under`` may be a single parent or a sequence."""
+        self._hierarchy.add_class(name, parents=self._parents(under))
+        return self
+
+    def instance(self, name: str, under: Union[str, Sequence[str], None] = None) -> "HierarchyBuilder":
+        """Add an instance (leaf)."""
+        self._hierarchy.add_instance(name, parents=self._parents(under))
+        return self
+
+    def edge(self, parent: str, child: str) -> "HierarchyBuilder":
+        """Add an extra subclass edge between existing nodes (multiple
+        inheritance)."""
+        self._hierarchy.add_edge(parent, child)
+        return self
+
+    def prefer(self, stronger: str, over: str) -> "HierarchyBuilder":
+        """Add an appendix-style preference edge: ``stronger`` preempts
+        ``over`` wherever both apply."""
+        self._hierarchy.add_preference_edge(over, stronger)
+        return self
+
+    def build(self) -> Hierarchy:
+        return self._hierarchy
+
+    @staticmethod
+    def _parents(under: Union[str, Sequence[str], None]) -> Sequence[str] | None:
+        if under is None:
+            return None
+        if isinstance(under, str):
+            return [under]
+        return list(under)
+
+
+def hierarchy_from_dict(
+    name: str,
+    spec: NestedSpec,
+    root: str | None = None,
+    instances: Iterable[str] = (),
+) -> Hierarchy:
+    """Build a hierarchy from a nested mapping.
+
+    Each key is a class placed under the current parent; its value is
+    either another mapping (sub-classes), a sequence of leaf names, or
+    ``None``.  Names listed in ``instances`` are registered as instances
+    rather than childless classes.  A name may appear under several
+    parents; the second and later appearances become extra edges
+    (multiple inheritance).
+
+    Examples
+    --------
+    >>> h = hierarchy_from_dict("animal", {
+    ...     "bird": {"canary": ["tweety"], "penguin": None},
+    ... }, instances=["tweety"])
+    >>> h.subsumes("bird", "tweety")
+    True
+    """
+    hierarchy = Hierarchy(name, root=root)
+    instance_names = set(instances)
+
+    def place(child: str, parent: str) -> None:
+        if child in hierarchy:
+            hierarchy.add_edge(parent, child)
+        elif child in instance_names:
+            hierarchy.add_instance(child, parents=[parent])
+        else:
+            hierarchy.add_class(child, parents=[parent])
+
+    def walk(mapping: NestedSpec, parent: str) -> None:
+        for child, sub in mapping.items():
+            place(child, parent)
+            if sub is None:
+                continue
+            if isinstance(sub, Mapping):
+                walk(sub, child)
+            else:
+                for leaf in sub:
+                    place(leaf, child)
+
+    walk(spec, hierarchy.root)
+    return hierarchy
+
+
+def hierarchy_from_edges(
+    name: str,
+    edges: Iterable[Tuple[str, str]],
+    root: str | None = None,
+    instances: Iterable[str] = (),
+) -> Hierarchy:
+    """Build a hierarchy from ``(parent, child)`` pairs.
+
+    Parents must be introduced before they are used as parents, except
+    for the root, which exists from the start.  Every node reachable
+    nowhere from the root is rejected, keeping the graph rooted.
+    """
+    hierarchy = Hierarchy(name, root=root)
+    instance_names = set(instances)
+    for parent, child in edges:
+        if parent not in hierarchy:
+            raise HierarchyError(
+                "edge ({0!r}, {1!r}) uses parent {0!r} before it was defined".format(
+                    parent, child
+                )
+            )
+        if child in hierarchy:
+            hierarchy.add_edge(parent, child)
+        elif child in instance_names:
+            hierarchy.add_instance(child, parents=[parent])
+        else:
+            hierarchy.add_class(child, parents=[parent])
+    return hierarchy

@@ -1,0 +1,426 @@
+"""The hierarchy graph of section 2.1.
+
+A :class:`Hierarchy` is a rooted directed acyclic graph over string-named
+nodes.  The root is the attribute *domain* itself; an edge runs from each
+more general class to each more specific class derived from it; declared
+*instances* sit at the leaves.  Following the paper (footnote 3) an
+instance is just a singleton class: membership (``∈``) and subset (``⊆``)
+are deliberately conflated, and both are answered by graph reachability.
+
+Two structural rules from section 3.1 are enforced:
+
+* **type irredundancy** — the graph must stay acyclic; any mutation that
+  would close a cycle raises :class:`~repro.errors.CycleError`;
+* every node other than the root has at least one parent (nodes are
+  created under the root by default), so the graph stays rooted.
+
+The appendix's *preference edges* — special edges that induce binding
+strength without asserting set inclusion — are stored separately: they
+participate in the *binding* order (used by preemption) but never in
+membership, descendants, or explication.
+
+Performance notes.  Reachability queries dominate every downstream
+algorithm, so the hierarchy keeps lazily-built caches: a topological
+order, per-node ancestor/descendant bitsets (Python ints indexed by node
+rank), one family for the membership graph and one for the binding graph
+(membership plus preference edges).  Caches are invalidated by a version
+counter bumped on every mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.errors import (
+    CycleError,
+    DuplicateNodeError,
+    HierarchyError,
+    UnknownNodeError,
+)
+from repro.hierarchy import algorithms
+
+
+class Hierarchy:
+    """A rooted DAG of classes with instances at the leaves.
+
+    Parameters
+    ----------
+    name:
+        A label for the domain, e.g. ``"animal"``.  Used in rendering and
+        schema error messages.
+    root:
+        The name of the root node (the whole domain).  Defaults to the
+        hierarchy name.
+
+    Examples
+    --------
+    >>> h = Hierarchy("animal")
+    >>> h.add_class("bird")
+    >>> h.add_class("penguin", parents=["bird"])
+    >>> h.add_instance("tweety", parents=["bird"])
+    >>> h.subsumes("bird", "tweety")
+    True
+    """
+
+    def __init__(self, name: str, root: str | None = None) -> None:
+        if not name:
+            raise HierarchyError("hierarchy name must be non-empty")
+        self.name = name
+        self.root = root if root is not None else name
+        self._children: Dict[str, Set[str]] = {self.root: set()}
+        self._parents: Dict[str, Set[str]] = {self.root: set()}
+        self._instances: Set[str] = set()
+        self._pref_children: Dict[str, Set[str]] = {}
+        self._pref_parents: Dict[str, Set[str]] = {}
+        self._insertion: List[str] = [self.root]
+        self._version = 0
+        self._cache_version = -1
+        self._cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_class(self, name: str, parents: Sequence[str] | None = None) -> None:
+        """Add a class under ``parents`` (default: directly under the root)."""
+        self._add_node(name, parents)
+
+    def add_instance(self, name: str, parents: Sequence[str] | None = None) -> None:
+        """Add an instance (a leaf).  Instances may not later gain children."""
+        self._add_node(name, parents)
+        self._instances.add(name)
+
+    def _add_node(self, name: str, parents: Sequence[str] | None) -> None:
+        if not name:
+            raise HierarchyError("node name must be non-empty")
+        if name in self._children:
+            raise DuplicateNodeError(
+                "node {!r} already exists in hierarchy {!r}".format(name, self.name)
+            )
+        parent_list = list(parents) if parents is not None else [self.root]
+        if not parent_list:
+            raise HierarchyError(
+                "node {!r} needs at least one parent (the hierarchy is rooted)".format(name)
+            )
+        for parent in parent_list:
+            self._require(parent)
+            if parent in self._instances:
+                raise HierarchyError(
+                    "cannot derive {!r} from instance {!r}: instances are leaves".format(
+                        name, parent
+                    )
+                )
+        self._children[name] = set()
+        self._parents[name] = set()
+        self._insertion.append(name)
+        for parent in parent_list:
+            self._children[parent].add(name)
+            self._parents[name].add(parent)
+        self._version += 1
+
+    def add_edge(self, parent: str, child: str) -> None:
+        """Declare ``child`` ⊆ ``parent`` between two existing nodes.
+
+        Raises :class:`CycleError` if the edge would violate type
+        irredundancy.  Adding an edge parallel to an existing path is
+        legal (the appendix uses one deliberately) but flips the
+        hierarchy out of transitively-reduced normal form, which switches
+        binding computations onto the slower node-elimination path.
+        """
+        self._require(parent)
+        self._require(child)
+        if parent in self._instances:
+            raise HierarchyError(
+                "cannot derive {!r} from instance {!r}: instances are leaves".format(
+                    child, parent
+                )
+            )
+        if child == parent or self.subsumes(child, parent):
+            raise CycleError(
+                "edge {!r} -> {!r} would create a cycle (type irredundancy)".format(
+                    parent, child
+                )
+            )
+        self._children[parent].add(child)
+        self._parents[child].add(parent)
+        self._version += 1
+
+    def add_preference_edge(self, weaker: str, stronger: str) -> None:
+        """Add an appendix-style preference edge: tuples at ``stronger``
+        preempt tuples at ``weaker`` wherever both apply.
+
+        The edge shapes the tuple-binding graph exactly like a class edge
+        from ``weaker`` to ``stronger`` would, but asserts no set
+        inclusion: membership, descendants, and explication ignore it.
+        """
+        self._require(weaker)
+        self._require(stronger)
+        if weaker == stronger or self.binding_subsumes(stronger, weaker):
+            raise CycleError(
+                "preference edge {!r} -> {!r} would create a binding cycle".format(
+                    weaker, stronger
+                )
+            )
+        self._pref_children.setdefault(weaker, set()).add(stronger)
+        self._pref_parents.setdefault(stronger, set()).add(weaker)
+        self._version += 1
+
+    def remove_node(self, name: str, keep_redundant: bool = False) -> None:
+        """Remove ``name`` via the paper's node-elimination procedure,
+        reconnecting its predecessors to its successors so that all other
+        reachability is preserved."""
+        self._require(name)
+        if name == self.root:
+            raise HierarchyError("cannot remove the root of a hierarchy")
+        graph = {node: set(children) for node, children in self._children.items()}
+        algorithms.eliminate_node(graph, name, keep_redundant=keep_redundant)
+        self._children = graph
+        self._parents = algorithms.invert(graph)
+        self._instances.discard(name)
+        self._insertion.remove(name)
+        for table in (self._pref_children, self._pref_parents):
+            table.pop(name, None)
+            for targets in table.values():
+                targets.discard(name)
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._insertion)
+
+    def nodes(self) -> List[str]:
+        """All node names in insertion order (root first)."""
+        return list(self._insertion)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All class edges as ``(parent, child)`` pairs."""
+        return [
+            (parent, child)
+            for parent in self._insertion
+            for child in sorted(self._children[parent])
+        ]
+
+    def preference_edges(self) -> List[Tuple[str, str]]:
+        """All preference edges as ``(weaker, stronger)`` pairs."""
+        return [
+            (weaker, stronger)
+            for weaker in sorted(self._pref_children)
+            for stronger in sorted(self._pref_children[weaker])
+        ]
+
+    def parents(self, name: str) -> FrozenSet[str]:
+        self._require(name)
+        return frozenset(self._parents[name])
+
+    def children(self, name: str) -> FrozenSet[str]:
+        self._require(name)
+        return frozenset(self._children[name])
+
+    def is_instance(self, name: str) -> bool:
+        self._require(name)
+        return name in self._instances
+
+    def is_leaf(self, name: str) -> bool:
+        """True iff ``name`` has no children.
+
+        Leaves are the *atoms* of the domain: explication enumerates
+        them, and an atomic item is a cartesian product of them.  A
+        childless class counts (the paper allows leaves to "represent
+        classes as well rather than instances").
+        """
+        self._require(name)
+        return not self._children[name]
+
+    def leaves(self) -> List[str]:
+        """All leaf nodes, in insertion order."""
+        return [name for name in self._insertion if not self._children[name]]
+
+    def leaves_under(self, name: str) -> List[str]:
+        """The atoms of class ``name``: its leaf descendants (or itself)."""
+        self._require(name)
+        mask = self._masks()["desc"][name]
+        index = self._masks()["rank"]
+        return [node for node in self._insertion if mask >> index[node] & 1 and not self._children[node]]
+
+    def topological_order(self) -> List[str]:
+        """A deterministic topological order of the class graph."""
+        return list(self._masks()["order"])
+
+    def topological_rank(self, name: str) -> int:
+        """The position of ``name`` in :meth:`topological_order`.
+
+        Ancestors always rank strictly below their descendants, so the
+        rank is a ready-made linear-extension sort key.
+        """
+        self._require(name)
+        return self._masks()["rank"][name]  # type: ignore[index]
+
+    # ------------------------------------------------------------------
+    # subsumption / reachability
+    # ------------------------------------------------------------------
+
+    def subsumes(self, general: str, specific: str) -> bool:
+        """True iff ``specific`` ⊆ ``general`` (reflexive)."""
+        self._require(general)
+        self._require(specific)
+        masks = self._masks()
+        return bool(masks["desc"][general] >> masks["rank"][specific] & 1)
+
+    def strictly_subsumes(self, general: str, specific: str) -> bool:
+        """True iff ``specific`` ⊂ ``general`` (irreflexive)."""
+        return general != specific and self.subsumes(general, specific)
+
+    def binding_subsumes(self, general: str, specific: str) -> bool:
+        """Subsumption in the binding order (class edges plus preference
+        edges).  Identical to :meth:`subsumes` when no preference edges
+        exist."""
+        self._require(general)
+        self._require(specific)
+        masks = self._masks()
+        return bool(masks["bind_desc"][general] >> masks["rank"][specific] & 1)
+
+    def descendants(self, name: str, include_self: bool = True) -> Set[str]:
+        self._require(name)
+        masks = self._masks()
+        mask = masks["desc"][name]
+        if not include_self:
+            mask &= ~(1 << masks["rank"][name])
+        return self._unpack(mask)
+
+    def ancestors(self, name: str, include_self: bool = True) -> Set[str]:
+        self._require(name)
+        masks = self._masks()
+        mask = masks["anc"][name]
+        if not include_self:
+            mask &= ~(1 << masks["rank"][name])
+        return self._unpack(mask)
+
+    def maximal_common_descendants(self, a: str, b: str) -> List[str]:
+        """The *meet set* of ``a`` and ``b``: common descendants with no
+        strictly more general common descendant.
+
+        This is the set the conflict machinery (section 3.1) probes for
+        intersection evidence, and the building block of the
+        multi-attribute *maximal conflict-resolution set*.  If ``a``
+        subsumes ``b`` the result is ``[b]``; if the two classes share no
+        node the result is empty (the paper's "optimistic" disjointness).
+        """
+        self._require(a)
+        self._require(b)
+        masks = self._masks()
+        common = masks["desc"][a] & masks["desc"][b]
+        if not common:
+            return []
+        out = []
+        for node in self._insertion:
+            bit = 1 << masks["rank"][node]
+            if common & bit and not (masks["anc"][node] & ~bit & common):
+                out.append(node)
+        return out
+
+    def redundant_edges(self) -> Set[Tuple[str, str]]:
+        """Class edges parallel to a longer path (see the appendix)."""
+        return self._masks()["redundant"]  # type: ignore[return-value]
+
+    def is_transitively_reduced(self) -> bool:
+        """True iff the class graph carries no redundant edges — the
+        normal form off-path preemption assumes."""
+        return not self.redundant_edges()
+
+    def class_graph(self) -> Dict[str, Set[str]]:
+        """A copy of the class adjacency (parent -> children)."""
+        return {node: set(children) for node, children in self._children.items()}
+
+    def binding_graph(self) -> Dict[str, Set[str]]:
+        """A copy of the class adjacency with preference edges merged in."""
+        graph = self.class_graph()
+        for weaker, stronger in self.preference_edges():
+            graph[weaker].add(stronger)
+        return graph
+
+    def has_preference_edges(self) -> bool:
+        return any(self._pref_children.values())
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; anything caching against a hierarchy should
+        key on ``(id(h), h.version)``."""
+        return self._version
+
+    def __repr__(self) -> str:
+        return "Hierarchy({!r}, {} nodes, {} edges)".format(
+            self.name, len(self), sum(len(c) for c in self._children.values())
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require(self, name: str) -> None:
+        if name not in self._children:
+            raise UnknownNodeError(
+                "unknown node {!r} in hierarchy {!r}".format(name, self.name)
+            )
+
+    def _unpack(self, mask: int) -> Set[str]:
+        rank = self._masks()["rank"]
+        return {node for node in self._insertion if mask >> rank[node] & 1}
+
+    def _masks(self) -> Dict[str, object]:
+        if self._cache_version == self._version:
+            return self._cache
+        order = algorithms.topological_order(self._children, tie_break=self._insertion)
+        rank = {node: i for i, node in enumerate(order)}
+        desc = self._descendant_masks(self._children, order, rank)
+        bind_children = self._children
+        if self.has_preference_edges():
+            bind_children = self.binding_graph()
+            bind_order = algorithms.topological_order(bind_children, tie_break=self._insertion)
+            bind_desc = self._descendant_masks(bind_children, bind_order, rank)
+        else:
+            bind_desc = desc
+        anc: Dict[str, int] = {}
+        for node in order:
+            mask = 1 << rank[node]
+            for parent in self._parents[node]:
+                mask |= anc[parent]
+            anc[node] = mask
+        redundant: Set[Tuple[str, str]] = set()
+        for node, succs in self._children.items():
+            for succ in succs:
+                bit = 1 << rank[succ]
+                if any(other != succ and desc[other] & bit for other in succs):
+                    redundant.add((node, succ))
+        self._cache = {
+            "order": order,
+            "rank": rank,
+            "desc": desc,
+            "bind_desc": bind_desc,
+            "anc": anc,
+            "redundant": redundant,
+        }
+        self._cache_version = self._version
+        return self._cache
+
+    @staticmethod
+    def _descendant_masks(
+        children: Dict[str, Set[str]],
+        order: Sequence[str],
+        rank: Dict[str, int],
+    ) -> Dict[str, int]:
+        masks: Dict[str, int] = {}
+        for node in reversed(order):
+            mask = 1 << rank[node]
+            for child in children.get(node, ()):
+                mask |= masks[child]
+            masks[node] = mask
+        return masks

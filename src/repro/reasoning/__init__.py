@@ -1,0 +1,18 @@
+"""Logic-programming layer over hierarchical relations.
+
+Section 2.1: "through the use of logic programming, such as PROLOG or
+DATALOG, on top of our hierarchical data model, we are able to provide
+an even more powerful inference mechanism with no loss of succinctness"
+— e.g. recovering "Tweety can travel far since flying things can travel
+far" once *flying* is an association rather than a taxonomy class.
+"""
+
+from repro.reasoning.datalog import (
+    DatalogProgram,
+    Literal,
+    Rule,
+    Variable,
+    parse_rule,
+)
+
+__all__ = ["DatalogProgram", "Literal", "Rule", "Variable", "parse_rule"]

@@ -1,0 +1,288 @@
+"""A small Datalog evaluator with hierarchical relations as EDB.
+
+Base (EDB) predicates come from three sources: explicit fact lists,
+hierarchical relations (their positive flat extensions), and hierarchy
+membership itself (an ``isa(member, class)`` predicate over the
+transitive closure).  Rules are evaluated by naive bottom-up iteration
+to fixpoint — fine at the scale of a knowledge base front end.
+
+Negated body literals are supported with the usual safety rule (every
+variable of a negated literal must be bound by a positive literal) and
+are evaluated against the *current* fact set, so recursion through
+negation is rejected.
+
+Examples
+--------
+>>> from repro.workloads import flying_dataset
+>>> ds = flying_dataset()
+>>> program = DatalogProgram()
+>>> program.add_hrelation("flies", ds.flies)
+>>> program.add_rule("travels_far(X) :- flies(X)")
+>>> ("tweety",) in program.query("travels_far")
+True
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Variable:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = Union[Variable, str]
+
+
+@dataclass(frozen=True)
+class Literal:
+    predicate: str
+    terms: Tuple[Term, ...]
+    negated: bool = False
+
+    def variables(self) -> Set[Variable]:
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.terms)
+        text = "{}({})".format(self.predicate, inner)
+        return "not " + text if self.negated else text
+
+
+@dataclass(frozen=True)
+class Rule:
+    head: Literal
+    body: Tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        bound: Set[Variable] = set()
+        for literal in self.body:
+            if not literal.negated:
+                bound |= literal.variables()
+        for literal in self.body:
+            if literal.negated and not literal.variables() <= bound:
+                raise ReproError(
+                    "unsafe rule: negated literal {} has unbound variables".format(
+                        literal
+                    )
+                )
+        if not self.head.variables() <= bound:
+            raise ReproError(
+                "unsafe rule: head {} has variables not bound in the body".format(
+                    self.head
+                )
+            )
+
+    def __str__(self) -> str:
+        return "{} :- {}".format(self.head, ", ".join(str(l) for l in self.body))
+
+
+_RULE_RE = re.compile(r"^\s*(?P<head>[^:]+?)\s*:-\s*(?P<body>.+?)\s*\.?\s*$")
+_LITERAL_RE = re.compile(
+    r"\s*(?P<neg>not\s+|!\s*)?(?P<pred>[a-z_][A-Za-z0-9_]*)\s*\(\s*(?P<args>[^()]*)\s*\)\s*"
+)
+
+
+def _parse_term(text: str) -> Term:
+    text = text.strip()
+    if not text:
+        raise ReproError("empty term in rule")
+    if text[0] in "'\"" and text[-1] == text[0] and len(text) >= 2:
+        return text[1:-1]
+    if text[0].isupper():
+        return Variable(text)
+    return text
+
+
+def _parse_literal(text: str) -> Literal:
+    match = _LITERAL_RE.fullmatch(text)
+    if not match:
+        raise ReproError("cannot parse literal {!r}".format(text.strip()))
+    args = match.group("args").strip()
+    terms = tuple(_parse_term(part) for part in args.split(",")) if args else ()
+    return Literal(
+        predicate=match.group("pred"),
+        terms=terms,
+        negated=bool(match.group("neg")),
+    )
+
+
+def _split_literals(text: str) -> List[str]:
+    """Split on commas that sit outside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse ``head(X) :- body1(X, Y), not body2(Y)``; variables start
+    uppercase, constants lowercase or quoted."""
+    match = _RULE_RE.match(text)
+    if not match:
+        raise ReproError("cannot parse rule {!r}".format(text))
+    head = _parse_literal(match.group("head"))
+    if head.negated:
+        raise ReproError("rule heads cannot be negated")
+    body = tuple(
+        _parse_literal(part) for part in _split_literals(match.group("body"))
+    )
+    return Rule(head=head, body=body)
+
+
+class DatalogProgram:
+    """Facts + rules, evaluated bottom-up to fixpoint."""
+
+    def __init__(self) -> None:
+        self._facts: Dict[str, Set[Tuple[str, ...]]] = {}
+        self._rules: List[Rule] = []
+        self._evaluated = False
+
+    # ------------------------------------------------------------------
+    # EDB
+    # ------------------------------------------------------------------
+
+    def add_facts(self, predicate: str, rows: Iterable[Sequence[str]]) -> None:
+        bucket = self._facts.setdefault(predicate, set())
+        for row in rows:
+            bucket.add(tuple(row))
+        self._evaluated = False
+
+    def add_hrelation(self, predicate: str, relation) -> None:
+        """Bind a hierarchical relation's positive flat extension."""
+        self.add_facts(predicate, relation.extension())
+
+    def add_isa(self, hierarchy, predicate: str = "isa") -> None:
+        """Membership facts ``isa(member, class)`` over the transitive
+        closure of the hierarchy (reflexive pairs excluded)."""
+        rows = []
+        for node in hierarchy.nodes():
+            for descendant in hierarchy.descendants(node, include_self=False):
+                rows.append((descendant, node))
+        self.add_facts(predicate, rows)
+
+    # ------------------------------------------------------------------
+    # IDB
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: Union[Rule, str]) -> Rule:
+        if isinstance(rule, str):
+            rule = parse_rule(rule)
+        negated_preds = {l.predicate for l in rule.body if l.negated}
+        derived = {r.head.predicate for r in self._rules} | {rule.head.predicate}
+        if negated_preds & derived:
+            raise ReproError(
+                "negation over derived predicates {} is not supported".format(
+                    sorted(negated_preds & derived)
+                )
+            )
+        self._rules.append(rule)
+        self._evaluated = False
+        return rule
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def _match(
+        self,
+        literal: Literal,
+        facts: Dict[str, Set[Tuple[str, ...]]],
+        binding: Dict[Variable, str],
+    ) -> List[Dict[Variable, str]]:
+        rows = facts.get(literal.predicate, set())
+        out: List[Dict[Variable, str]] = []
+        for row in rows:
+            if len(row) != len(literal.terms):
+                continue
+            candidate = dict(binding)
+            ok = True
+            for term, value in zip(literal.terms, row):
+                if isinstance(term, Variable):
+                    if term in candidate and candidate[term] != value:
+                        ok = False
+                        break
+                    candidate[term] = value
+                elif term != value:
+                    ok = False
+                    break
+            if ok:
+                out.append(candidate)
+        return out
+
+    def evaluate(self, max_rounds: int = 10_000) -> Dict[str, FrozenSet[Tuple[str, ...]]]:
+        """Run to fixpoint; returns all predicates' fact sets."""
+        facts = {pred: set(rows) for pred, rows in self._facts.items()}
+        for _ in range(max_rounds):
+            changed = False
+            for rule in self._rules:
+                bindings: List[Dict[Variable, str]] = [{}]
+                for literal in rule.body:
+                    if literal.negated:
+                        bindings = [
+                            b
+                            for b in bindings
+                            if tuple(
+                                b[t] if isinstance(t, Variable) else t
+                                for t in literal.terms
+                            )
+                            not in facts.get(literal.predicate, set())
+                        ]
+                    else:
+                        bindings = [
+                            nb
+                            for b in bindings
+                            for nb in self._match(literal, facts, b)
+                        ]
+                    if not bindings:
+                        break
+                target = facts.setdefault(rule.head.predicate, set())
+                for b in bindings:
+                    row = tuple(
+                        b[t] if isinstance(t, Variable) else t
+                        for t in rule.head.terms
+                    )
+                    if row not in target:
+                        target.add(row)
+                        changed = True
+            if not changed:
+                break
+        self._all_facts = {pred: frozenset(rows) for pred, rows in facts.items()}
+        self._evaluated = True
+        return self._all_facts
+
+    def query(
+        self, predicate: str, pattern: Sequence[Optional[str]] | None = None
+    ) -> Set[Tuple[str, ...]]:
+        """All facts of ``predicate`` matching ``pattern`` (``None`` is a
+        wildcard position)."""
+        if not self._evaluated:
+            self.evaluate()
+        rows = self._all_facts.get(predicate, frozenset())
+        if pattern is None:
+            return set(rows)
+        return {
+            row
+            for row in rows
+            if len(row) == len(pattern)
+            and all(p is None or p == v for p, v in zip(pattern, row))
+        }

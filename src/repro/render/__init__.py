@@ -1,0 +1,12 @@
+"""Rendering: ASCII tables in the paper's figure style, and DOT export."""
+
+from repro.render.table import render_relation, render_rows, render_justification
+from repro.render.dot import hierarchy_to_dot, graph_to_dot
+
+__all__ = [
+    "render_relation",
+    "render_rows",
+    "render_justification",
+    "hierarchy_to_dot",
+    "graph_to_dot",
+]

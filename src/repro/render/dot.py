@@ -1,0 +1,66 @@
+"""Graphviz DOT export of hierarchies and derived graphs.
+
+Pure string generation — no graphviz dependency; paste the output into
+any DOT renderer to get the paper's Fig. 1a/1c/1d pictures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.core.htuple import UNIVERSAL
+
+
+def _quote(label: object) -> str:
+    if label is UNIVERSAL:
+        text = "-(D*)"
+    elif isinstance(label, tuple):
+        text = ", ".join(str(part) for part in label)
+    else:
+        text = str(label)
+    return '"{}"'.format(text.replace('"', r"\""))
+
+
+def hierarchy_to_dot(hierarchy, name: str | None = None) -> str:
+    """The class graph (solid edges) plus preference edges (dashed)."""
+    lines = ["digraph {} {{".format((name or hierarchy.name).replace("-", "_"))]
+    lines.append("  rankdir=TB;")
+    for node in hierarchy.nodes():
+        shape = "box" if hierarchy.is_instance(node) else "ellipse"
+        lines.append("  {} [shape={}];".format(_quote(node), shape))
+    for parent, child in hierarchy.edges():
+        lines.append("  {} -> {};".format(_quote(parent), _quote(child)))
+    for weaker, stronger in hierarchy.preference_edges():
+        lines.append(
+            "  {} -> {} [style=dashed, label=prefer];".format(
+                _quote(weaker), _quote(stronger)
+            )
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graph_to_dot(
+    graph: Dict[object, Set[object]],
+    name: str = "graph",
+    signs: Dict[object, bool] | None = None,
+) -> str:
+    """A generic digraph (e.g. a subsumption or tuple-binding graph).
+
+    ``signs`` optionally maps nodes to truth values: positive nodes are
+    drawn solid, negated ones dashed, matching the figures' +/- marks.
+    """
+    lines = ["digraph {} {{".format(name.replace("-", "_"))]
+    nodes: Set[object] = set(graph)
+    for succs in graph.values():
+        nodes.update(succs)
+    for node in sorted(nodes, key=str):
+        style = ""
+        if signs is not None and node in signs:
+            style = ' [style={}]'.format("solid" if signs[node] else "dashed")
+        lines.append("  {}{};".format(_quote(node), style))
+    for node in sorted(graph, key=str):
+        for succ in sorted(graph[node], key=str):
+            lines.append("  {} -> {};".format(_quote(node), _quote(succ)))
+    lines.append("}")
+    return "\n".join(lines)

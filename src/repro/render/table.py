@@ -1,0 +1,64 @@
+"""ASCII tables styled after the paper's figures.
+
+The figures print one row per stored tuple: a sign column (``+`` or
+``-``), then one column per attribute, with class values prefixed by the
+universal quantifier (rendered here as ``∀``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_rows(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """A plain fixed-width table with a header rule."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [rule, line(list(headers)), rule]
+    for row in materialised:
+        out.append(line(row))
+    out.append(rule)
+    return "\n".join(out)
+
+
+def relation_rows(relation) -> List[List[str]]:
+    """One row per stored tuple: sign, then per-attribute values with
+    class values shown as ``∀class``."""
+    rows: List[List[str]] = []
+    for t in relation.tuples():
+        cells = [t.sign]
+        for hierarchy, value in zip(relation.schema.hierarchies, t.item):
+            cells.append(value if hierarchy.is_leaf(value) else "∀" + value)
+        rows.append(cells)
+    return rows
+
+
+def render_relation(relation) -> str:
+    """The whole relation as a figure-style table, titled by its name."""
+    headers = [""] + list(relation.schema.attributes)
+    table = render_rows(headers, relation_rows(relation))
+    return "{}\n{}".format(relation.name, table)
+
+
+def render_justification(justification) -> str:
+    """Fig. 9b style: the answer plus the applicable stored tuples."""
+    verdict = {True: "true", False: "false", None: "CONFLICT"}[justification.truth]
+    lines = [
+        "item ({}) -> {}".format(", ".join(justification.item), verdict),
+        "decided by: {}".format(
+            ", ".join(str(t) for t in justification.deciders) or "-(D*) [default]"
+        ),
+        "applicable tuples (most specific first):",
+    ]
+    for t in justification.applicable:
+        lines.append("  {}".format(t))
+    if not justification.applicable:
+        lines.append("  (none)")
+    return "\n".join(lines)

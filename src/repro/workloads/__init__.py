@@ -1,0 +1,22 @@
+"""Datasets and workload generators.
+
+``animals`` / ``school`` / ``loves`` rebuild the paper's own running
+examples (Figures 1–11); ``generators`` produces synthetic hierarchies
+and relations for the performance experiments.
+"""
+
+from repro.workloads.animals import flying_dataset, elephant_dataset
+from repro.workloads.school import school_dataset
+from repro.workloads.loves import loves_dataset
+from repro.workloads.taxonomy import biology_dataset, biology_hierarchy
+from repro.workloads import generators
+
+__all__ = [
+    "flying_dataset",
+    "elephant_dataset",
+    "school_dataset",
+    "loves_dataset",
+    "biology_dataset",
+    "biology_hierarchy",
+    "generators",
+]

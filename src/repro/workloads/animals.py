@@ -1,0 +1,132 @@
+"""The paper's animal examples: Fig. 1 (flying creatures) and Fig. 4
+(the royal-elephant colour hierarchy), plus Fig. 11's enclosure sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.graph import Hierarchy
+from repro.core.relation import HRelation
+
+
+@dataclass
+class FlyingDataset:
+    """Fig. 1: the animal taxonomy and the *Flies* relation.
+
+    Asserted facts: all birds fly; no penguin flies; all amazing flying
+    penguins fly; Peter (a penguin) flies.  Tweety is a canary, Paul a
+    Galapagos penguin, Pamela an amazing flying penguin, and Patricia is
+    both an amazing flying penguin and a Galapagos penguin.
+    """
+
+    animal: Hierarchy
+    flies: HRelation
+
+
+def flying_hierarchy(redundant_pamela_edge: bool = False) -> Hierarchy:
+    """The Fig. 1a class hierarchy.
+
+    ``redundant_pamela_edge=True`` adds the appendix's deliberate
+    redundant link stating directly that Pamela is a penguin, which
+    turns the off-path verdict for Pamela into a conflict.
+    """
+    builder = (
+        HierarchyBuilder("animal")
+        .klass("bird")
+        .klass("canary", under="bird")
+        .klass("penguin", under="bird")
+        .klass("galapagos_penguin", under="penguin")
+        .klass("amazing_flying_penguin", under="penguin")
+        .instance("tweety", under="canary")
+        .instance("paul", under="galapagos_penguin")
+        .instance("peter", under="penguin")
+        .instance("pamela", under="amazing_flying_penguin")
+        .instance("patricia", under=["amazing_flying_penguin", "galapagos_penguin"])
+    )
+    hierarchy = builder.build()
+    if redundant_pamela_edge:
+        hierarchy.add_edge("penguin", "pamela")
+    return hierarchy
+
+
+def flying_dataset(redundant_pamela_edge: bool = False) -> FlyingDataset:
+    """Fig. 1a + 1b: the hierarchy and the *Flies* relation."""
+    animal = flying_hierarchy(redundant_pamela_edge=redundant_pamela_edge)
+    flies = HRelation([("creature", animal)], name="flies")
+    flies.assert_all(
+        [
+            (("bird",), True),
+            (("penguin",), False),
+            (("amazing_flying_penguin",), True),
+            (("peter",), True),
+        ]
+    )
+    return FlyingDataset(animal=animal, flies=flies)
+
+
+@dataclass
+class ElephantDataset:
+    """Fig. 4 and Fig. 11: elephants, their colours, their enclosures.
+
+    Clyde is a royal elephant; Appu is both a royal and an Indian
+    elephant.  Elephants are grey — except royal elephants, which are
+    explicitly not grey but white — except Clyde, who is not white but
+    dappled.  Enclosures are 3000 for elephants, except Indian
+    elephants, which get 2000.
+    """
+
+    animal: Hierarchy
+    color: Hierarchy
+    size: Hierarchy
+    animal_color: HRelation
+    enclosure_size: HRelation
+
+
+def elephant_dataset() -> ElephantDataset:
+    animal = (
+        HierarchyBuilder("animal")
+        .klass("elephant")
+        .klass("african_elephant", under="elephant")
+        .klass("indian_elephant", under="elephant")
+        .klass("royal_elephant", under="elephant")
+        .instance("clyde", under="royal_elephant")
+        .instance("appu", under=["royal_elephant", "indian_elephant"])
+        .build()
+    )
+    color = (
+        HierarchyBuilder("color")
+        .instance("grey")
+        .instance("white")
+        .instance("dappled")
+        .build()
+    )
+    size = HierarchyBuilder("size").instance("3000").instance("2000").build()
+
+    animal_color = HRelation([("animal", animal), ("color", color)], name="animal_color")
+    animal_color.assert_all(
+        [
+            (("elephant", "grey"), True),
+            (("royal_elephant", "grey"), False),
+            (("royal_elephant", "white"), True),
+            (("clyde", "white"), False),
+            (("clyde", "dappled"), True),
+        ]
+    )
+
+    enclosure_size = HRelation([("animal", animal), ("size", size)], name="enclosure_size")
+    enclosure_size.assert_all(
+        [
+            (("elephant", "3000"), True),
+            (("indian_elephant", "3000"), False),
+            (("indian_elephant", "2000"), True),
+        ]
+    )
+    return ElephantDataset(
+        animal=animal,
+        color=color,
+        size=size,
+        animal_color=animal_color,
+        enclosure_size=enclosure_size,
+    )

@@ -1,0 +1,38 @@
+"""The paper's Fig. 10 set-operation example: what Jack and Jill love.
+
+Both relations range over the Fig. 1 animal taxonomy.  Jack loves all
+birds except penguins, but does love Peter; Jill loves exactly the
+penguins.  Fig. 10 then shows their union ("Jack and Jill between them
+love"), intersection ("Jack and Jill both love"), and both differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hierarchy.graph import Hierarchy
+from repro.core.relation import HRelation
+from repro.workloads.animals import flying_hierarchy
+
+
+@dataclass
+class LovesDataset:
+    animal: Hierarchy
+    jack_loves: HRelation
+    jill_loves: HRelation
+
+
+def loves_dataset() -> LovesDataset:
+    animal = flying_hierarchy()
+    schema = [("creature", animal)]
+    jack = HRelation(schema, name="jack_loves")
+    jack.assert_all(
+        [
+            (("bird",), True),
+            (("penguin",), False),
+            (("peter",), True),
+        ]
+    )
+    jill = HRelation(jack.schema, name="jill_loves")
+    jill.assert_item(("penguin",), truth=True)
+    return LovesDataset(animal=animal, jack_loves=jack, jill_loves=jill)

@@ -1,0 +1,66 @@
+"""The paper's student/teacher example: Figs. 2, 3, 6, 7, 8.
+
+Fig. 2 defines a Student hierarchy (with an obsequious sub-class) and a
+Teacher hierarchy (with an incoherent sub-class); Fig. 3 defines the
+*Respects* relation over their product: all obsequious students respect
+all teachers, no student respects any incoherent teacher — a conflict at
+(obsequious student, incoherent teacher) resolved by the explicit tuple
+asserting that obsequious students do respect incoherent teachers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hierarchy.builder import HierarchyBuilder
+from repro.hierarchy.graph import Hierarchy
+from repro.core.relation import HRelation
+
+
+@dataclass
+class SchoolDataset:
+    student: Hierarchy
+    teacher: Hierarchy
+    respects: HRelation
+
+    def unresolved(self) -> HRelation:
+        """The Fig. 3 relation *above the dashed line*: the two general
+        assertions without the conflict-resolving tuple — an
+        inconsistent database."""
+        out = HRelation(self.respects.schema, name="respects_unresolved")
+        out.assert_item(("obsequious_student", "teacher"), truth=True)
+        out.assert_item(("student", "incoherent_teacher"), truth=False)
+        return out
+
+
+def school_dataset() -> SchoolDataset:
+    """Fig. 2 hierarchies plus the full (consistent) Fig. 3 relation.
+
+    John is an obsequious student, Mary a plain student; Bill is an
+    incoherent teacher, Tom a plain teacher.
+    """
+    student = (
+        HierarchyBuilder("student")
+        .klass("obsequious_student", under="student")
+        .instance("john", under="obsequious_student")
+        .instance("mary", under="student")
+        .build()
+    )
+    teacher = (
+        HierarchyBuilder("teacher")
+        .klass("incoherent_teacher", under="teacher")
+        .instance("bill", under="incoherent_teacher")
+        .instance("tom", under="teacher")
+        .build()
+    )
+    respects = HRelation(
+        [("student", student), ("teacher", teacher)], name="respects"
+    )
+    respects.assert_all(
+        [
+            (("obsequious_student", "teacher"), True),
+            (("student", "incoherent_teacher"), False),
+            (("obsequious_student", "incoherent_teacher"), True),
+        ]
+    )
+    return SchoolDataset(student=student, teacher=teacher, respects=respects)

@@ -1,0 +1,122 @@
+"""A realistic mid-sized knowledge base: a biology taxonomy.
+
+~130 nodes across five levels with genuine multiple inheritance
+(flying fish, penguins-as-swimmers, bats as flying mammals), plus two
+themed relations with layered exceptions.  Used by examples, the P7
+benchmark, and stress tests — big enough that scans, indexes, and the
+meet machinery all do real work, small enough to debug by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hierarchy.graph import Hierarchy
+from repro.core.relation import HRelation
+
+# class -> (parents, instances)
+_TAXONOMY: Dict[str, tuple] = {
+    "animal": ((), ()),
+    "vertebrate": (("animal",), ()),
+    "invertebrate": (("animal",), ()),
+    "mammal": (("vertebrate",), ()),
+    "bird": (("vertebrate",), ()),
+    "fish": (("vertebrate",), ()),
+    "reptile": (("vertebrate",), ()),
+    "insect": (("invertebrate",), ()),
+    "mollusc": (("invertebrate",), ()),
+    # cross-cutting capability classes (multiple inheritance sources)
+    "flyer": (("animal",), ()),
+    "swimmer": (("animal",), ()),
+    # mammals
+    "primate": (("mammal",), ("chimp", "gorilla", "human")),
+    "rodent": (("mammal",), ("mouse", "rat", "squirrel")),
+    "cetacean": (("mammal", "swimmer"), ("blue_whale", "orca", "dolphin")),
+    "bat": (("mammal", "flyer"), ("fruit_bat", "vampire_bat")),
+    "bear": (("mammal",), ("grizzly", "polar_bear", "panda")),
+    # birds
+    "songbird": (("bird", "flyer"), ("canary", "robin", "sparrow", "finch")),
+    "raptor": (("bird", "flyer"), ("eagle", "hawk", "owl", "falcon")),
+    "penguin": (("bird", "swimmer"), ("emperor", "adelie", "gentoo")),
+    "ratite": (("bird",), ("ostrich", "emu", "kiwi")),
+    "waterfowl": (("bird", "flyer", "swimmer"), ("mallard", "swan", "goose")),
+    # fish
+    "shark": (("fish", "swimmer"), ("great_white", "hammerhead", "mako")),
+    "ray": (("fish", "swimmer"), ("manta", "stingray")),
+    "bony_fish": (("fish", "swimmer"), ("salmon", "tuna", "cod", "eel")),
+    "flying_fish": (("bony_fish", "flyer"), ("exocoetus", "cheilopogon")),
+    # reptiles
+    "snake": (("reptile",), ("cobra", "python_snake", "viper")),
+    "lizard": (("reptile",), ("gecko", "iguana", "komodo")),
+    "turtle": (("reptile", "swimmer"), ("leatherback", "tortoise", "terrapin")),
+    # invertebrates
+    "beetle": (("insect",), ("ladybird", "stag_beetle", "weevil")),
+    "flying_insect": (("insect", "flyer"), ("bee", "wasp", "dragonfly", "moth")),
+    "ant": (("insect",), ("fire_ant", "carpenter_ant")),
+    "cephalopod": (("mollusc", "swimmer"), ("octopus", "squid", "cuttlefish")),
+    "gastropod": (("mollusc",), ("garden_snail", "slug")),
+}
+
+
+def biology_hierarchy() -> Hierarchy:
+    """Build the taxonomy; deterministic node order."""
+    hierarchy = Hierarchy("biology", root="animal")
+    for name, (parents, instances) in _TAXONOMY.items():
+        if name == "animal":
+            continue
+        hierarchy.add_class(name, parents=[parents[0]] if parents else None)
+        for extra in (parents or ())[1:]:
+            hierarchy.add_edge(extra, name)
+        for instance in instances:
+            hierarchy.add_instance(instance, parents=[name])
+    return hierarchy
+
+
+@dataclass
+class BiologyDataset:
+    """The taxonomy plus two relations with layered exceptions.
+
+    *can_fly*: flyers fly — except that the ostrich-like story repeats:
+    no penguin flies even though birds broadly do get asserted at
+    sub-class level, and flightless exceptions are instance-level.
+
+    *lays_eggs*: egg-laying is asserted at vertebrate sub-classes with
+    the mammal exception, itself excepted for monotremes (added as an
+    instance-level re-insertion).
+    """
+
+    biology: Hierarchy
+    can_fly: HRelation
+    lays_eggs: HRelation
+
+
+def biology_dataset() -> BiologyDataset:
+    biology = biology_hierarchy()
+    can_fly = HRelation([("creature", biology)], name="can_fly")
+    can_fly.assert_all(
+        [
+            (("flyer",), True),          # capability class flies ...
+            (("bird",), True),           # birds fly broadly ...
+            (("penguin",), False),       # ... except penguins
+            (("ratite",), False),        # ... and ratites
+            (("insect",), False),        # insects don't, broadly ...
+            (("flying_insect",), True),  # ... except the flying ones
+        ]
+    )
+
+    # Monotreme exception-to-the-exception: add the platypus.
+    biology.add_instance("platypus", parents=["mammal", "swimmer"])
+    lays_eggs = HRelation([("creature", biology)], name="lays_eggs")
+    lays_eggs.assert_all(
+        [
+            (("bird",), True),
+            (("fish",), True),
+            (("reptile",), True),
+            (("insect",), True),
+            (("mollusc",), True),
+            (("mammal",), False),
+            (("platypus",), True),       # the classic monotreme
+        ]
+    )
+    return BiologyDataset(biology=biology, can_fly=can_fly, lays_eggs=lays_eggs)

@@ -1,0 +1,72 @@
+"""Shared fixtures: the paper's datasets and small reusable universes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy import Hierarchy, HierarchyBuilder
+from repro.core import HRelation
+from repro.workloads import (
+    elephant_dataset,
+    flying_dataset,
+    loves_dataset,
+    school_dataset,
+)
+
+
+@pytest.fixture
+def flying():
+    """Fig. 1: the animal taxonomy and the Flies relation."""
+    return flying_dataset()
+
+
+@pytest.fixture
+def school():
+    """Figs. 2/3: student and teacher hierarchies plus Respects."""
+    return school_dataset()
+
+
+@pytest.fixture
+def elephants():
+    """Figs. 4/11: elephants, colours, enclosure sizes."""
+    return elephant_dataset()
+
+
+@pytest.fixture
+def loves():
+    """Fig. 10: what Jack and Jill love."""
+    return loves_dataset()
+
+
+@pytest.fixture
+def diamond():
+    """A 4-node diamond: root -> a, b -> d (multiple inheritance)."""
+    h = Hierarchy("diamond", root="top")
+    h.add_class("a")
+    h.add_class("b")
+    h.add_class("d", parents=["a", "b"])
+    h.add_instance("x", parents=["d"])
+    return h
+
+
+@pytest.fixture
+def tiny():
+    """A tiny single-chain hierarchy with two leaves per level."""
+    return (
+        HierarchyBuilder("tiny")
+        .klass("mid")
+        .klass("low", under="mid")
+        .instance("leaf_mid", under="mid")
+        .instance("leaf_low", under="low")
+        .build()
+    )
+
+
+def make_relation(hierarchy, pairs, name="r", strategy=None):
+    """Helper: an HRelation over one attribute from (node, truth) pairs."""
+    relation = HRelation([("x", hierarchy)], name=name)
+    if strategy is not None:
+        relation.strategy = strategy
+    for node, truth in pairs:
+        relation.assert_item((node,), truth=truth)
+    return relation

@@ -1,0 +1,78 @@
+"""Unit tests for aggregation (section 3.3.2's motivating use)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.core import HRelation, aggregate
+from repro.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def sizes(elephants):
+    return elephants.enclosure_size
+
+
+class TestCount:
+    def test_count_is_extension_size(self, flying):
+        assert aggregate.count(flying.flies) == 4
+
+    def test_count_with_conditions(self, flying):
+        assert aggregate.count(flying.flies, {"creature": "penguin"}) == 3
+        assert aggregate.count(flying.flies, {"creature": "canary"}) == 1
+
+    def test_count_class_tuple_counts_members(self):
+        """The whole point of explicating first: a class tuple counts
+        once per member, not once per tuple."""
+        h = Hierarchy("d")
+        h.add_class("grp")
+        for i in range(7):
+            h.add_instance("m{}".format(i), parents=["grp"])
+        r = HRelation([("x", h)])
+        r.assert_item(("grp",))
+        assert len(r) == 1
+        assert aggregate.count(r) == 7
+
+    def test_count_by(self, elephants):
+        # Atoms: african_elephant (a childless class inheriting grey),
+        # clyde (dappled), appu (white).
+        joined_counts = aggregate.count_by(elephants.animal_color, "color")
+        assert joined_counts == {"grey": 1, "dappled": 1, "white": 1}
+
+    def test_group_by_class_overlapping(self, elephants):
+        got = aggregate.group_by_class(
+            elephants.animal_color, "animal", ["royal_elephant", "indian_elephant"]
+        )
+        # Appu is both royal and Indian: counted in each cover class.
+        assert got == {"royal_elephant": 2, "indian_elephant": 1}
+
+
+class TestNumericFolds:
+    def test_total_and_average(self, sizes):
+        # african_elephant 3000 + clyde 3000 + appu 2000.
+        assert aggregate.total(sizes, "size") == 8000.0
+        assert aggregate.average(sizes, "size") == pytest.approx(8000.0 / 3)
+
+    def test_min_max(self, sizes):
+        assert aggregate.minimum(sizes, "size") == 2000.0
+        assert aggregate.maximum(sizes, "size") == 3000.0
+
+    def test_group_by(self, sizes):
+        got = aggregate.total(sizes, "size", group_by="animal")
+        assert got == {
+            "african_elephant": 3000.0,
+            "clyde": 3000.0,
+            "appu": 2000.0,
+        }
+
+    def test_empty_relation_returns_none(self, sizes):
+        empty = HRelation(sizes.schema)
+        assert aggregate.total(empty, "size") is None
+        assert aggregate.average(empty, "size", group_by="animal") == {}
+
+    def test_non_numeric_raises(self, elephants):
+        with pytest.raises(SchemaError):
+            aggregate.total(elephants.animal_color, "color")
+
+    def test_unknown_attribute(self, sizes):
+        with pytest.raises(SchemaError):
+            aggregate.total(sizes, "nope")

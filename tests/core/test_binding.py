@@ -1,0 +1,189 @@
+"""Unit tests for truth evaluation, subsumption graphs, binding graphs,
+and justification — the Fig. 1 / Fig. 9 machinery."""
+
+import pytest
+
+from repro.errors import AmbiguityError
+from repro.core import (
+    HRelation,
+    HTuple,
+    UNIVERSAL,
+    binding_graph,
+    justify,
+    strongest_binders,
+    subsumption_graph,
+    truth_of,
+)
+from repro.core.binding import truth_and_binders
+from tests.conftest import make_relation
+
+
+class TestFig1Verdicts:
+    """Section 2.1's worked example, verbatim."""
+
+    def test_tweety_flies(self, flying):
+        assert flying.flies.holds("tweety")
+
+    def test_paul_does_not(self, flying):
+        assert not flying.flies.holds("paul")
+
+    def test_pamela_flies(self, flying):
+        assert flying.flies.holds("pamela")
+
+    def test_patricia_flies_off_path(self, flying):
+        # "Patricia's only predecessor in the tuple binding graph is the
+        # tuple regarding Amazing Flying Penguins."
+        assert flying.flies.holds("patricia")
+
+    def test_peter_overrides_everything(self, flying):
+        assert flying.flies.holds("peter")
+
+    def test_class_level_truths(self, flying):
+        assert flying.flies.truth_of(("bird",))
+        assert not flying.flies.truth_of(("penguin",))
+        assert flying.flies.truth_of(("canary",))
+        assert flying.flies.truth_of(("amazing_flying_penguin",))
+
+    def test_unmentioned_item_defaults_false(self, flying):
+        assert not flying.flies.truth_of(("animal",))
+
+
+class TestStrongestBinders:
+    def test_own_tuple_binds_strongest(self, flying):
+        binders = flying.flies.strongest_binders(("peter",))
+        assert binders == [HTuple(("peter",), True)]
+
+    def test_minimal_subsumer(self, flying):
+        binders = flying.flies.strongest_binders(("paul",))
+        assert binders == [HTuple(("penguin",), False)]
+
+    def test_patricia_single_binder(self, flying):
+        binders = flying.flies.strongest_binders(("patricia",))
+        assert binders == [HTuple(("amazing_flying_penguin",), True)]
+
+    def test_no_binders_for_uncovered(self, flying):
+        assert flying.flies.strongest_binders(("animal",)) == []
+
+    def test_module_function_matches_method(self, flying):
+        assert strongest_binders(flying.flies, ("paul",)) == flying.flies.strongest_binders(
+            ("paul",)
+        )
+
+
+class TestConflictRaising:
+    def test_ambiguity_error(self, diamond):
+        r = make_relation(diamond, [("a", True), ("b", False)])
+        with pytest.raises(AmbiguityError) as info:
+            truth_of(r, ("d",))
+        assert info.value.item == ("d",)
+        assert len(info.value.binders) == 2
+
+    def test_truth_and_binders_returns_none(self, diamond):
+        r = make_relation(diamond, [("a", True), ("b", False)])
+        truth, binders = truth_and_binders(r, ("x",))
+        assert truth is None
+        assert {b.truth for b in binders} == {True, False}
+
+    def test_resolution_tuple_removes_conflict(self, diamond):
+        r = make_relation(diamond, [("a", True), ("b", False), ("d", True)])
+        assert truth_of(r, ("x",)) is True
+
+
+class TestSubsumptionGraph:
+    def test_flies_graph_structure(self, flying):
+        graph = subsumption_graph(flying.flies)
+        bird = ("bird",)
+        penguin = ("penguin",)
+        afp = ("amazing_flying_penguin",)
+        peter = ("peter",)
+        assert graph[UNIVERSAL] == {bird}
+        assert graph[bird] == {penguin}
+        assert graph[penguin] == {afp, peter}
+        assert graph[afp] == set()
+
+    def test_respects_graph_matches_fig6a(self, school):
+        graph = subsumption_graph(school.respects)
+        ot = ("obsequious_student", "teacher")
+        si = ("student", "incoherent_teacher")
+        oi = ("obsequious_student", "incoherent_teacher")
+        assert graph[UNIVERSAL] == {ot, si}
+        assert graph[ot] == {oi}
+        assert graph[si] == {oi}
+
+    def test_empty_relation_graph(self, flying):
+        r = HRelation(flying.flies.schema)
+        graph = subsumption_graph(r)
+        assert graph == {UNIVERSAL: set()}
+
+    def test_no_transitive_edges(self, flying):
+        # bird -> peter must not appear: penguin interposes.
+        graph = subsumption_graph(flying.flies)
+        assert ("peter",) not in graph[("bird",)]
+
+
+class TestBindingGraph:
+    def test_patricia_binding_graph(self, flying):
+        """Fig. 1d: Patricia's tuple-binding graph."""
+        graph = binding_graph(flying.flies, ("patricia",))
+        patricia = ("patricia",)
+        afp = ("amazing_flying_penguin",)
+        penguin = ("penguin",)
+        bird = ("bird",)
+        assert set(graph) == {bird, penguin, afp, patricia}
+        preds = {n for n, succs in graph.items() if patricia in succs}
+        assert preds == {afp}
+
+    def test_peter_binding_graph_has_self_node(self, flying):
+        graph = binding_graph(flying.flies, ("peter",))
+        assert ("peter",) in graph
+
+    def test_uncovered_item_graph(self, flying):
+        graph = binding_graph(flying.flies, ("animal",))
+        assert ("animal",) in graph
+
+
+class TestJustification:
+    def test_fig9_appu(self, elephants):
+        """Fig. 9: the colour of Appu, with its justification."""
+        j = justify(elephants.animal_color, ("appu", "white"))
+        assert j.truth is True
+        assert [t.item for t in j.deciders] == [("royal_elephant", "white")]
+        applicable_items = [t.item for t in j.applicable]
+        assert ("royal_elephant", "white") in applicable_items
+        # The elephant-level grey tuple does not apply to (appu, white):
+        # its colour component differs.
+        assert ("elephant", "grey") not in applicable_items
+
+    def test_justify_default(self, flying):
+        j = justify(flying.flies, ("animal",))
+        assert j.truth is False
+        assert j.decided_by_default
+        assert j.applicable == ()
+
+    def test_justify_conflict(self, diamond):
+        r = make_relation(diamond, [("a", True), ("b", False)])
+        j = justify(r, ("x",))
+        assert j.truth is None
+        assert len(j.deciders) == 2
+
+    def test_justify_str(self, flying):
+        j = justify(flying.flies, ("paul",))
+        text = str(j)
+        assert "false" in text and "penguin" in text
+
+    def test_applicable_most_specific_first(self, flying):
+        j = justify(flying.flies, ("patricia",))
+        items = [t.item for t in j.applicable]
+        assert items.index(("amazing_flying_penguin",)) < items.index(("bird",))
+
+
+class TestBinderCache:
+    def test_cache_hits_are_consistent(self, flying):
+        first = flying.flies.strongest_binders(("paul",))
+        second = flying.flies.strongest_binders(("paul",))
+        assert first == second
+
+    def test_cache_invalidated_on_mutation(self, flying):
+        assert not flying.flies.holds("paul")
+        flying.flies.assert_item(("paul",), truth=True)
+        assert flying.flies.holds("paul")

@@ -1,0 +1,112 @@
+"""Unit tests for relational division (hierarchical and flat)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.flat import FlatRelation, from_hrelation
+from repro.flat import algebra as flat_algebra
+from repro.core import HRelation, divide
+from repro.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def universe():
+    student = Hierarchy("student")
+    student.add_class("keen")
+    student.add_instance("ann", parents=["keen"])
+    student.add_instance("bob", parents=["keen"])
+    student.add_instance("cal", parents=["student"])
+    course = Hierarchy("course")
+    course.add_class("core")
+    course.add_instance("math", parents=["core"])
+    course.add_instance("logic", parents=["core"])
+    course.add_instance("art", parents=["course"])
+    return student, course
+
+
+@pytest.fixture
+def enrolled(universe):
+    student, course = universe
+    r = HRelation([("student", student), ("course", course)], name="enrolled")
+    # Every keen student takes every core course; Cal takes math only;
+    # Ann additionally takes art.
+    r.assert_item(("keen", "core"))
+    r.assert_item(("cal", "math"))
+    r.assert_item(("ann", "art"))
+    return r
+
+
+class TestDivide:
+    def test_divide_by_core_courses(self, universe, enrolled):
+        student, course = universe
+        core = HRelation([("course", course)], name="core_courses")
+        core.assert_item(("core",))  # a class-valued divisor!
+        got = divide(enrolled, core)
+        assert set(got.extension()) == {("ann",), ("bob",)}
+
+    def test_divide_by_single_atom(self, universe, enrolled):
+        student, course = universe
+        just_math = HRelation([("course", course)], name="just_math")
+        just_math.assert_item(("math",))
+        got = divide(enrolled, just_math)
+        assert set(got.extension()) == {("ann",), ("bob",), ("cal",)}
+
+    def test_divide_by_everything(self, universe, enrolled):
+        student, course = universe
+        everything = HRelation([("course", course)], name="everything")
+        everything.assert_item(("course",))
+        got = divide(enrolled, everything)
+        assert set(got.extension()) == {("ann",)}  # only Ann has art too
+
+    def test_empty_divisor_is_projection(self, universe, enrolled):
+        student, course = universe
+        empty = HRelation([("course", course)], name="none")
+        got = divide(enrolled, empty)
+        want = flat_algebra.project(from_hrelation(enrolled), ["student"]).rows()
+        assert from_hrelation(got).rows() == want
+
+    def test_flat_oracle(self, universe, enrolled):
+        student, course = universe
+        core = HRelation([("course", course)], name="core_courses")
+        core.assert_item(("core",))
+        want = flat_algebra.divide(
+            from_hrelation(enrolled), from_hrelation(core)
+        ).rows()
+        assert from_hrelation(divide(enrolled, core)).rows() == want
+
+    def test_no_surviving_attribute_rejected(self, universe, enrolled):
+        with pytest.raises(SchemaError):
+            divide(enrolled, enrolled)
+
+    def test_mismatched_hierarchy_rejected(self, universe, enrolled):
+        other = Hierarchy("course")
+        bad = HRelation([("course", other)], name="bad")
+        with pytest.raises(SchemaError):
+            divide(enrolled, bad)
+
+
+class TestFlatDivide:
+    def test_textbook_example(self):
+        supplies = FlatRelation(
+            ["supplier", "part"],
+            [("s1", "p1"), ("s1", "p2"), ("s2", "p1"), ("s3", "p2")],
+        )
+        parts = FlatRelation(["part"], [("p1",), ("p2",)])
+        got = flat_algebra.divide(supplies, parts)
+        assert got.rows() == {("s1",)}
+        assert got.attributes == ("supplier",)
+
+    def test_empty_divisor(self):
+        supplies = FlatRelation(["s", "p"], [("s1", "p1")])
+        got = flat_algebra.divide(supplies, FlatRelation(["p"]))
+        assert got.rows() == {("s1",)}
+
+    def test_missing_attribute_rejected(self):
+        supplies = FlatRelation(["s", "p"], [("s1", "p1")])
+        with pytest.raises(SchemaError):
+            flat_algebra.divide(supplies, FlatRelation(["zz"], [("v",)]))
+
+    def test_all_attributes_shared_rejected(self):
+        supplies = FlatRelation(["p"], [("p1",)])
+        with pytest.raises(SchemaError):
+            flat_algebra.divide(supplies, FlatRelation(["p"], [("p1",)]))

@@ -1,0 +1,72 @@
+"""Unit tests for condensed-form equivalence and containment."""
+
+import pytest
+
+from repro.core import (
+    HRelation,
+    consolidate,
+    containment_witness,
+    contains,
+    difference_witness,
+    equivalent,
+)
+
+
+class TestEquivalence:
+    def test_consolidation_invariance(self, flying, school):
+        for relation in (flying.flies, school.respects):
+            assert equivalent(relation, consolidate(relation))
+
+    def test_different_tuples_same_extension(self, flying):
+        # A fully explicated copy stores different tuples but means the
+        # same thing.
+        flat = flying.flies.explicated()
+        assert not flat.same_tuples_as(flying.flies)
+        assert equivalent(flying.flies, flat)
+
+    def test_witness_on_difference(self, flying):
+        changed = flying.flies.copy()
+        changed.retract(("peter",))
+        witness = difference_witness(flying.flies, changed)
+        assert witness == ("peter",)
+        assert not equivalent(flying.flies, changed)
+
+    def test_empty_relations_equivalent(self, flying):
+        a = HRelation(flying.flies.schema)
+        b = HRelation(flying.flies.schema)
+        assert equivalent(a, b)
+
+    def test_symmetric(self, flying):
+        changed = flying.flies.copy()
+        changed.retract(("penguin",))
+        assert equivalent(flying.flies, changed) == equivalent(changed, flying.flies)
+
+
+class TestContainment:
+    def test_relation_contains_itself(self, flying):
+        assert contains(flying.flies, flying.flies)
+
+    def test_superset_contains_subset(self, flying):
+        smaller = flying.flies.copy()
+        smaller.retract(("peter",))
+        smaller.assert_item(("peter",), truth=False)
+        assert contains(flying.flies, smaller)
+        assert not contains(smaller, flying.flies)
+
+    def test_containment_witness(self, flying):
+        smaller = flying.flies.copy()
+        smaller.retract(("peter",))
+        smaller.assert_item(("peter",), truth=False)
+        assert containment_witness(smaller, flying.flies) == ("peter",)
+        assert containment_witness(flying.flies, smaller) is None
+
+    def test_empty_contained_in_everything(self, flying):
+        empty = HRelation(flying.flies.schema)
+        assert contains(flying.flies, empty)
+        assert not contains(empty, flying.flies)
+
+    def test_mutual_containment_is_equivalence(self, school):
+        compact = consolidate(school.respects)
+        assert contains(school.respects, compact)
+        assert contains(compact, school.respects)
+        assert equivalent(school.respects, compact)

@@ -1,0 +1,119 @@
+"""Unit tests for the explicate operator (section 3.3.2)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.core import HRelation, explicate
+from repro.core.explicate import extension_relation
+from tests.conftest import make_relation
+
+
+class TestFullExplication:
+    def test_flies_flattens_to_extension(self, flying):
+        flat = explicate(flying.flies)
+        assert sorted(t.item for t in flat.tuples()) == [
+            ("pamela",),
+            ("patricia",),
+            ("peter",),
+            ("tweety",),
+        ]
+        assert all(t.truth for t in flat.tuples())
+
+    def test_negated_kept_when_requested(self, flying):
+        flat = explicate(flying.flies, drop_negated=False)
+        items = {t.item: t.truth for t in flat.tuples()}
+        assert items[("paul",)] is False
+        assert items[("tweety",)] is True
+
+    def test_negated_atoms_are_redundant_after_full_explication(self, flying):
+        flat = explicate(flying.flies, drop_negated=False)
+        compact = flat.consolidated()
+        assert all(t.truth for t in compact.tuples())
+        assert set(compact.extension()) == set(flying.flies.extension())
+
+    def test_extension_equivalence(self, school):
+        flat = explicate(school.respects)
+        assert set(t.item for t in flat.tuples()) == set(school.respects.extension())
+
+    def test_statistical_use(self, flying):
+        """'useful when a count … is to be performed over the relation'"""
+        assert len(explicate(flying.flies)) == flying.flies.extension_size()
+
+    def test_extension_relation_helper(self, flying):
+        assert set(t.item for t in extension_relation(flying.flies).tuples()) == set(
+            flying.flies.extension()
+        )
+
+
+class TestPartialExplication:
+    def test_explicate_one_attribute(self, school):
+        partial = explicate(school.respects, attributes=["teacher"])
+        for t in partial.tuples():
+            assert school.teacher.is_leaf(t.item[1])
+        # The student attribute stays condensed.
+        assert any(not school.student.is_leaf(t.item[0]) for t in partial.tuples())
+
+    def test_partial_keeps_negated_by_default(self, school):
+        partial = explicate(school.respects, attributes=["teacher"])
+        assert any(not t.truth for t in partial.tuples())
+
+    def test_partial_preserves_flat_semantics(self, school):
+        partial = explicate(school.respects, attributes=["teacher"])
+        assert set(partial.extension()) == set(school.respects.extension())
+
+    def test_partial_preserves_flat_semantics_elephants(self, elephants):
+        partial = explicate(elephants.animal_color, attributes=["color"])
+        assert set(partial.extension()) == set(elephants.animal_color.extension())
+        partial2 = explicate(elephants.animal_color, attributes=["animal"])
+        assert set(partial2.extension()) == set(elephants.animal_color.extension())
+
+    def test_explicating_all_attrs_by_name_is_full(self, school):
+        by_name = explicate(school.respects, attributes=["student", "teacher"])
+        assert all(t.truth for t in by_name.tuples())
+
+    def test_unknown_attribute_rejected(self, school):
+        with pytest.raises(SchemaError):
+            explicate(school.respects, attributes=["nope"])
+
+    def test_duplicate_attribute_rejected(self, school):
+        with pytest.raises(SchemaError):
+            explicate(school.respects, attributes=["teacher", "teacher"])
+
+
+class TestOverrides:
+    def test_most_specific_writer_wins(self, flying):
+        flat = explicate(flying.flies, drop_negated=False)
+        items = {t.item: t.truth for t in flat.tuples()}
+        # Peter is covered by -(penguin) and +(bird) too, but his own
+        # tuple is most specific and is written first.
+        assert items[("peter",)] is True
+        assert items[("patricia",)] is True
+        assert items[("pamela",)] is True
+
+    def test_empty_relation(self, flying):
+        empty = HRelation(flying.flies.schema)
+        assert len(explicate(empty)) == 0
+
+    def test_relation_of_atoms_unchanged(self, flying):
+        r = HRelation(flying.flies.schema)
+        r.assert_item(("tweety",))
+        r.assert_item(("peter",))
+        flat = explicate(r)
+        assert sorted(t.item for t in flat.tuples()) == [("peter",), ("tweety",)]
+
+    def test_original_untouched(self, flying):
+        before = len(flying.flies)
+        explicate(flying.flies)
+        assert len(flying.flies) == before
+
+    def test_class_with_huge_fanout(self):
+        from repro.hierarchy import Hierarchy
+
+        h = Hierarchy("d")
+        h.add_class("grp")
+        for i in range(50):
+            h.add_instance("m{}".format(i), parents=["grp"])
+        r = make_relation(h, [("grp", True), ("m7", False)])
+        flat = explicate(r)
+        assert len(flat) == 49
+        assert ("m7",) not in flat

@@ -1,0 +1,44 @@
+"""Unit tests for HTuple and the universal negated tuple."""
+
+from repro.core import HTuple, UNIVERSAL, format_item
+
+
+class TestHTuple:
+    def test_defaults_positive(self):
+        t = HTuple(("bird",))
+        assert t.truth is True
+        assert t.sign == "+"
+
+    def test_negated(self):
+        t = HTuple(("bird",), True).negated()
+        assert t.truth is False
+        assert t.sign == "-"
+        assert t.item == ("bird",)
+
+    def test_equality_and_hash(self):
+        assert HTuple(("a", "b")) == HTuple(("a", "b"))
+        assert HTuple(("a",), False) != HTuple(("a",), True)
+        assert len({HTuple(("a",)), HTuple(("a",))}) == 1
+
+    def test_str(self):
+        assert str(HTuple(("a", "b"), False)) == "-(a, b)"
+
+
+class TestUniversal:
+    def test_singleton(self):
+        assert UNIVERSAL is type(UNIVERSAL)()
+
+    def test_truth_is_false(self):
+        assert UNIVERSAL.truth is False
+        assert UNIVERSAL.sign == "-"
+
+    def test_str(self):
+        assert str(UNIVERSAL) == "-(D*)"
+
+
+class TestFormatItem:
+    def test_classes_get_quantifier(self):
+        assert format_item(("bird", "tweety"), [False, True]) == "∀bird, tweety"
+
+    def test_default_all_bare(self):
+        assert format_item(("a", "b")) == "a, b"

@@ -1,0 +1,94 @@
+"""Unit tests for the binder index."""
+
+import pytest
+
+from repro.core import BinderIndex, HRelation, RelationSchema
+from repro.workloads.generators import (
+    balanced_tree_hierarchy,
+    random_consistent_relation,
+)
+
+
+@pytest.fixture
+def big_relation():
+    hierarchy = balanced_tree_hierarchy("t", depth=3, fanout=3)
+    schema = RelationSchema([("x", hierarchy)])
+    return random_consistent_relation(schema, tuple_count=60, seed=11)
+
+
+class TestCorrectness:
+    def test_index_matches_scan_single(self, big_relation):
+        index = BinderIndex(big_relation)
+        product = big_relation.schema.product
+        for node in big_relation.schema.hierarchies[0].nodes():
+            item = (node,)
+            scan = {
+                other
+                for other in big_relation.asserted
+                if product.subsumes(other, item)
+            }
+            assert set(index.subsumers_of(big_relation.schema, item)) == scan
+
+    def test_index_matches_scan_binary(self):
+        left = balanced_tree_hierarchy("l", depth=2, fanout=3)
+        right = balanced_tree_hierarchy("r", depth=2, fanout=3)
+        schema = RelationSchema([("a", left), ("b", right)])
+        relation = random_consistent_relation(schema, tuple_count=40, seed=3)
+        index = BinderIndex(relation)
+        product = schema.product
+        import random
+
+        rng = random.Random(0)
+        for _ in range(60):
+            item = (rng.choice(left.nodes()), rng.choice(right.nodes()))
+            scan = {
+                other for other in relation.asserted if product.subsumes(other, item)
+            }
+            assert set(index.subsumers_of(schema, item)) == scan
+
+    def test_empty_when_attribute_misses(self, big_relation):
+        hierarchy = big_relation.schema.hierarchies[0]
+        fresh = HRelation(big_relation.schema)
+        fresh.assert_item((hierarchy.nodes()[1],))
+        index = BinderIndex(fresh)
+        # Pick a node disjoint from the asserted one.
+        sibling = hierarchy.nodes()[2]
+        if not hierarchy.subsumes(hierarchy.nodes()[1], sibling):
+            assert index.subsumers_of(fresh.schema, (sibling,)) == []
+
+
+class TestIntegration:
+    def test_threshold_switches_paths(self, big_relation):
+        big_relation.index_threshold = 10 ** 9  # force scan
+        scan_answers = {
+            node: big_relation.holds(node)
+            for node in big_relation.schema.hierarchies[0].leaves()
+        }
+        indexed = big_relation.copy()
+        indexed.index_threshold = 0  # force index
+        for node, want in scan_answers.items():
+            assert indexed.holds(node) == want
+
+    def test_index_rebuilt_after_mutation(self, big_relation):
+        big_relation.index_threshold = 0
+        hierarchy = big_relation.schema.hierarchies[0]
+        leaf = hierarchy.leaves()[0]
+        before = big_relation.holds(leaf)
+        big_relation.assert_item((leaf,), truth=not before, replace=True)
+        assert big_relation.holds(leaf) == (not before)
+
+    def test_subsumers_of_includes_self(self, flying):
+        flying.flies.index_threshold = 0
+        subs = flying.flies.subsumers_of(("peter",))
+        assert ("peter",) in subs
+        assert ("penguin",) in subs and ("bird",) in subs
+
+    def test_consolidate_agrees_across_paths(self, big_relation):
+        from repro.core import consolidate
+
+        big_relation.index_threshold = 10 ** 9
+        by_scan = consolidate(big_relation)
+        indexed = big_relation.copy()
+        indexed.index_threshold = 0
+        by_index = consolidate(indexed)
+        assert by_scan.asserted == by_index.asserted

@@ -1,0 +1,64 @@
+"""Unit tests for the integrity checker (section 3.1)."""
+
+import pytest
+
+from repro.errors import InconsistentRelationError
+from repro.core import IntegrityChecker, check_consistent
+from repro.core.conflicts import find_conflicts
+
+
+class TestCheckConsistent:
+    def test_passes_on_consistent(self, school):
+        check_consistent(school.respects)  # no raise
+
+    def test_raises_on_conflict(self, school):
+        with pytest.raises(InconsistentRelationError) as info:
+            check_consistent(school.unresolved())
+        assert len(info.value.conflicts) == 1
+
+    def test_exhaustive_mode(self, school):
+        with pytest.raises(InconsistentRelationError):
+            check_consistent(school.unresolved(), exhaustive=True)
+
+
+class TestIntegrityChecker:
+    def test_conflicts_listing(self, school):
+        checker = IntegrityChecker()
+        assert checker.conflicts(school.respects) == []
+        assert len(checker.conflicts(school.unresolved())) == 1
+
+    def test_custom_constraint_pass_and_fail(self, school):
+        checker = IntegrityChecker()
+        checker.add_constraint("nonempty", lambda r: len(r) > 0)
+        checker.check(school.respects)  # passes
+        checker.add_constraint("at_most_two", lambda r: len(r) <= 2)
+        assert checker.violations(school.respects) == ["at_most_two"]
+        with pytest.raises(InconsistentRelationError):
+            checker.check(school.respects)
+
+    def test_remove_constraint(self, school):
+        checker = IntegrityChecker()
+        checker.add_constraint("never", lambda r: False)
+        checker.remove_constraint("never")
+        checker.check(school.respects)
+        assert checker.constraint_names() == []
+
+    def test_conflicts_reported_before_constraints(self, school):
+        checker = IntegrityChecker()
+        checker.add_constraint("never", lambda r: False)
+        with pytest.raises(InconsistentRelationError) as info:
+            checker.check(school.unresolved())
+        # The real conflict is reported, not the constraint placeholder.
+        assert info.value.conflicts[0].item == (
+            "obsequious_student",
+            "incoherent_teacher",
+        )
+
+    def test_plan_resolution(self, school):
+        checker = IntegrityChecker()
+        unresolved = school.unresolved()
+        conflict = checker.conflicts(unresolved)[0]
+        plan = checker.plan_resolution(unresolved, conflict, truth=True)
+        for t in plan:
+            unresolved.assert_item(t.item, truth=t.truth)
+        assert find_conflicts(unresolved) == []

@@ -1,0 +1,135 @@
+"""Unit tests for the three preemption strategies (appendix)."""
+
+import pytest
+
+from repro.errors import AmbiguityError
+from repro.core import HRelation, NO_PREEMPTION, OFF_PATH, ON_PATH
+from repro.core.preemption import STRATEGIES
+from repro.workloads import flying_dataset
+from tests.conftest import make_relation
+
+
+class TestOffPath:
+    def test_patricia_flies(self, flying):
+        flying.flies.strategy = OFF_PATH
+        assert flying.flies.holds("patricia")
+
+    def test_redundant_edge_creates_pamela_conflict(self):
+        """Appendix: 'a redundant link … could be used to state that
+        Pamela is a Penguin … and there would be a conflict at Pamela.'"""
+        ds = flying_dataset(redundant_pamela_edge=True)
+        with pytest.raises(AmbiguityError):
+            ds.flies.truth_of(("pamela",))
+
+    def test_redundant_edge_does_not_affect_patricia(self):
+        ds = flying_dataset(redundant_pamela_edge=True)
+        assert ds.flies.holds("patricia")
+
+    def test_multiattribute_off_path(self, school):
+        assert school.respects.truth_of(("john", "bill"))
+        assert not school.respects.truth_of(("mary", "bill"))
+        assert not school.respects.truth_of(("mary", "tom"))
+
+
+class TestOnPath:
+    def test_patricia_conflicts(self, flying):
+        """Appendix: 'on-path preemption would suggest that since
+        Patricia is a Galapagos penguin, it may or may not be able to
+        fly.'"""
+        flying.flies.strategy = ON_PATH
+        with pytest.raises(AmbiguityError):
+            flying.flies.truth_of(("patricia",))
+
+    def test_pamela_still_flies(self, flying):
+        # Every path from Penguin to Pamela passes through AFP.
+        flying.flies.strategy = ON_PATH
+        assert flying.flies.holds("pamela")
+
+    def test_paul_tweety_unchanged(self, flying):
+        flying.flies.strategy = ON_PATH
+        assert not flying.flies.holds("paul")
+        assert flying.flies.holds("tweety")
+
+    def test_own_tuple_still_wins(self, flying):
+        flying.flies.strategy = ON_PATH
+        assert flying.flies.holds("peter")
+
+
+class TestNoPreemption:
+    def test_every_applicable_tuple_counts(self, flying):
+        """Appendix: declare a conflict whenever two or more different
+        truth values are inherited."""
+        flying.flies.strategy = NO_PREEMPTION
+        # Paul inherits -(penguin) and +(bird): conflict even though
+        # penguin is more specific.
+        with pytest.raises(AmbiguityError):
+            flying.flies.truth_of(("paul",))
+
+    def test_uniform_inheritance_fine(self, flying):
+        flying.flies.strategy = NO_PREEMPTION
+        assert flying.flies.holds("tweety")  # only +(bird) applies
+
+    def test_own_tuple_still_wins(self, flying):
+        flying.flies.strategy = NO_PREEMPTION
+        assert flying.flies.holds("peter")
+
+    def test_applicable_set(self, flying):
+        binders = NO_PREEMPTION.strongest_binders(
+            flying.flies.schema.product, flying.flies.asserted, ("patricia",)
+        )
+        assert {b.item for b in binders} == {
+            ("bird",),
+            ("penguin",),
+            ("amazing_flying_penguin",),
+        }
+
+
+class TestPreferenceEdges:
+    def test_preference_resolves_diamond_conflict(self, diamond):
+        r = make_relation(diamond, [("a", True), ("b", False)])
+        with pytest.raises(AmbiguityError):
+            r.truth_of(("x",))
+        # Appendix: a special edge renders one conflicting predecessor
+        # reachable from the other; off-path semantics then apply.
+        diamond.add_preference_edge("b", "a")  # a preempts b
+        assert r.truth_of(("x",)) is True
+
+    def test_preference_other_direction(self, diamond):
+        r = make_relation(diamond, [("a", True), ("b", False)])
+        diamond.add_preference_edge("a", "b")  # b preempts a
+        assert r.truth_of(("x",)) is False
+
+    def test_preference_does_not_create_membership(self, diamond):
+        r = make_relation(diamond, [("b", True)])
+        diamond.add_preference_edge("b", "a")
+        # 'a' is not a member of 'b'; a tuple at b still does not apply
+        # to items only under a.
+        r2 = make_relation(diamond, [("a", True)])
+        assert not r2.truth_of(("b",))
+
+    def test_royal_elephant_preference(self, elephants):
+        """The Fig. 4 discussion: Appu's Indian-elephant membership is
+        irrelevant *because nothing is asserted there*.  With an
+        explicit Indian-elephant colour, a preference edge is one way to
+        keep Appu white."""
+        elephants.animal_color.assert_item(("indian_elephant", "grey"), truth=True)
+        with pytest.raises(AmbiguityError):
+            elephants.animal_color.truth_of(("appu", "grey"))
+        elephants.animal.add_preference_edge("indian_elephant", "royal_elephant")
+        assert elephants.animal_color.truth_of(("appu", "grey")) is False
+        assert elephants.animal_color.truth_of(("appu", "white")) is True
+
+
+class TestStrategyRegistry:
+    def test_names(self):
+        assert set(STRATEGIES) == {"off-path", "on-path", "none"}
+
+    def test_repr(self):
+        assert "off-path" in repr(OFF_PATH)
+
+    def test_applicable_order_most_specific_first(self, flying):
+        tuples = OFF_PATH.applicable(
+            flying.flies.schema.product, flying.flies.asserted, ("patricia",)
+        )
+        items = [t.item for t in tuples]
+        assert items.index(("amazing_flying_penguin",)) < items.index(("bird",))

@@ -1,0 +1,92 @@
+"""Unit tests for assertion provenance (the §3.2 justification story)."""
+
+import pytest
+
+from repro.errors import TupleError
+from repro.core import HRelation
+from repro.core.provenance import ProvenanceTracker
+from repro.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def tracked():
+    h = Hierarchy("animal")
+    h.add_class("bird")
+    h.add_instance("tweety", parents=["bird"])
+    h.add_instance("robin", parents=["bird"])
+    relation = HRelation([("c", h)], name="flies")
+    return ProvenanceTracker(relation)
+
+
+class TestRecording:
+    def test_reason_stored(self, tracked):
+        tracked.assert_item(("tweety",), reason="observed")
+        assert tracked.reason_for(("tweety",)) == "observed"
+        assert tracked.reason_for(("robin",)) is None
+
+    def test_derived_from_requires_stored_sources(self, tracked):
+        with pytest.raises(TupleError):
+            tracked.assert_item(("bird",), derived_from=[("tweety",)])
+
+    def test_generalisation_links(self, tracked):
+        tracked.assert_item(("tweety",))
+        tracked.assert_item(("robin",))
+        tracked.assert_item(
+            ("bird",), reason="generalisation",
+            derived_from=[("tweety",), ("robin",)],
+        )
+        assert set(tracked.sources_of(("bird",))) == {("tweety",), ("robin",)}
+        assert tracked.dependents_of(("tweety",)) == [("bird",)]
+
+    def test_records_follow_storage(self, tracked):
+        tracked.assert_item(("tweety",), reason="a")
+        tracked.assert_item(("robin",), reason="b")
+        assert [r.reason for r in tracked.records()] == ["a", "b"]
+
+
+class TestRetraction:
+    def test_default_is_independence(self, tracked):
+        """'The default condition is to let the two separate tuples
+        coexist' — retracting the generalisation keeps the specifics."""
+        tracked.assert_item(("tweety",))
+        tracked.assert_item(("bird",), derived_from=[("tweety",)])
+        removed = tracked.retract(("bird",))
+        assert removed == [("bird",)]
+        assert ("tweety",) in tracked.relation
+
+    def test_cascade_removes_derived(self, tracked):
+        tracked.assert_item(("tweety",))
+        tracked.assert_item(("bird",), derived_from=[("tweety",)])
+        removed = tracked.retract(("tweety",), cascade=True)
+        assert set(removed) == {("tweety",), ("bird",)}
+        assert len(tracked.relation) == 0
+
+    def test_cascade_transitive(self, tracked):
+        h = tracked.relation.schema.hierarchies[0]
+        h.add_class("vertebrate")
+        h.add_edge("vertebrate", "bird")
+        tracked.assert_item(("tweety",))
+        tracked.assert_item(("bird",), derived_from=[("tweety",)])
+        tracked.assert_item(("vertebrate",), derived_from=[("bird",)])
+        removed = tracked.retract(("tweety",), cascade=True)
+        assert set(removed) == {("tweety",), ("bird",), ("vertebrate",)}
+
+
+class TestAbsorb:
+    def test_generalisation_absorbs_its_sources(self, tracked):
+        """'it may be appropriate to delete t₂ once t₁ has been
+        inserted into the relation.'"""
+        tracked.assert_item(("tweety",))
+        tracked.assert_item(("robin",))
+        tracked.assert_item(
+            ("bird",), derived_from=[("tweety",), ("robin",)]
+        )
+        removed = tracked.absorb(("bird",))
+        assert set(removed) == {("tweety",), ("robin",)}
+        assert [t.item for t in tracked.relation.tuples()] == [("bird",)]
+        # Semantics unchanged: the atoms still fly.
+        assert tracked.relation.holds("tweety")
+
+    def test_absorb_without_record_is_noop(self, tracked):
+        tracked.relation.assert_item(("bird",))
+        assert tracked.absorb(("bird",)) == []

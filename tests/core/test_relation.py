@@ -1,0 +1,157 @@
+"""Unit tests for :class:`HRelation` storage semantics."""
+
+import pytest
+
+from repro.errors import SchemaError, TupleError, UnknownNodeError
+from repro.hierarchy import Hierarchy
+from repro.core import HRelation, HTuple
+
+
+@pytest.fixture
+def animal():
+    h = Hierarchy("animal")
+    h.add_class("bird")
+    h.add_class("penguin", parents=["bird"])
+    h.add_instance("tweety", parents=["bird"])
+    h.add_instance("pingu", parents=["penguin"])
+    return h
+
+
+@pytest.fixture
+def flies(animal):
+    r = HRelation([("creature", animal)], name="flies")
+    r.assert_item(("bird",))
+    r.assert_item(("penguin",), truth=False)
+    return r
+
+
+class TestAssertRetract:
+    def test_assert_and_contains(self, flies):
+        assert ("bird",) in flies
+        assert ("tweety",) not in flies  # stored tuples only
+        assert len(flies) == 2
+
+    def test_reassert_same_truth_is_noop(self, flies):
+        flies.assert_item(("bird",))
+        assert len(flies) == 2
+
+    def test_contradictory_assert_rejected(self, flies):
+        with pytest.raises(TupleError):
+            flies.assert_item(("bird",), truth=False)
+
+    def test_replace_flips_truth(self, flies):
+        flies.assert_item(("bird",), truth=False, replace=True)
+        assert flies.truth_of_stored(("bird",)) is False
+
+    def test_retract(self, flies):
+        flies.retract(("penguin",))
+        assert ("penguin",) not in flies
+
+    def test_retract_missing_raises(self, flies):
+        with pytest.raises(TupleError):
+            flies.retract(("tweety",))
+
+    def test_discard(self, flies):
+        assert flies.discard(("penguin",)) is True
+        assert flies.discard(("penguin",)) is False
+
+    def test_unknown_value_rejected(self, flies):
+        with pytest.raises(UnknownNodeError):
+            flies.assert_item(("dragon",))
+
+    def test_wrong_arity_rejected(self, flies):
+        with pytest.raises(SchemaError):
+            flies.assert_item(("bird", "extra"))
+
+    def test_assert_all_mixed_forms(self, animal):
+        r = HRelation([("c", animal)])
+        r.assert_all([(("bird",), True), HTuple(("penguin",), False)])
+        assert len(r) == 2
+
+    def test_assert_tuple(self, animal):
+        r = HRelation([("c", animal)])
+        r.assert_tuple(HTuple(("bird",), True))
+        assert r.truth_of_stored(("bird",)) is True
+
+    def test_clear(self, flies):
+        flies.clear()
+        assert len(flies) == 0
+        assert list(flies.tuples()) == []
+
+
+class TestViews:
+    def test_tuples_in_insertion_order(self, flies):
+        assert [t.item for t in flies.tuples()] == [("bird",), ("penguin",)]
+
+    def test_iter(self, flies):
+        assert [t.sign for t in flies] == ["+", "-"]
+
+    def test_truth_of_stored_none_for_missing(self, flies):
+        assert flies.truth_of_stored(("tweety",)) is None
+
+    def test_version_bumps_on_mutation(self, flies):
+        v = flies.version
+        flies.assert_item(("tweety",))
+        assert flies.version > v
+
+    def test_copy_independent(self, flies):
+        clone = flies.copy()
+        clone.assert_item(("tweety",))
+        assert ("tweety",) not in flies
+        assert clone.same_tuples_as(flies) is False
+
+    def test_same_tuples_as(self, flies):
+        assert flies.copy().same_tuples_as(flies)
+
+    def test_repr_and_str(self, flies):
+        assert "flies" in repr(flies)
+        rendered = str(flies)
+        assert "∀bird" in rendered and "creature" in rendered
+
+    def test_format_tuple(self, flies):
+        assert flies.format_tuple(HTuple(("bird",), True)) == "+ ∀bird"
+        assert flies.format_tuple(HTuple(("tweety",), False)) == "- tweety"
+
+
+class TestSemanticsSugar:
+    def test_holds(self, flies):
+        assert flies.holds("tweety")
+        assert not flies.holds("pingu")
+
+    def test_extension(self, flies):
+        assert sorted(flies.extension()) == [("tweety",)]
+
+    def test_extension_size(self, flies):
+        assert flies.extension_size() == 1
+
+    def test_consolidated_and_explicated_sugar(self, flies):
+        assert len(flies.consolidated()) <= len(flies)
+        flat = flies.explicated()
+        assert sorted(t.item for t in flat.tuples()) == [("tweety",)]
+
+    def test_is_consistent(self, flies):
+        assert flies.is_consistent()
+        assert flies.conflicts() == []
+
+
+class TestUpwardCompatibility:
+    """Section 4: a relation of purely atomic tuples behaves classically."""
+
+    def test_flat_relation_roundtrip(self, animal):
+        r = HRelation([("c", animal)], name="classic")
+        r.assert_item(("tweety",))
+        r.assert_item(("pingu",))
+        assert sorted(r.extension()) == [("pingu",), ("tweety",)]
+        assert len(r.consolidated()) == 2  # nothing redundant
+
+    def test_no_binding_between_atoms(self, animal):
+        r = HRelation([("c", animal)])
+        r.assert_item(("tweety",))
+        assert not r.holds("pingu")
+
+    def test_negated_atom_without_cover_is_default(self, animal):
+        r = HRelation([("c", animal)])
+        r.assert_item(("tweety",), truth=False)
+        assert not r.holds("tweety")
+        # ... and consolidation recognises it as redundant (universal root).
+        assert len(r.consolidated()) == 0

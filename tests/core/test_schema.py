@@ -1,0 +1,127 @@
+"""Unit tests for :class:`RelationSchema`."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.hierarchy import Hierarchy
+from repro.core import RelationSchema
+
+
+@pytest.fixture
+def animal():
+    h = Hierarchy("animal")
+    h.add_class("bird")
+    return h
+
+
+@pytest.fixture
+def color():
+    h = Hierarchy("color")
+    h.add_instance("grey")
+    return h
+
+
+class TestConstruction:
+    def test_attributes_and_arity(self, animal, color):
+        schema = RelationSchema([("a", animal), ("c", color)])
+        assert schema.attributes == ("a", "c")
+        assert schema.arity == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([])
+
+    def test_duplicate_names_rejected(self, animal, color):
+        with pytest.raises(SchemaError):
+            RelationSchema([("a", animal), ("a", color)])
+
+    def test_index_and_hierarchy_lookup(self, animal, color):
+        schema = RelationSchema([("a", animal), ("c", color)])
+        assert schema.index_of("c") == 1
+        assert schema.hierarchy_for("a") is animal
+        with pytest.raises(SchemaError):
+            schema.index_of("nope")
+
+
+class TestItems:
+    def test_check_item(self, animal):
+        schema = RelationSchema([("a", animal)])
+        assert schema.check_item(["bird"]) == ("bird",)
+
+    def test_item_from_mapping(self, animal, color):
+        schema = RelationSchema([("a", animal), ("c", color)])
+        assert schema.item_from_mapping({"a": "bird", "c": "grey"}) == ("bird", "grey")
+
+    def test_item_from_mapping_default_top(self, animal, color):
+        schema = RelationSchema([("a", animal), ("c", color)])
+        assert schema.item_from_mapping({"a": "bird"}, default_top=True) == (
+            "bird",
+            "color",
+        )
+
+    def test_item_from_mapping_missing(self, animal, color):
+        schema = RelationSchema([("a", animal), ("c", color)])
+        with pytest.raises(SchemaError):
+            schema.item_from_mapping({"a": "bird"})
+
+    def test_item_from_mapping_extra(self, animal):
+        schema = RelationSchema([("a", animal)])
+        with pytest.raises(SchemaError):
+            schema.item_from_mapping({"a": "bird", "zz": "x"})
+
+
+class TestCompatibility:
+    def test_same_as_requires_identity(self, animal, color):
+        s1 = RelationSchema([("a", animal)])
+        s2 = RelationSchema([("a", animal)])
+        s3 = RelationSchema([("a", Hierarchy("animal"))])
+        assert s1.same_as(s2)
+        assert not s1.same_as(s3)
+
+    def test_eq_and_hash(self, animal):
+        s1 = RelationSchema([("a", animal)])
+        s2 = RelationSchema([("a", animal)])
+        assert s1 == s2
+        assert hash(s1) == hash(s2)
+
+    def test_require_same_as(self, animal, color):
+        s1 = RelationSchema([("a", animal)])
+        s2 = RelationSchema([("c", color)])
+        with pytest.raises(SchemaError):
+            s1.require_same_as(s2, "union")
+
+
+class TestDerivedSchemas:
+    def test_restrict(self, animal, color):
+        schema = RelationSchema([("a", animal), ("c", color)])
+        restricted = schema.restrict(["c"])
+        assert restricted.attributes == ("c",)
+        assert restricted.hierarchy_for("c") is color
+
+    def test_renamed(self, animal, color):
+        schema = RelationSchema([("a", animal), ("c", color)])
+        renamed = schema.renamed({"a": "beast"})
+        assert renamed.attributes == ("beast", "c")
+        with pytest.raises(SchemaError):
+            schema.renamed({"zz": "x"})
+
+    def test_join_schema(self, animal, color):
+        left = RelationSchema([("a", animal), ("c", color)])
+        right = RelationSchema([("a", animal)])
+        merged, shared = left.join_schema(right)
+        assert merged.attributes == ("a", "c")
+        assert shared == ["a"]
+
+    def test_join_schema_disjoint(self, animal, color):
+        left = RelationSchema([("a", animal)])
+        right = RelationSchema([("c", color)])
+        merged, shared = left.join_schema(right)
+        assert merged.attributes == ("a", "c")
+        assert shared == []
+
+    def test_join_schema_conflicting_binding(self, animal):
+        other_animal = Hierarchy("animal")
+        left = RelationSchema([("a", animal)])
+        right = RelationSchema([("a", other_animal)])
+        with pytest.raises(SchemaError):
+            left.join_schema(right)

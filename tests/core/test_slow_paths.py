@@ -1,0 +1,114 @@
+"""Tests for the node-elimination slow paths: binding, subsumption
+graphs, and consolidation over hierarchies that are *not* in normal
+form (redundant class edges) or that carry preference edges."""
+
+import pytest
+
+from repro.errors import AmbiguityError
+from repro.core import (
+    HRelation,
+    UNIVERSAL,
+    consolidate,
+    explicate,
+    subsumption_graph,
+)
+from repro.hierarchy import Hierarchy
+from tests.conftest import make_relation
+
+
+@pytest.fixture
+def redundant():
+    """bird -> penguin -> afp -> pam, plus the redundant bird -> pam."""
+    h = Hierarchy("animal")
+    h.add_class("bird")
+    h.add_class("penguin", parents=["bird"])
+    h.add_class("afp", parents=["penguin"])
+    h.add_instance("pam", parents=["afp"])
+    h.add_edge("penguin", "pam")  # the appendix's deliberate link
+    return h
+
+
+class TestBindingSlowPath:
+    def test_redundant_edge_conflict(self, redundant):
+        r = make_relation(
+            redundant, [("bird", True), ("penguin", False), ("afp", True)]
+        )
+        with pytest.raises(AmbiguityError):
+            r.truth_of(("pam",))
+
+    def test_own_tuple_still_decides(self, redundant):
+        r = make_relation(
+            redundant,
+            [("bird", True), ("penguin", False), ("afp", True), ("pam", True)],
+        )
+        assert r.truth_of(("pam",)) is True
+
+    def test_non_conflicting_items_unaffected(self, redundant):
+        r = make_relation(redundant, [("bird", True), ("penguin", False)])
+        assert r.truth_of(("afp",)) is False
+        # pam is reachable from penguin both directly and via afp; with
+        # no afp tuple the minimal binder is penguin either way.
+        assert r.truth_of(("pam",)) is False
+
+
+class TestSubsumptionGraphSlowPath:
+    def test_graph_over_redundant_hierarchy(self, redundant):
+        r = make_relation(
+            redundant, [("bird", True), ("penguin", False), ("afp", True)]
+        )
+        graph = subsumption_graph(r)
+        assert graph[UNIVERSAL] == {("bird",)}
+        assert graph[("bird",)] == {("penguin",)}
+        assert graph[("penguin",)] == {("afp",)}
+
+    def test_consolidate_over_redundant_hierarchy(self, redundant):
+        r = make_relation(
+            redundant,
+            [("bird", True), ("penguin", False), ("afp", True), ("pam", True)],
+        )
+        compact = consolidate(r)
+        # pam's tuple resolves the redundant-edge conflict: it must stay.
+        assert ("pam",) in compact
+        assert r.truth_of(("pam",)) is True
+        assert compact.truth_of(("pam",)) is True
+
+    def test_consolidate_removes_true_duplicates(self, redundant):
+        r = make_relation(redundant, [("bird", True), ("afp", True)])
+        compact = consolidate(r)
+        assert [t.item for t in compact.tuples()] == [("bird",)]
+
+
+class TestPreferenceEdgeGraphs:
+    def test_subsumption_graph_with_preferences(self, diamond):
+        diamond.add_preference_edge("b", "a")
+        r = make_relation(diamond, [("a", True), ("b", False)])
+        graph = subsumption_graph(r)
+        # The preference edge orders binding: a sits below b now.
+        assert ("a",) in graph[("b",)]
+
+    def test_consolidate_respects_preference_order(self, diamond):
+        diamond.add_preference_edge("b", "a")
+        r = make_relation(diamond, [("a", True), ("b", True)])
+        compact = consolidate(r)
+        # +(a) is now "under" +(b) in the binding order and same-signed:
+        # redundant there; semantics must be unchanged on every atom.
+        assert set(compact.extension()) == set(r.extension())
+
+    def test_explicate_ignores_preference_edges(self, diamond):
+        # Preference edges assert no membership: explication must not
+        # enumerate through them.
+        diamond.add_preference_edge("b", "a")
+        r = make_relation(diamond, [("b", True)])
+        flat = explicate(r)
+        # b's only real leaf descendants come through class edges (d/x).
+        assert set(t.item for t in flat.tuples()) == {("x",)}
+
+
+class TestExplicateSlowPath:
+    def test_explicate_over_redundant_hierarchy(self, redundant):
+        r = make_relation(
+            redundant,
+            [("bird", True), ("penguin", False), ("afp", True), ("pam", True)],
+        )
+        flat = explicate(r)
+        assert set(t.item for t in flat.tuples()) == {("pam",)}

@@ -1,0 +1,85 @@
+"""Unit tests for materialized views."""
+
+import pytest
+
+from repro.core import MaterializedView, ViewRegistry, select
+
+
+@pytest.fixture
+def flyers_view(flying):
+    return MaterializedView(
+        "penguin_flyers",
+        lambda: select(flying.flies, {"creature": "penguin"}),
+        sources=[flying.flies],
+    )
+
+
+class TestMaterializedView:
+    def test_computed_once_while_fresh(self, flyers_view):
+        first = flyers_view.relation()
+        second = flyers_view.relation()
+        assert first is second
+        assert flyers_view.refresh_count == 1
+
+    def test_refreshed_after_source_mutation(self, flying, flyers_view):
+        assert sorted(x[0] for x in flyers_view.extension()) == [
+            "pamela",
+            "patricia",
+            "peter",
+        ]
+        flying.flies.retract(("peter",))
+        assert flyers_view.is_stale()
+        assert sorted(x[0] for x in flyers_view.extension()) == [
+            "pamela",
+            "patricia",
+        ]
+        assert flyers_view.refresh_count == 2
+
+    def test_refreshed_after_hierarchy_mutation(self, flying, flyers_view):
+        flyers_view.relation()
+        flying.animal.add_instance("percy", parents=["amazing_flying_penguin"])
+        assert flyers_view.is_stale()
+        assert ("percy",) in set(flyers_view.extension())
+
+    def test_truth_of_passthrough(self, flyers_view):
+        assert flyers_view.truth_of(("pamela",))
+        assert not flyers_view.truth_of(("paul",))
+
+    def test_len(self, flyers_view):
+        assert len(flyers_view) == len(flyers_view.relation())
+
+    def test_invalidate_forces_refresh(self, flyers_view):
+        flyers_view.relation()
+        flyers_view.invalidate()
+        flyers_view.relation()
+        assert flyers_view.refresh_count == 2
+
+    def test_name_applied(self, flyers_view):
+        assert flyers_view.relation().name == "penguin_flyers"
+
+    def test_repr(self, flyers_view):
+        assert "stale" in repr(flyers_view)
+        flyers_view.relation()
+        assert "fresh" in repr(flyers_view)
+
+
+class TestViewRegistry:
+    def test_define_and_get(self, flying):
+        registry = ViewRegistry()
+        view = registry.define(
+            "all", lambda: flying.flies.copy(), sources=[flying.flies]
+        )
+        assert registry.view("all") is view
+        assert registry.names() == ["all"]
+
+    def test_duplicate_rejected(self, flying):
+        registry = ViewRegistry()
+        registry.define("v", lambda: flying.flies.copy(), sources=[flying.flies])
+        with pytest.raises(ValueError):
+            registry.define("v", lambda: flying.flies.copy(), sources=[flying.flies])
+
+    def test_drop(self, flying):
+        registry = ViewRegistry()
+        registry.define("v", lambda: flying.flies.copy(), sources=[flying.flies])
+        registry.drop("v")
+        assert registry.names() == []

@@ -1,0 +1,108 @@
+"""Unit tests for the selection condition language."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.flat import algebra as flat_algebra
+from repro.flat import from_hrelation
+from repro.core import member, select, select_where
+from repro.core.where import And, Not, Or
+
+
+def rows(relation):
+    return from_hrelation(relation).rows()
+
+
+class TestBasics:
+    def test_single_member_matches_select(self, flying):
+        by_where = select_where(flying.flies, member("creature", "penguin"))
+        by_select = select(flying.flies, {"creature": "penguin"})
+        assert rows(by_where) == rows(by_select)
+
+    def test_negation(self, flying):
+        got = select_where(
+            flying.flies,
+            member("creature", "penguin")
+            & ~member("creature", "amazing_flying_penguin"),
+        )
+        # Penguins that fly but are not AFPs: only Peter... Patricia is
+        # an AFP, so excluded; peter is a plain penguin.
+        assert rows(got) == {("peter",)}
+
+    def test_disjunction(self, flying):
+        got = select_where(
+            flying.flies,
+            member("creature", "canary") | member("creature", "galapagos_penguin"),
+        )
+        # Paul (galapagos) doesn't fly; Patricia (galapagos + AFP) does.
+        assert rows(got) == {("tweety",), ("patricia",)}
+
+    def test_pure_negation_stays_inside_relation(self, flying):
+        got = select_where(flying.flies, ~member("creature", "penguin"))
+        assert rows(got) == {("tweety",)}
+
+    def test_multiattribute(self, school):
+        got = select_where(
+            school.respects,
+            member("student", "obsequious_student")
+            & member("teacher", "incoherent_teacher"),
+        )
+        assert rows(got) == {("john", "bill")}
+
+    def test_multiattribute_or(self, school):
+        got = select_where(
+            school.respects,
+            member("teacher", "incoherent_teacher") | member("student", "john"),
+        )
+        assert rows(got) == {("john", "bill"), ("john", "tom")}
+
+
+class TestOracle:
+    def test_matches_flat_predicate(self, flying):
+        h = flying.animal
+        condition = (member("creature", "bird") & ~member("creature", "canary")) | (
+            member("creature", "tweety")
+        )
+        got = rows(select_where(flying.flies, condition))
+        in_bird = set(h.leaves_under("bird"))
+        in_canary = set(h.leaves_under("canary"))
+        want = flat_algebra.select(
+            from_hrelation(flying.flies),
+            lambda row: (row["creature"] in in_bird and row["creature"] not in in_canary)
+            or row["creature"] == "tweety",
+        ).rows()
+        assert got == want
+
+    def test_duplicate_leaves_deduplicated(self, flying):
+        condition = member("creature", "penguin") & member("creature", "penguin")
+        got = select_where(flying.flies, condition)
+        want = select(flying.flies, {"creature": "penguin"})
+        assert rows(got) == rows(want)
+
+
+class TestStructure:
+    def test_repr(self):
+        condition = (member("a", "x") & member("a", "y")) | ~member("b", "z")
+        text = repr(condition)
+        assert "member('a', 'x')" in text and "~" in text
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(SchemaError):
+            And()
+        with pytest.raises(SchemaError):
+            Or()
+
+    def test_member_equality_hash(self):
+        assert member("a", "x") == member("a", "x")
+        assert len({member("a", "x"), member("a", "x")}) == 1
+
+    def test_unknown_attribute_rejected(self, flying):
+        with pytest.raises(SchemaError):
+            select_where(flying.flies, member("nope", "bird"))
+
+    def test_result_consistent(self, school):
+        got = select_where(
+            school.respects,
+            ~member("teacher", "incoherent_teacher"),
+        )
+        assert got.is_consistent()

@@ -1,0 +1,66 @@
+"""Engine-level constraints: checked at every commit (section 3.1's
+classic catalog constraints, alongside the ambiguity constraint)."""
+
+import pytest
+
+from repro.errors import CatalogError, InconsistentRelationError
+from repro.engine import HierarchicalDatabase
+
+
+@pytest.fixture
+def db():
+    database = HierarchicalDatabase("zoo")
+    animal = database.create_hierarchy("animal")
+    animal.add_class("bird")
+    animal.add_instance("tweety", parents=["bird"])
+    database.create_relation("flies", [("creature", "animal")])
+    return database
+
+
+class TestRegistration:
+    def test_register_and_list(self, db):
+        db.add_constraint("flies", "small", lambda r: len(r) <= 2)
+        assert db.constraints_for("flies") == ["small"]
+
+    def test_unknown_relation_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.add_constraint("nope", "x", lambda r: True)
+
+    def test_remove(self, db):
+        db.add_constraint("flies", "small", lambda r: len(r) <= 2)
+        db.remove_constraint("flies", "small")
+        assert db.constraints_for("flies") == []
+        db.remove_constraint("flies", "ghost")  # silently fine
+        db.remove_constraint("never_registered", "ghost")
+
+
+class TestEnforcement:
+    def test_violating_commit_rejected(self, db):
+        db.add_constraint("flies", "at_most_one", lambda r: len(r) <= 1)
+        db.insert("flies", ("bird",))
+        with pytest.raises(InconsistentRelationError) as info:
+            db.insert("flies", ("tweety",))
+        assert ("constraint", "at_most_one") in [c.item for c in info.value.conflicts]
+        assert len(db.relation("flies")) == 1  # rejected atomically
+
+    def test_satisfying_commit_passes(self, db):
+        db.add_constraint("flies", "at_most_one", lambda r: len(r) <= 1)
+        db.insert("flies", ("bird",))
+        assert len(db.relation("flies")) == 1
+
+    def test_constraint_sees_staged_state(self, db):
+        # A "required tuple" constraint: satisfied only inside the batch.
+        db.add_constraint(
+            "flies", "bird_required", lambda r: ("bird",) in r or len(r) == 0
+        )
+        with db.transaction() as txn:
+            txn.assert_item("flies", ("tweety",))
+            txn.assert_item("flies", ("bird",))
+        assert len(db.relation("flies")) == 2
+
+    def test_untouched_relations_not_checked(self, db):
+        db.create_relation("other", [("creature", "animal")])
+        db.add_constraint("flies", "never", lambda r: False)
+        # Committing to 'other' does not evaluate flies' constraint.
+        db.insert("other", ("bird",))
+        assert len(db.relation("other")) == 1

@@ -1,0 +1,80 @@
+"""Unit tests for the HQL tokeniser."""
+
+import pytest
+
+from repro.errors import HQLSyntaxError
+from repro.engine.hql import tokenize
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.type != "EOF"]
+
+
+class TestTokens:
+    def test_idents_and_punctuation(self):
+        assert kinds("ASSERT flies (bird);") == [
+            "IDENT",
+            "IDENT",
+            "LPAREN",
+            "IDENT",
+            "RPAREN",
+            "SEMI",
+            "EOF",
+        ]
+
+    def test_number_like_ident(self):
+        assert values("ASSERT sizes (elephant, 3000)") == [
+            "ASSERT",
+            "sizes",
+            "(",
+            "elephant",
+            ",",
+            "3000",
+            ")",
+        ]
+
+    def test_hyphen_in_ident(self):
+        assert values("off-path") == ["off-path"]
+
+    def test_strings(self):
+        tokens = tokenize("SAVE 'my db.json'")
+        assert tokens[1].type == "STRING"
+        assert tokens[1].value == "my db.json"
+
+    def test_double_quoted_strings(self):
+        tokens = tokenize('SELECT FROM "weird name"')
+        assert tokens[2].value == "weird name"
+
+    def test_comments_skipped(self):
+        assert values("ASSERT r (x) -- a comment\n;") == ["ASSERT", "r", "(", "x", ")", ";"]
+
+    def test_keyword_casefold(self):
+        tokens = tokenize("select")
+        assert tokens[0].keyword() == "SELECT"
+        assert tokens[0].value == "select"  # original case preserved
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(HQLSyntaxError) as info:
+            tokenize("SAVE 'oops")
+        assert info.value.line == 1
+
+    def test_string_with_newline(self):
+        with pytest.raises(HQLSyntaxError):
+            tokenize("SAVE 'two\nlines'")
+
+    def test_junk_character(self):
+        with pytest.raises(HQLSyntaxError):
+            tokenize("ASSERT @")

@@ -1,0 +1,197 @@
+"""Unit tests for the HQL parser."""
+
+import pytest
+
+from repro.errors import HQLSyntaxError
+from repro.engine.hql import ast, parse
+
+
+def one(text):
+    statements = parse(text)
+    assert len(statements) == 1
+    return statements[0]
+
+
+class TestDDL:
+    def test_create_hierarchy(self):
+        assert one("CREATE HIERARCHY animal") == ast.CreateHierarchy("animal")
+
+    def test_create_hierarchy_with_root(self):
+        assert one("CREATE HIERARCHY animals ROOT creature") == ast.CreateHierarchy(
+            "animals", root="creature"
+        )
+
+    def test_create_class(self):
+        stmt = one("CREATE CLASS penguin IN animal UNDER bird")
+        assert stmt == ast.CreateNode("penguin", "animal", ("bird",), instance=False)
+
+    def test_create_class_multi_parent(self):
+        stmt = one("CREATE CLASS x IN h UNDER a, b")
+        assert stmt.parents == ("a", "b")
+
+    def test_create_instance(self):
+        stmt = one("CREATE INSTANCE tweety IN animal UNDER canary")
+        assert stmt.instance is True
+
+    def test_create_relation(self):
+        stmt = one("CREATE RELATION r (a: h1, b: h2)")
+        assert stmt == ast.CreateRelation("r", (("a", "h1"), ("b", "h2")))
+
+    def test_create_relation_with_strategy(self):
+        stmt = one("CREATE RELATION r (a: h) WITH STRATEGY 'on-path'")
+        assert stmt.strategy == "on-path"
+
+    def test_prefer(self):
+        assert one("PREFER a OVER b IN h") == ast.Prefer("a", "b", "h")
+
+    def test_drop(self):
+        assert one("DROP RELATION r") == ast.Drop("RELATION", "r")
+        assert one("DROP HIERARCHY h") == ast.Drop("HIERARCHY", "h")
+
+
+class TestDML:
+    def test_assert(self):
+        assert one("ASSERT r (a, b)") == ast.Assert("r", ("a", "b"), truth=True)
+
+    def test_assert_not(self):
+        assert one("ASSERT NOT r (a)") == ast.Assert("r", ("a",), truth=False)
+
+    def test_retract(self):
+        assert one("RETRACT r (a)") == ast.Retract("r", ("a",))
+
+    def test_txn_statements(self):
+        assert parse("BEGIN; COMMIT; ROLLBACK;") == [
+            ast.Begin(),
+            ast.Commit(),
+            ast.Rollback(),
+        ]
+
+
+class TestQueries:
+    def test_select_plain(self):
+        assert one("SELECT FROM r") == ast.Select("r")
+
+    def test_select_star(self):
+        assert one("SELECT * FROM r") == ast.Select("r")
+
+    def test_select_projection_list(self):
+        stmt = one("SELECT a, b FROM r WHERE c = x")
+        assert stmt.attributes == ("a", "b")
+        assert stmt.where == ast.WhereTest("c", "x")
+
+    def test_select_where(self):
+        stmt = one("SELECT FROM r WHERE a = x AND b = y AS out")
+        assert stmt.where == ast.WhereAnd(
+            (ast.WhereTest("a", "x"), ast.WhereTest("b", "y"))
+        )
+        assert stmt.alias == "out"
+
+    def test_where_not_equals(self):
+        stmt = one("SELECT FROM r WHERE a != x")
+        assert stmt.where == ast.WhereTest("a", "x", negated=True)
+
+    def test_where_diamond_operator(self):
+        stmt = one("SELECT FROM r WHERE a <> x")
+        assert stmt.where == ast.WhereTest("a", "x", negated=True)
+
+    def test_where_or_precedence(self):
+        stmt = one("SELECT FROM r WHERE a = x AND b = y OR c = z")
+        assert stmt.where == ast.WhereOr(
+            (
+                ast.WhereAnd((ast.WhereTest("a", "x"), ast.WhereTest("b", "y"))),
+                ast.WhereTest("c", "z"),
+            )
+        )
+
+    def test_where_parentheses(self):
+        stmt = one("SELECT FROM r WHERE a = x AND (b = y OR c = z)")
+        assert stmt.where == ast.WhereAnd(
+            (
+                ast.WhereTest("a", "x"),
+                ast.WhereOr((ast.WhereTest("b", "y"), ast.WhereTest("c", "z"))),
+            )
+        )
+
+    def test_where_not(self):
+        stmt = one("SELECT FROM r WHERE NOT a = x")
+        assert stmt.where == ast.WhereNot(ast.WhereTest("a", "x"))
+
+    def test_where_nested_not(self):
+        stmt = one("SELECT FROM r WHERE NOT NOT a = x")
+        assert stmt.where == ast.WhereNot(ast.WhereNot(ast.WhereTest("a", "x")))
+
+    def test_count_where_expression(self):
+        stmt = one("COUNT r WHERE a = x OR a = y")
+        assert stmt == ast.Count(
+            "r", ast.WhereOr((ast.WhereTest("a", "x"), ast.WhereTest("a", "y")))
+        )
+
+    def test_project(self):
+        stmt = one("PROJECT r ON a, b AS out")
+        assert stmt == ast.Project("r", ("a", "b"), alias="out")
+
+    def test_binary_ops(self):
+        for verb, op in [
+            ("JOIN", "JOIN"),
+            ("UNION", "UNION"),
+            ("INTERSECT", "INTERSECT"),
+            ("DIFFERENCE", "DIFFERENCE"),
+        ]:
+            stmt = one("{} a WITH b AS c".format(verb))
+            assert stmt == ast.BinaryOp(op, "a", "b", alias="c")
+
+    def test_consolidate_explicate(self):
+        assert one("CONSOLIDATE r") == ast.Consolidate("r")
+        assert one("EXPLICATE r ON a AS out") == ast.Explicate("r", ("a",), alias="out")
+        assert one("EXPLICATE r") == ast.Explicate("r")
+
+    def test_truth_justify_conflicts_extension(self):
+        assert one("TRUTH r (x)") == ast.Truth("r", ("x",))
+        assert one("JUSTIFY r (x, y)") == ast.Justify("r", ("x", "y"))
+        assert one("CONFLICTS r") == ast.Conflicts("r")
+        assert one("EXTENSION r") == ast.Extension("r")
+
+    def test_show(self):
+        assert one("SHOW RELATIONS") == ast.Show("RELATIONS")
+        assert one("SHOW HIERARCHIES") == ast.Show("HIERARCHIES")
+
+    def test_save(self):
+        assert one("SAVE 'db.json'") == ast.Save("db.json")
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse("CREATE HIERARCHY h; CREATE CLASS c IN h;")
+        assert len(statements) == 2
+
+    def test_empty_statements_skipped(self):
+        assert parse(";;;") == []
+
+    def test_case_insensitive_keywords(self):
+        assert one("assert r (x)") == ast.Assert("r", ("x",), truth=True)
+
+    def test_values_stay_case_sensitive(self):
+        assert one("ASSERT r (Bird)").values == ("Bird",)
+
+
+class TestErrors:
+    def test_unknown_statement(self):
+        with pytest.raises(HQLSyntaxError):
+            parse("FROBNICATE r")
+
+    def test_missing_semicolon_between(self):
+        with pytest.raises(HQLSyntaxError):
+            parse("CONFLICTS r CONFLICTS s")
+
+    def test_bad_create(self):
+        with pytest.raises(HQLSyntaxError):
+            parse("CREATE SOMETHING x")
+
+    def test_missing_paren(self):
+        with pytest.raises(HQLSyntaxError):
+            parse("ASSERT r (a")
+
+    def test_error_carries_position(self):
+        with pytest.raises(HQLSyntaxError) as info:
+            parse("CREATE\nSOMETHING x")
+        assert info.value.line == 2

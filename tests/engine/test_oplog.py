@@ -1,0 +1,98 @@
+"""Unit tests for the operation log (statement-level journal)."""
+
+import pytest
+
+from repro.errors import InconsistentRelationError
+from repro.engine import HierarchicalDatabase, OperationLog
+from repro.engine.hql import HQLExecutor
+
+SETUP = """
+CREATE HIERARCHY animal;
+CREATE CLASS bird IN animal;
+CREATE INSTANCE tweety IN animal UNDER bird;
+CREATE RELATION flies (creature: animal);
+ASSERT flies (bird);
+"""
+
+
+@pytest.fixture
+def log(tmp_path):
+    return OperationLog(str(tmp_path / "db.hql"))
+
+
+class TestJournalling:
+    def test_mutations_logged(self, log):
+        db = HierarchicalDatabase("zoo")
+        session = HQLExecutor(db, log=log)
+        session.run(SETUP)
+        assert len(log) == 5
+        assert log.entries()[-1] == "ASSERT flies (bird);"
+
+    def test_queries_not_logged(self, log):
+        db = HierarchicalDatabase("zoo")
+        session = HQLExecutor(db, log=log)
+        session.run(SETUP)
+        session.run("TRUTH flies (tweety); EXTENSION flies; COUNT flies;")
+        assert len(log) == 5
+
+    def test_replay_rebuilds(self, log, tmp_path):
+        db = HierarchicalDatabase("zoo")
+        HQLExecutor(db, log=log).run(SETUP)
+        rebuilt = HierarchicalDatabase("fresh")
+        applied = log.replay(rebuilt)
+        assert applied == 5
+        assert rebuilt.relation("flies").holds("tweety")
+
+    def test_transaction_logged_only_on_commit(self, log):
+        db = HierarchicalDatabase("zoo")
+        session = HQLExecutor(db, log=log)
+        session.run(SETUP)
+        session.run("BEGIN; ASSERT NOT flies (tweety); ROLLBACK;")
+        assert len(log) == 5  # rollback leaves no trace
+        session.run("BEGIN; ASSERT NOT flies (tweety); COMMIT;")
+        assert len(log) == 6
+        rebuilt = HierarchicalDatabase("fresh")
+        log.replay(rebuilt)
+        assert not rebuilt.relation("flies").holds("tweety")
+
+    def test_failed_commit_not_logged(self, log):
+        db = HierarchicalDatabase("zoo")
+        session = HQLExecutor(db, log=log)
+        session.run(SETUP)
+        session.run("CREATE CLASS swimmer IN animal;")
+        session.run("CREATE INSTANCE pingo IN animal UNDER swimmer, bird;")
+        before = len(log)
+        with pytest.raises(InconsistentRelationError):
+            session.run("BEGIN; ASSERT NOT flies (swimmer); COMMIT;")
+        assert len(log) == before
+
+    def test_raw_text_append(self, log):
+        log.append("ASSERT flies (bird)")
+        assert log.entries() == ["ASSERT flies (bird);"]
+
+    def test_truncate(self, log):
+        log.append("CONFLICTS flies")
+        log.truncate()
+        assert log.entries() == []
+        log.truncate()  # idempotent
+
+    def test_missing_file_is_empty(self, log):
+        assert log.entries() == []
+        assert len(log) == 0
+
+
+class TestSnapshotPlusLog:
+    def test_snapshot_then_log_recovery(self, log, tmp_path):
+        snapshot = str(tmp_path / "snap.json")
+        db = HierarchicalDatabase("zoo")
+        session = HQLExecutor(db, log=log)
+        session.run(SETUP)
+        db.save(snapshot)
+        log.truncate()  # folded into the snapshot
+        session.run("CREATE INSTANCE polly IN animal UNDER bird;")
+        session.run("ASSERT NOT flies (polly);")
+        # Crash; recover = load snapshot, replay log.
+        recovered = HierarchicalDatabase.load(snapshot)
+        log.replay(recovered)
+        assert recovered.relation("flies").holds("tweety")
+        assert not recovered.relation("flies").holds("polly")

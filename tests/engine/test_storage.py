@@ -1,0 +1,99 @@
+"""Unit tests for JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.engine import HierarchicalDatabase, load_database, save_database
+from repro.engine.storage import database_from_dict, database_to_dict
+
+
+@pytest.fixture
+def db():
+    database = HierarchicalDatabase("zoo")
+    animal = database.create_hierarchy("animal")
+    animal.add_class("bird")
+    animal.add_class("penguin", parents=["bird"])
+    animal.add_class("special", parents=["bird", "penguin"])
+    animal.add_instance("tweety", parents=["bird"])
+    animal.add_preference_edge("penguin", "special")
+    flies = database.create_relation("flies", [("creature", "animal")], strategy="on-path")
+    flies.assert_item(("bird",))
+    flies.assert_item(("penguin",), truth=False)
+    return database
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, db, tmp_path):
+        path = str(tmp_path / "zoo.json")
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.name == "zoo"
+        assert set(loaded.hierarchies) == {"animal"}
+        animal = loaded.hierarchy("animal")
+        assert animal.parents("special") == frozenset({"bird", "penguin"})
+        assert animal.is_instance("tweety")
+        assert animal.preference_edges() == [("penguin", "special")]
+        flies = loaded.relation("flies")
+        assert flies.strategy.name == "on-path"
+        assert [t.item for t in flies.tuples()] == [("bird",), ("penguin",)]
+        assert flies.truth_of_stored(("penguin",)) is False
+
+    def test_semantics_survive(self, db, tmp_path):
+        path = str(tmp_path / "zoo.json")
+        db.save(path)
+        loaded = HierarchicalDatabase.load(path)
+        assert loaded.relation("flies").holds("tweety")
+
+    def test_dict_roundtrip_without_files(self, db):
+        loaded = database_from_dict(database_to_dict(db))
+        assert set(loaded.relations) == {"flies"}
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_database(str(tmp_path / "nope.json"))
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StorageError):
+            load_database(str(path))
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(StorageError):
+            load_database(str(path))
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps({"format": "repro-db", "version": 99}))
+        with pytest.raises(StorageError):
+            load_database(str(path))
+
+    def test_unknown_strategy(self):
+        payload = {
+            "format": "repro-db",
+            "version": 1,
+            "name": "x",
+            "hierarchies": [{"name": "h", "root": "h", "nodes": []}],
+            "relations": [
+                {
+                    "name": "r",
+                    "strategy": "bogus",
+                    "attributes": [["a", "h"]],
+                    "tuples": [],
+                }
+            ],
+        }
+        with pytest.raises(StorageError):
+            database_from_dict(payload)
+
+    def test_atomic_write_leaves_no_tmp(self, db, tmp_path):
+        path = tmp_path / "zoo.json"
+        save_database(db, str(path))
+        assert path.exists()
+        assert not (tmp_path / "zoo.json.tmp").exists()

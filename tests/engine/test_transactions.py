@@ -1,0 +1,106 @@
+"""Unit tests for the conflict-refusing transactions (section 3.1)."""
+
+import pytest
+
+from repro.errors import InconsistentRelationError, TransactionError
+from repro.engine import HierarchicalDatabase
+
+
+@pytest.fixture
+def db():
+    database = HierarchicalDatabase("school")
+    student = database.create_hierarchy("student")
+    student.add_class("obsequious")
+    student.add_instance("john", parents=["obsequious"])
+    teacher = database.create_hierarchy("teacher")
+    teacher.add_class("incoherent")
+    teacher.add_instance("bill", parents=["incoherent"])
+    database.create_relation("respects", [("s", "student"), ("t", "teacher")])
+    return database
+
+
+class TestCommitRules:
+    def test_conflicting_batch_rejected_atomically(self, db):
+        with pytest.raises(InconsistentRelationError):
+            with db.transaction() as txn:
+                txn.assert_item("respects", ("obsequious", "teacher"))
+                txn.assert_item("respects", ("student", "incoherent"), truth=False)
+        assert len(db.relation("respects")) == 0
+
+    def test_resolved_batch_commits(self, db):
+        with db.transaction() as txn:
+            txn.assert_item("respects", ("obsequious", "teacher"))
+            txn.assert_item("respects", ("student", "incoherent"), truth=False)
+            txn.assert_item("respects", ("obsequious", "incoherent"))
+        assert len(db.relation("respects")) == 3
+        assert db.relation("respects").truth_of(("john", "bill"))
+
+    def test_intermediate_conflict_is_fine(self, db):
+        """Section 3.1: the conflict may exist mid-transaction as long
+        as it is resolved before commit."""
+        txn = db.transaction()
+        txn.assert_item("respects", ("obsequious", "teacher"))
+        txn.assert_item("respects", ("student", "incoherent"), truth=False)
+        assert txn.pending_conflicts()  # visible mid-flight
+        txn.assert_item("respects", ("obsequious", "incoherent"))
+        assert not txn.pending_conflicts()
+        txn.commit()
+
+    def test_reads_see_staged_writes(self, db):
+        txn = db.transaction()
+        txn.assert_item("respects", ("obsequious", "teacher"))
+        assert txn.relation("respects").truth_of(("john", "bill"))
+        assert len(db.relation("respects")) == 0  # not yet committed
+        txn.rollback()
+
+    def test_rollback_discards(self, db):
+        txn = db.transaction()
+        txn.assert_item("respects", ("obsequious", "teacher"))
+        txn.rollback()
+        assert len(db.relation("respects")) == 0
+
+    def test_exception_in_block_rolls_back(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                txn.assert_item("respects", ("obsequious", "teacher"))
+                raise RuntimeError("boom")
+        assert len(db.relation("respects")) == 0
+
+
+class TestLifecycle:
+    def test_double_commit_rejected(self, db):
+        txn = db.transaction()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_use_after_rollback_rejected(self, db):
+        txn = db.transaction()
+        txn.rollback()
+        with pytest.raises(TransactionError):
+            txn.assert_item("respects", ("obsequious", "teacher"))
+
+    def test_retract_in_transaction(self, db):
+        db.insert("respects", ("obsequious", "teacher"))
+        with db.transaction() as txn:
+            txn.retract("respects", ("obsequious", "teacher"))
+        assert len(db.relation("respects")) == 0
+
+
+class TestAutoResolution:
+    def test_resolve_conflicts_in_favour(self, db):
+        with db.transaction() as txn:
+            txn.assert_item("respects", ("obsequious", "teacher"))
+            txn.assert_item("respects", ("student", "incoherent"), truth=False)
+            resolved = txn.resolve_conflicts("respects", truth=True)
+            assert len(resolved) == 1
+        relation = db.relation("respects")
+        assert relation.truth_of(("john", "bill"))
+        assert relation.truth_of_stored(("obsequious", "incoherent")) is True
+
+    def test_resolve_conflicts_against(self, db):
+        with db.transaction() as txn:
+            txn.assert_item("respects", ("obsequious", "teacher"))
+            txn.assert_item("respects", ("student", "incoherent"), truth=False)
+            txn.resolve_conflicts("respects", truth=False)
+        assert not db.relation("respects").truth_of(("john", "bill"))

@@ -1,0 +1,92 @@
+"""Unit tests for mechanical hierarchy discovery (section 4)."""
+
+import pytest
+
+from repro.extensions import discover_hierarchy, discover_with_exceptions
+
+
+@pytest.fixture
+def relations():
+    return {
+        "flies": {"a1", "a2", "a3", "b1", "b2"},
+        "sings": {"a1", "a2", "a3"},
+        "swims": {"c1", "c2", "c3", "c4"},
+    }
+
+
+class TestExactDiscovery:
+    def test_extensions_preserved(self, relations):
+        result = discover_hierarchy(relations)
+        for name, members in relations.items():
+            got = {item[0] for item in result.relations[name].extension()}
+            assert got == members
+
+    def test_compression(self, relations):
+        result = discover_hierarchy(relations)
+        assert result.flat_tuple_count == 12
+        assert result.hierarchical_tuple_count < result.flat_tuple_count
+        assert result.compression_ratio > 1
+
+    def test_signature_classes(self, relations):
+        result = discover_hierarchy(relations)
+        member_sets = set(result.class_members.values())
+        assert frozenset({"a1", "a2", "a3"}) in member_sets
+        assert frozenset({"b1", "b2"}) in member_sets
+        assert frozenset({"c1", "c2", "c3", "c4"}) in member_sets
+
+    def test_singleton_groups_stay_atoms(self):
+        result = discover_hierarchy({"p": {"only"}})
+        assert result.class_members == {}
+        assert result.hierarchical_tuple_count == 1
+
+    def test_atoms_in_no_relation(self):
+        result = discover_hierarchy({"p": {"x"}}, universe=["x", "silent"])
+        assert "silent" in result.hierarchy
+        assert result.relations["p"].extension_size() == 1
+
+    def test_relations_consistent(self, relations):
+        result = discover_hierarchy(relations)
+        for relation in result.relations.values():
+            assert relation.is_consistent()
+
+
+class TestGreedyDiscovery:
+    def test_extensions_preserved(self, relations):
+        result = discover_with_exceptions(relations)
+        for name, members in relations.items():
+            got = {item[0] for item in result.relations[name].extension()}
+            assert got == members
+
+    def test_never_worse_than_exact(self, relations):
+        exact = discover_hierarchy(relations)
+        greedy = discover_with_exceptions(relations)
+        assert greedy.hierarchical_tuple_count <= exact.hierarchical_tuple_count
+
+    def test_merge_pays_off(self):
+        # Two groups sharing many relations, differing in one: merging
+        # with one exception beats keeping them separate.
+        shared = {"r{}".format(i) for i in range(5)}
+        relations = {}
+        for r in shared:
+            relations[r] = {"x1", "x2", "y1", "y2"}
+        relations["extra"] = {"x1", "x2"}
+        greedy = discover_with_exceptions(relations)
+        exact = discover_hierarchy(relations)
+        assert greedy.hierarchical_tuple_count < exact.hierarchical_tuple_count
+        for name, members in relations.items():
+            got = {item[0] for item in greedy.relations[name].extension()}
+            assert got == members
+
+    def test_exception_tuples_present_when_merged(self):
+        relations = {
+            "r{}".format(i): {"x", "y"} for i in range(4)
+        }
+        relations["only_x"] = {"x"}
+        result = discover_with_exceptions(relations)
+        negated = [
+            t
+            for relation in result.relations.values()
+            for t in relation.tuples()
+            if not t.truth
+        ]
+        assert negated  # the merge expressed only_x via an exception

@@ -1,0 +1,108 @@
+"""Unit tests for the Kleene (K3) algebra over three-valued relations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.extensions import (
+    ThreeValuedRelation,
+    TruthValue3,
+    combine3,
+    complement3,
+    intersection3,
+    kleene_and,
+    kleene_not,
+    kleene_or,
+    union3,
+)
+from repro.hierarchy import Hierarchy
+
+T, F, U = TruthValue3.TRUE, TruthValue3.FALSE, TruthValue3.UNKNOWN
+
+
+@pytest.fixture
+def animal():
+    h = Hierarchy("animal")
+    h.add_class("bird")
+    h.add_class("penguin", parents=["bird"])
+    h.add_instance("tweety", parents=["bird"])
+    h.add_instance("paul", parents=["penguin"])
+    h.add_instance("rex", parents=["animal"])
+    return h
+
+
+@pytest.fixture
+def sings(animal):
+    r = ThreeValuedRelation([("c", animal)], name="sings")
+    r.assert_item(("bird",), T)
+    r.assert_item(("penguin",), F)
+    return r
+
+
+@pytest.fixture
+def swims(animal):
+    r = ThreeValuedRelation([("c", animal)], name="swims")
+    r.assert_item(("penguin",), T)
+    return r
+
+
+class TestConnectives:
+    def test_truth_tables(self):
+        assert kleene_or(T, U) is T
+        assert kleene_or(F, U) is U
+        assert kleene_or(F, F) is F
+        assert kleene_and(F, U) is F
+        assert kleene_and(T, U) is U
+        assert kleene_and(T, T) is T
+        assert kleene_not(T) is F
+        assert kleene_not(F) is T
+        assert kleene_not(U) is U
+
+
+class TestOperators:
+    def test_union3(self, sings, swims):
+        either = union3(sings, swims)
+        assert either.truth_of(("tweety",)) is T      # sings
+        assert either.truth_of(("paul",)) is T        # swims
+        assert either.truth_of(("rex",)) is U         # open world: who knows
+
+    def test_intersection3(self, sings, swims):
+        both = intersection3(sings, swims)
+        assert both.truth_of(("paul",)) is F          # penguins don't sing
+        assert both.truth_of(("tweety",)) is U        # swims unknown
+        assert both.truth_of(("rex",)) is U
+
+    def test_complement3(self, sings):
+        silent = complement3(sings)
+        assert silent.truth_of(("tweety",)) is F
+        assert silent.truth_of(("paul",)) is T
+        assert silent.truth_of(("rex",)) is U         # still unknown!
+
+    def test_double_complement_is_identity_on_atoms(self, sings, animal):
+        back = complement3(complement3(sings))
+        for leaf in animal.leaves():
+            assert back.truth_of((leaf,)) is sings.truth_of((leaf,))
+
+    def test_combine3_guards_default(self, sings, swims):
+        with pytest.raises(SchemaError):
+            combine3([sings, swims], lambda a, b: T)
+        with pytest.raises(SchemaError):
+            combine3([], kleene_or)
+
+    def test_schema_mismatch(self, sings):
+        other = ThreeValuedRelation([("x", Hierarchy("other"))])
+        with pytest.raises(SchemaError):
+            union3(sings, other)
+
+
+class TestAgainstTwoValued:
+    def test_k3_refines_closed_world(self, sings, swims, animal):
+        """Forcing UNKNOWN -> FALSE must recover the two-valued union on
+        every atom where both operands are decided."""
+        from repro.core import union
+
+        either3 = union3(sings, swims)
+        two_valued = union(sings.to_closed_world(), swims.to_closed_world())
+        for leaf in animal.leaves():
+            verdict3 = either3.truth_of((leaf,))
+            if verdict3 is not U:
+                assert two_valued.truth_of((leaf,)) == (verdict3 is T)

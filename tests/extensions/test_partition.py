@@ -1,0 +1,123 @@
+"""Unit tests for partition/covering declarations (section 3.2)."""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.extensions import PartitionRegistry, consolidate_with_partitions
+from repro.hierarchy import Hierarchy
+from tests.conftest import make_relation
+
+
+@pytest.fixture
+def partitioned():
+    h = Hierarchy("d")
+    h.add_class("c")
+    h.add_class("a", parents=["c"])
+    h.add_class("b", parents=["c"])
+    for i in range(3):
+        h.add_instance("a{}".format(i), parents=["a"])
+    for i in range(2):
+        h.add_instance("b{}".format(i), parents=["b"])
+    return h
+
+
+@pytest.fixture
+def registry(partitioned):
+    reg = PartitionRegistry()
+    reg.declare(partitioned, "c", ["a", "b"])
+    return reg
+
+
+class TestDeclarations:
+    def test_declare_and_list(self, partitioned, registry):
+        assert registry.coverings_for(partitioned) == [("c", ("a", "b"))]
+
+    def test_unknown_node(self, partitioned):
+        reg = PartitionRegistry()
+        with pytest.raises(HierarchyError):
+            reg.declare(partitioned, "c", ["a", "nope"])
+
+    def test_part_not_subclass(self, partitioned):
+        partitioned.add_class("outside")
+        reg = PartitionRegistry()
+        with pytest.raises(HierarchyError):
+            reg.declare(partitioned, "c", ["a", "outside"])
+
+    def test_parts_must_exhaust(self, partitioned):
+        partitioned.add_instance("stray", parents=["c"])
+        reg = PartitionRegistry()
+        with pytest.raises(HierarchyError):
+            reg.declare(partitioned, "c", ["a", "b"])
+
+    def test_at_least_two_parts(self, partitioned):
+        reg = PartitionRegistry()
+        with pytest.raises(HierarchyError):
+            reg.declare(partitioned, "c", ["a"])
+
+    def test_non_exhaustive_covering_skips_checks(self, partitioned):
+        partitioned.add_class("outside")
+        reg = PartitionRegistry()
+        reg.declare(partitioned, "c", ["a", "outside"], exhaustive=False)
+        assert reg.coverings_for(partitioned)
+
+    def test_other_hierarchy_empty(self, registry):
+        other = Hierarchy("other")
+        assert registry.coverings_for(other) == []
+
+
+class TestPartitionConsolidation:
+    def test_mixed_truth_parts_make_whole_redundant(self, partitioned, registry):
+        """The §3.2 case the base model cannot detect: C = A ⊎ B with
+        +A and -B asserted; a tuple on C never decides anything."""
+        r = make_relation(
+            partitioned, [("a", True), ("b", False), ("c", True)]
+        )
+        base = r.consolidated()
+        assert ("c",) in base  # standard consolidation keeps it
+        extended = consolidate_with_partitions(r, registry)
+        assert ("c",) not in extended
+        assert set(extended.extension()) == set(r.extension())
+
+    def test_whole_kept_when_it_matters(self, partitioned, registry):
+        # Only one part asserted: the whole still decides b's members.
+        r = make_relation(partitioned, [("a", False), ("c", True)])
+        extended = consolidate_with_partitions(r, registry)
+        assert ("c",) in extended
+        assert set(extended.extension()) == set(r.extension())
+
+    def test_no_declarations_equals_standard(self, partitioned):
+        r = make_relation(partitioned, [("a", True), ("c", True)])
+        plain = r.consolidated()
+        extended = consolidate_with_partitions(r, PartitionRegistry())
+        assert plain.same_tuples_as(extended)
+
+    def test_covering_fig5_case(self):
+        """Fig. 5: C ⊆ A ∪ B with same-truth tuples on A and B makes a
+        tuple on C redundant once the covering is declared."""
+        h = Hierarchy("d")
+        h.add_class("a")
+        h.add_class("b")
+        h.add_class("c")
+        # c's members are split between a and b.
+        h.add_instance("m1", parents=["a", "c"])
+        h.add_instance("m2", parents=["b", "c"])
+        h.add_instance("a_only", parents=["a"])
+        reg = PartitionRegistry()
+        reg.declare(h, "c", ["a", "b"], exhaustive=False)
+        r = make_relation(h, [("a", True), ("b", True), ("c", True)])
+        extended = consolidate_with_partitions(r, reg)
+        assert ("c",) not in extended
+        assert set(extended.extension()) == set(r.extension())
+
+    def test_multiattribute_partition(self, partitioned, registry):
+        other = Hierarchy("o")
+        other.add_instance("v")
+        from repro.core import HRelation
+
+        r = HRelation([("x", partitioned), ("y", other)], name="r2")
+        r.assert_item(("a", "v"), truth=True)
+        r.assert_item(("b", "v"), truth=False)
+        r.assert_item(("c", "v"), truth=True)
+        extended = consolidate_with_partitions(r, registry)
+        assert ("c", "v") not in extended
+        assert set(extended.extension()) == set(r.extension())

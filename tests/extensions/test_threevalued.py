@@ -1,0 +1,109 @@
+"""Unit tests for the three-valued extension (section 4)."""
+
+import pytest
+
+from repro.errors import AmbiguityError, TupleError
+from repro.extensions import ThreeValuedRelation, TruthValue3
+from repro.hierarchy import Hierarchy
+
+
+@pytest.fixture
+def animal():
+    h = Hierarchy("animal")
+    h.add_class("bird")
+    h.add_class("penguin", parents=["bird"])
+    h.add_instance("tweety", parents=["bird"])
+    h.add_instance("paul", parents=["penguin"])
+    return h
+
+
+@pytest.fixture
+def sings(animal):
+    return ThreeValuedRelation([("creature", animal)], name="sings")
+
+
+class TestOpenWorldDefault:
+    def test_default_unknown(self, sings):
+        assert sings.truth_of(("tweety",)) is TruthValue3.UNKNOWN
+
+    def test_inherit_true(self, sings):
+        sings.assert_item(("bird",), TruthValue3.TRUE)
+        assert sings.truth_of(("tweety",)) is TruthValue3.TRUE
+
+    def test_inherit_false(self, sings):
+        sings.assert_item(("bird",), TruthValue3.FALSE)
+        assert sings.truth_of(("paul",)) is TruthValue3.FALSE
+
+    def test_unknown_cancels_inheritance(self, sings):
+        """Asserting UNKNOWN below a TRUE class withdraws the commitment
+        for that sub-class without negating it."""
+        sings.assert_item(("bird",), TruthValue3.TRUE)
+        sings.assert_item(("penguin",), TruthValue3.UNKNOWN)
+        assert sings.truth_of(("paul",)) is TruthValue3.UNKNOWN
+        assert sings.truth_of(("tweety",)) is TruthValue3.TRUE
+
+
+class TestStorage:
+    def test_contradiction_needs_replace(self, sings):
+        sings.assert_item(("bird",), TruthValue3.TRUE)
+        with pytest.raises(TupleError):
+            sings.assert_item(("bird",), TruthValue3.FALSE)
+        sings.assert_item(("bird",), TruthValue3.FALSE, replace=True)
+        assert sings.truth_of(("bird",)) is TruthValue3.FALSE
+
+    def test_retract(self, sings):
+        sings.assert_item(("bird",), TruthValue3.TRUE)
+        sings.retract(("bird",))
+        assert sings.truth_of(("tweety",)) is TruthValue3.UNKNOWN
+        with pytest.raises(TupleError):
+            sings.retract(("bird",))
+
+    def test_len_and_tuples(self, sings):
+        sings.assert_item(("bird",), TruthValue3.TRUE)
+        assert len(sings) == 1
+        assert sings.tuples() == [(("bird",), TruthValue3.TRUE)]
+
+
+class TestConflicts:
+    def test_mixed_binders_raise(self, animal, sings):
+        animal.add_class("swimmer")
+        animal.add_instance("penguino", parents=["swimmer", "penguin"])
+        sings.assert_item(("penguin",), TruthValue3.TRUE)
+        sings.assert_item(("swimmer",), TruthValue3.FALSE)
+        with pytest.raises(AmbiguityError):
+            sings.truth_of(("penguino",))
+
+    def test_unknown_vs_true_is_still_a_conflict(self, animal, sings):
+        animal.add_class("swimmer")
+        animal.add_instance("penguino", parents=["swimmer", "penguin"])
+        sings.assert_item(("penguin",), TruthValue3.TRUE)
+        sings.assert_item(("swimmer",), TruthValue3.UNKNOWN)
+        with pytest.raises(AmbiguityError):
+            sings.truth_of(("penguino",))
+
+
+class TestBridges:
+    def test_known_extension(self, sings):
+        sings.assert_item(("bird",), TruthValue3.TRUE)
+        sings.assert_item(("penguin",), TruthValue3.UNKNOWN)
+        known = sings.known_extension()
+        assert known == {("tweety",): TruthValue3.TRUE}
+
+    def test_to_closed_world(self, sings):
+        sings.assert_item(("bird",), TruthValue3.TRUE)
+        sings.assert_item(("penguin",), TruthValue3.UNKNOWN)
+        two = sings.to_closed_world()
+        assert two.holds("tweety")
+        assert not two.holds("paul")
+
+    def test_from_hrelation(self, flying):
+        lifted = ThreeValuedRelation.from_hrelation(flying.flies)
+        assert lifted.truth_of(("tweety",)) is TruthValue3.TRUE
+        assert lifted.truth_of(("paul",)) is TruthValue3.FALSE
+        # The closed world's silent default becomes honest ignorance.
+        assert lifted.truth_of(("animal",)) is TruthValue3.UNKNOWN
+
+    def test_sign_rendering(self):
+        assert TruthValue3.TRUE.sign == "+"
+        assert TruthValue3.FALSE.sign == "-"
+        assert TruthValue3.UNKNOWN.sign == "?"

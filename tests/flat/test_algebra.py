@@ -1,0 +1,78 @@
+"""Unit tests for the textbook flat algebra (the oracle)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.flat import FlatRelation
+from repro.flat import algebra as alg
+
+
+@pytest.fixture
+def left():
+    return FlatRelation(["a", "b"], [("1", "x"), ("2", "y")], name="left")
+
+
+@pytest.fixture
+def right():
+    return FlatRelation(["b", "c"], [("x", "p"), ("x", "q"), ("z", "r")], name="right")
+
+
+class TestSetOps:
+    def test_union(self):
+        r1 = FlatRelation(["a"], [("x",)])
+        r2 = FlatRelation(["a"], [("y",)])
+        assert alg.union(r1, r2).rows() == {("x",), ("y",)}
+
+    def test_intersection(self):
+        r1 = FlatRelation(["a"], [("x",), ("y",)])
+        r2 = FlatRelation(["a"], [("y",), ("z",)])
+        assert alg.intersection(r1, r2).rows() == {("y",)}
+
+    def test_difference(self):
+        r1 = FlatRelation(["a"], [("x",), ("y",)])
+        r2 = FlatRelation(["a"], [("y",)])
+        assert alg.difference(r1, r2).rows() == {("x",)}
+
+    def test_schema_mismatch(self, left, right):
+        with pytest.raises(SchemaError):
+            alg.union(left, right)
+
+
+class TestSelectProject:
+    def test_select_predicate(self, left):
+        got = alg.select(left, lambda row: row["a"] == "1")
+        assert got.rows() == {("1", "x")}
+
+    def test_select_eq(self, left):
+        assert alg.select_eq(left, {"b": "y"}).rows() == {("2", "y")}
+
+    def test_select_eq_multi(self, left):
+        assert alg.select_eq(left, {"a": "1", "b": "x"}).rows() == {("1", "x")}
+
+    def test_project(self, left):
+        got = alg.project(left, ["b"])
+        assert got.rows() == {("x",), ("y",)}
+        assert got.attributes == ("b",)
+
+    def test_project_dedupes(self):
+        r = FlatRelation(["a", "b"], [("1", "x"), ("2", "x")])
+        assert len(alg.project(r, ["b"])) == 1
+
+
+class TestJoinRename:
+    def test_natural_join(self, left, right):
+        got = alg.join(left, right)
+        assert got.attributes == ("a", "b", "c")
+        assert got.rows() == {("1", "x", "p"), ("1", "x", "q")}
+
+    def test_join_no_shared_is_product(self):
+        r1 = FlatRelation(["a"], [("1",), ("2",)])
+        r2 = FlatRelation(["b"], [("x",)])
+        got = alg.join(r1, r2)
+        assert got.rows() == {("1", "x"), ("2", "x")}
+
+    def test_rename(self, left):
+        got = alg.rename(left, {"a": "id"})
+        assert got.attributes == ("id", "b")
+        with pytest.raises(SchemaError):
+            alg.rename(left, {"zz": "w"})

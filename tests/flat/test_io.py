@@ -1,0 +1,95 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.flat import FlatRelation, from_hrelation
+from repro.flat.io import (
+    load_assertions_csv,
+    load_extension_csv,
+    load_flat_csv,
+    save_assertions_csv,
+    save_extension_csv,
+    save_flat_csv,
+)
+
+
+class TestFlatCsv:
+    def test_roundtrip(self, tmp_path):
+        relation = FlatRelation(["a", "b"], [("1", "x"), ("2", "y")], name="r")
+        path = str(tmp_path / "r.csv")
+        save_flat_csv(relation, path)
+        loaded = load_flat_csv(path, name="r")
+        assert loaded == relation
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError):
+            load_flat_csv(str(path))
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(StorageError) as info:
+            load_flat_csv(str(path))
+        assert ":2:" in str(info.value)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("a\nx\n\ny\n")
+        assert len(load_flat_csv(str(path))) == 2
+
+    def test_values_with_commas_quoted(self, tmp_path):
+        relation = FlatRelation(["a"], [("hello, world",)])
+        path = str(tmp_path / "q.csv")
+        save_flat_csv(relation, path)
+        assert load_flat_csv(path).rows() == {("hello, world",)}
+
+
+class TestAssertionsCsv:
+    def test_lossless_roundtrip(self, flying, tmp_path):
+        path = str(tmp_path / "flies.csv")
+        save_assertions_csv(flying.flies, path)
+        loaded = load_assertions_csv(path, flying.flies.schema, name="flies")
+        assert loaded.asserted == flying.flies.asserted
+
+    def test_truth_words(self, flying, tmp_path):
+        path = tmp_path / "words.csv"
+        path.write_text("truth,creature\nyes,bird\nno,penguin\n+,peter\n")
+        loaded = load_assertions_csv(str(path), flying.flies.schema)
+        assert loaded.truth_of_stored(("bird",)) is True
+        assert loaded.truth_of_stored(("penguin",)) is False
+        assert loaded.truth_of_stored(("peter",)) is True
+
+    def test_bad_truth_word(self, flying, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("truth,creature\nmaybe,bird\n")
+        with pytest.raises(StorageError):
+            load_assertions_csv(str(path), flying.flies.schema)
+
+    def test_missing_truth_column(self, flying, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("creature\nbird\n")
+        with pytest.raises(StorageError):
+            load_assertions_csv(str(path), flying.flies.schema)
+
+    def test_schema_mismatch(self, flying, school, tmp_path):
+        path = str(tmp_path / "flies.csv")
+        save_assertions_csv(flying.flies, path)
+        with pytest.raises(SchemaError):
+            load_assertions_csv(path, school.respects.schema)
+
+
+class TestExtensionCsv:
+    def test_export_is_flat_extension(self, flying, tmp_path):
+        path = str(tmp_path / "ext.csv")
+        save_extension_csv(flying.flies, path)
+        loaded = load_flat_csv(path)
+        assert loaded.rows() == from_hrelation(flying.flies).rows()
+
+    def test_lift_back(self, flying, tmp_path):
+        path = str(tmp_path / "ext.csv")
+        save_extension_csv(flying.flies, path)
+        lifted = load_extension_csv(path, flying.flies.schema)
+        assert set(lifted.extension()) == set(flying.flies.extension())

@@ -1,0 +1,55 @@
+"""Unit tests for the footnote-1 membership-join baseline."""
+
+import pytest
+
+from repro.flat import MembershipBaseline
+from repro.workloads.generators import membership_workload
+
+
+@pytest.fixture
+def baseline(flying):
+    b = MembershipBaseline(flying.animal)
+    b.set_property("flies", ["bird"])
+    return b
+
+
+class TestMembershipBaseline:
+    def test_isa_closure(self, baseline):
+        assert ("tweety", "bird") in baseline.isa
+        assert ("tweety", "animal") in baseline.isa
+        assert ("tweety", "tweety") in baseline.isa
+        assert ("bird", "tweety") not in baseline.isa
+
+    def test_members_with_property(self, baseline):
+        members = {row[0] for row in baseline.members_with_property("flies").rows()}
+        assert "tweety" in members and "paul" in members  # no exceptions here
+
+    def test_has_property(self, baseline):
+        assert baseline.has_property("tweety", "flies")
+        assert not baseline.has_property("animal", "flies")
+
+    def test_leaf_members(self, baseline):
+        leaves = baseline.leaf_members_with_property("flies")
+        assert "tweety" in leaves
+        assert "canary" not in leaves  # canary has a child
+
+    def test_storage_rows_accounting(self, baseline):
+        assert baseline.storage_rows("flies") == len(baseline.isa) + 1
+
+    def test_matches_hierarchical_without_exceptions(self):
+        hierarchy, relation, instances = membership_workload(4, 5)
+        baseline = MembershipBaseline(hierarchy)
+        baseline.set_property(
+            "has_property", ["group{}".format(c) for c in range(4)]
+        )
+        hier_members = {item[0] for item in relation.extension()}
+        assert baseline.leaf_members_with_property("has_property") == hier_members
+
+    def test_storage_gap(self):
+        # The hierarchical relation stores one tuple per class; the
+        # baseline stores the whole membership closure.
+        hierarchy, relation, instances = membership_workload(4, 25)
+        baseline = MembershipBaseline(hierarchy)
+        baseline.set_property("p", ["group{}".format(c) for c in range(4)])
+        assert len(relation) == 4
+        assert baseline.storage_rows("p") > 100

@@ -1,0 +1,78 @@
+"""Unit tests for FlatRelation and the hierarchical/flat bridges."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.core import HRelation
+from repro.flat import FlatRelation, from_hrelation, to_hrelation
+
+
+class TestFlatRelation:
+    def test_add_and_len(self):
+        r = FlatRelation(["a"], [("x",), ("y",)])
+        assert len(r) == 2
+        r.add(("z",))
+        assert len(r) == 3
+
+    def test_duplicates_collapse(self):
+        r = FlatRelation(["a"], [("x",), ("x",)])
+        assert len(r) == 1
+
+    def test_wrong_arity(self):
+        r = FlatRelation(["a", "b"])
+        with pytest.raises(SchemaError):
+            r.add(("x",))
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            FlatRelation([])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            FlatRelation(["a", "a"])
+
+    def test_contains_discard(self):
+        r = FlatRelation(["a"], [("x",)])
+        assert ("x",) in r
+        r.discard(("x",))
+        assert ("x",) not in r
+
+    def test_eq_hash_copy(self):
+        r1 = FlatRelation(["a"], [("x",)])
+        r2 = FlatRelation(["a"], [("x",)])
+        assert r1 == r2 and hash(r1) == hash(r2)
+        clone = r1.copy()
+        clone.add(("y",))
+        assert r1 != clone
+
+    def test_sorted_iteration(self):
+        r = FlatRelation(["a"], [("z",), ("a",)])
+        assert list(r) == [("a",), ("z",)]
+
+    def test_index_of(self):
+        r = FlatRelation(["a", "b"])
+        assert r.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            r.index_of("zz")
+
+
+class TestBridges:
+    def test_from_hrelation(self, flying):
+        flat = from_hrelation(flying.flies)
+        assert flat.rows() == {("pamela",), ("patricia",), ("peter",), ("tweety",)}
+        assert flat.attributes == ("creature",)
+
+    def test_to_hrelation_roundtrip(self, flying):
+        flat = from_hrelation(flying.flies)
+        lifted = to_hrelation(flat, flying.flies.schema)
+        assert set(lifted.extension()) == flat.rows()
+
+    def test_to_hrelation_schema_mismatch(self, flying, school):
+        flat = from_hrelation(flying.flies)
+        with pytest.raises(SchemaError):
+            to_hrelation(flat, school.respects.schema)
+
+    def test_lifted_class_row_means_universal(self, flying):
+        flat = FlatRelation(["creature"], [("bird",)])
+        lifted = to_hrelation(flat, flying.flies.schema)
+        assert lifted.holds("tweety")

@@ -1,0 +1,73 @@
+"""Unit tests for the frame-based KR front end."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.frontend import FrameSystem
+
+
+@pytest.fixture
+def zoo():
+    ks = FrameSystem("zoo")
+    ks.define_frame("elephant")
+    ks.define_frame("royal_elephant", is_a=["elephant"])
+    ks.define_frame("indian_elephant", is_a=["elephant"])
+    ks.define_individual("clyde", is_a=["royal_elephant"])
+    ks.define_individual("appu", is_a=["royal_elephant", "indian_elephant"])
+    ks.set_slot("elephant", "color", "grey")
+    return ks
+
+
+class TestTaxonomy:
+    def test_is_a(self, zoo):
+        assert zoo.is_a("clyde", "elephant")
+        assert zoo.is_a("royal_elephant", "elephant")
+        assert not zoo.is_a("elephant", "royal_elephant")
+
+    def test_individual_needs_frames(self, zoo):
+        with pytest.raises(ReproError):
+            zoo.define_individual("ghost", is_a=[])
+
+
+class TestSlots:
+    def test_inheritance(self, zoo):
+        assert zoo.get_slot("clyde", "color") == "grey"
+
+    def test_override(self, zoo):
+        zoo.set_slot("royal_elephant", "color", "white")
+        assert zoo.get_slot("royal_elephant", "color") == "white"
+        assert zoo.get_slot("clyde", "color") == "white"
+        assert zoo.get_slot("indian_elephant", "color") == "grey"
+
+    def test_individual_override(self, zoo):
+        zoo.set_slot("royal_elephant", "color", "white")
+        zoo.set_slot("clyde", "color", "dappled")
+        assert zoo.get_slot("clyde", "color") == "dappled"
+        assert zoo.get_slot("appu", "color") == "white"
+
+    def test_unset_slot_none(self, zoo):
+        assert zoo.get_slot("clyde", "weight") is None
+
+    def test_unset_frame_value(self, zoo):
+        ks = FrameSystem("fresh")
+        ks.define_frame("thing2")
+        assert ks.get_slot("thing2", "color") is None
+
+    def test_individuals_with(self, zoo):
+        zoo.set_slot("royal_elephant", "color", "white")
+        assert zoo.individuals_with("color", "white") == ["appu", "clyde"]
+        assert zoo.individuals_with("color", "grey") == []
+        assert zoo.individuals_with("nope", "x") == []
+
+    def test_slots_listing(self, zoo):
+        assert zoo.slots() == ["color"]
+
+    def test_justification_passthrough(self, zoo):
+        zoo.set_slot("royal_elephant", "color", "white")
+        j = zoo.slot_justification("clyde", "color", "white")
+        assert j.truth is True
+        assert j.deciders[0].item == ("royal_elephant", "white")
+
+    def test_slot_relation_exposed(self, zoo):
+        relation = zoo.slot_relation("color")
+        assert relation.truth_of(("clyde", "grey"))

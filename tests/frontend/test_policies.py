@@ -1,0 +1,81 @@
+"""Unit tests for exception policies."""
+
+import warnings
+
+import pytest
+
+from repro.errors import ReproError
+from repro.frontend import ExceptionPolicy, ExceptionWarning, GuardedRelation
+from repro.frontend.policies import ExceptionDisallowedError
+
+
+@pytest.fixture
+def guarded(flying):
+    fresh = flying.flies.copy()
+    fresh.clear()
+    fresh.assert_item(("bird",))
+    return GuardedRelation(fresh, default=ExceptionPolicy.WARN)
+
+
+class TestExceptionDetection:
+    def test_override_is_exception(self, guarded):
+        assert guarded.is_exception(("penguin",), False)
+
+    def test_same_truth_is_not(self, guarded):
+        assert not guarded.is_exception(("canary",), True)
+
+    def test_uncovered_item_is_not(self, guarded):
+        fresh = guarded.relation
+        g = GuardedRelation(fresh)
+        # 'animal' has no applicable tuple... the default (false) is not
+        # an inherited value, so a negative assertion is no exception.
+        assert not g.is_exception(("animal",), False)
+
+
+class TestPolicies:
+    def test_warn(self, guarded):
+        with pytest.warns(ExceptionWarning):
+            guarded.assert_item(("penguin",), truth=False)
+        assert guarded.relation.truth_of_stored(("penguin",)) is False
+
+    def test_allow_silent(self, guarded):
+        guarded.default = ExceptionPolicy.ALLOW
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            guarded.assert_item(("penguin",), truth=False)
+
+    def test_forbid(self, guarded):
+        guarded.default = ExceptionPolicy.FORBID
+        with pytest.raises(ExceptionDisallowedError):
+            guarded.assert_item(("penguin",), truth=False)
+        assert ("penguin",) not in guarded.relation
+
+    def test_non_exception_passes_forbid(self, guarded):
+        guarded.default = ExceptionPolicy.FORBID
+        guarded.assert_item(("canary",), truth=True)  # no exception involved
+
+
+class TestPerClassOverrides:
+    def test_override_by_class(self, guarded):
+        guarded.default = ExceptionPolicy.FORBID
+        guarded.set_policy("penguin", ExceptionPolicy.ALLOW)
+        guarded.assert_item(("penguin",), truth=False)  # allowed here
+        with pytest.raises(ExceptionDisallowedError):
+            guarded.assert_item(("canary",), truth=False)
+
+    def test_strictest_applicable_wins(self, guarded):
+        guarded.set_policy("bird", ExceptionPolicy.ALLOW)
+        guarded.set_policy("penguin", ExceptionPolicy.FORBID)
+        # -(paul) contradicts the inherited +(bird): an exception, and
+        # both overrides apply to paul — the stricter FORBID wins.
+        with pytest.raises(ExceptionDisallowedError):
+            guarded.assert_item(("paul",), truth=False)
+
+    def test_unknown_class_rejected(self, guarded):
+        with pytest.raises(ReproError):
+            guarded.set_policy("nope", ExceptionPolicy.WARN)
+
+    def test_policy_for(self, guarded):
+        guarded.set_policy("penguin", ExceptionPolicy.FORBID)
+        assert guarded.policy_for(("paul",)) is ExceptionPolicy.FORBID
+        assert guarded.policy_for(("tweety",)) is ExceptionPolicy.WARN

@@ -1,0 +1,95 @@
+"""Unit tests for the semantic-net front end."""
+
+import pytest
+
+from repro.errors import AmbiguityError, ReproError
+from repro.frontend import SemanticNet
+
+
+@pytest.fixture
+def net():
+    n = SemanticNet("zoo")
+    n.concept("animal_kind")
+    n.concept("bird", isa=["animal_kind"])
+    n.concept("penguin", isa=["bird"])
+    n.concept("food")
+    n.concept("worm", isa=["food"])
+    n.concept("fish_food", isa=["food"])
+    n.individual("tweety", isa=["bird"])
+    n.individual("pingu", isa=["penguin"])
+    n.individual("wiggly", isa=["worm"])
+    n.individual("herring", isa=["fish_food"])
+    return n
+
+
+class TestTaxonomy:
+    def test_isa(self, net):
+        assert net.isa("pingu", "bird")
+        assert net.isa("penguin", "animal_kind")
+        assert not net.isa("bird", "penguin")
+
+    def test_individual_requires_concepts(self, net):
+        with pytest.raises(ReproError):
+            net.individual("ghost", isa=[])
+
+
+class TestLinks:
+    def test_inherited_link(self, net):
+        net.assert_link("bird", "eats", "worm")
+        assert net.ask("tweety", "eats", "wiggly")
+        assert net.ask("pingu", "eats", "wiggly")
+
+    def test_exception_link(self, net):
+        net.assert_link("bird", "eats", "worm")
+        net.assert_link("penguin", "eats", "worm", positive=False)
+        net.assert_link("penguin", "eats", "fish_food")
+        assert net.ask("tweety", "eats", "wiggly")
+        assert not net.ask("pingu", "eats", "wiggly")
+        assert net.ask("pingu", "eats", "herring")
+
+    def test_unknown_verb_false(self, net):
+        assert not net.ask("tweety", "chases", "wiggly")
+        assert net.objects_of("tweety", "chases") == []
+        assert net.subjects_of("chases", "wiggly") == []
+
+    def test_objects_and_subjects(self, net):
+        net.assert_link("bird", "eats", "worm")
+        net.assert_link("penguin", "eats", "fish_food")
+        assert net.objects_of("pingu", "eats") == ["herring", "wiggly"]
+        assert net.subjects_of("eats", "wiggly") == ["pingu", "tweety"]
+
+    def test_retract(self, net):
+        net.assert_link("bird", "eats", "worm")
+        net.retract_link("bird", "eats", "worm")
+        assert not net.ask("tweety", "eats", "wiggly")
+
+    def test_explain(self, net):
+        net.assert_link("bird", "eats", "worm")
+        net.assert_link("penguin", "eats", "worm", positive=False)
+        j = net.explain("pingu", "eats", "wiggly")
+        assert j.truth is False
+        assert j.deciders[0].item == ("penguin", "worm")
+
+    def test_verbs_listing(self, net):
+        net.assert_link("bird", "eats", "worm")
+        net.assert_link("bird", "fears", "penguin")
+        assert net.verbs() == ["eats", "fears"]
+
+
+class TestNoGeometricGrowth:
+    def test_storage_proportional_to_assertions(self, net):
+        """The paper's point against classic nets: class-level links on
+        both ends cost one tuple, not |subjects| x |objects|."""
+        net.assert_link("bird", "eats", "food")  # both ends are classes
+        assert net.stored_link_count() == 1
+        # ... yet it answers for every pair below.
+        assert net.ask("tweety", "eats", "herring")
+        assert net.ask("pingu", "eats", "wiggly")
+
+    def test_conflicting_double_inheritance_surfaces(self, net):
+        net.concept("swimmer", isa=["animal_kind"])
+        net.individual("puffin", isa=["bird", "swimmer"])
+        net.assert_link("bird", "eats", "worm")
+        net.assert_link("swimmer", "eats", "worm", positive=False)
+        with pytest.raises(AmbiguityError):
+            net.ask("puffin", "eats", "wiggly")

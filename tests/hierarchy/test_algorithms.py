@@ -1,0 +1,178 @@
+"""Unit tests for the pure graph algorithms."""
+
+import pytest
+
+from repro.errors import CycleError
+from repro.hierarchy import algorithms as alg
+
+
+@pytest.fixture
+def diamond():
+    return {"r": {"a", "b"}, "a": {"d"}, "b": {"d"}, "d": set()}
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        order = alg.topological_order({"a": {"b"}, "b": {"c"}, "c": set()})
+        assert order == ["a", "b", "c"]
+
+    def test_diamond(self, diamond):
+        order = alg.topological_order(diamond)
+        assert order.index("r") < order.index("a") < order.index("d")
+        assert order.index("r") < order.index("b") < order.index("d")
+
+    def test_cycle_raises(self):
+        with pytest.raises(CycleError):
+            alg.topological_order({"a": {"b"}, "b": {"a"}})
+
+    def test_tie_break(self, diamond):
+        ab = alg.topological_order(diamond, tie_break=["r", "a", "b", "d"])
+        ba = alg.topological_order(diamond, tie_break=["r", "b", "a", "d"])
+        assert ab.index("a") < ab.index("b")
+        assert ba.index("b") < ba.index("a")
+
+    def test_implicit_nodes_promoted(self):
+        # 'b' appears only as a successor.
+        order = alg.topological_order({"a": {"b"}})
+        assert order == ["a", "b"]
+
+
+class TestFindCycle:
+    def test_acyclic(self, diamond):
+        assert alg.find_cycle(diamond) is None
+
+    def test_two_cycle(self):
+        cycle = alg.find_cycle({"a": {"b"}, "b": {"a"}})
+        assert cycle is not None
+        assert set(cycle) == {"a", "b"}
+
+    def test_self_loop(self):
+        cycle = alg.find_cycle({"a": {"a"}})
+        assert cycle is not None and "a" in cycle
+
+    def test_cycle_in_second_component(self):
+        graph = {"x": {"y"}, "y": set(), "a": {"b"}, "b": {"c"}, "c": {"a"}}
+        cycle = alg.find_cycle(graph)
+        assert cycle is not None and set(cycle) <= {"a", "b", "c"}
+
+
+class TestReachability:
+    def test_reachable_from(self, diamond):
+        assert alg.reachable_from(diamond, "a") == {"a", "d"}
+        assert alg.reachable_from(diamond, "r") == {"r", "a", "b", "d"}
+
+    def test_has_path(self, diamond):
+        assert alg.has_path(diamond, "r", "d")
+        assert not alg.has_path(diamond, "d", "r")
+
+    def test_has_path_self(self, diamond):
+        assert alg.has_path(diamond, "d", "d")
+
+    def test_has_path_avoiding_blocks(self):
+        graph = {"j": {"m"}, "m": {"x"}, "x": set()}
+        assert alg.has_path(graph, "j", "x")
+        assert not alg.has_path(graph, "j", "x", avoiding=["m"])
+
+    def test_has_path_avoiding_alternate_route(self):
+        graph = {"j": {"m", "g"}, "m": {"x"}, "g": {"x"}, "x": set()}
+        assert alg.has_path(graph, "j", "x", avoiding=["m"])
+
+    def test_avoiding_never_excludes_endpoints(self):
+        graph = {"j": {"x"}, "x": set()}
+        assert alg.has_path(graph, "j", "x", avoiding=["j", "x"])
+
+
+class TestClosureReduction:
+    def test_closure(self):
+        closure = alg.transitive_closure({"a": {"b"}, "b": {"c"}, "c": set()})
+        assert closure["a"] == {"b", "c"}
+        assert closure["c"] == set()
+
+    def test_reduction_removes_shortcut(self):
+        graph = {"a": {"b", "c"}, "b": {"c"}, "c": set()}
+        reduced = alg.transitive_reduction(graph)
+        assert reduced["a"] == {"b"}
+        assert reduced["b"] == {"c"}
+
+    def test_reduction_of_reduced_is_identity(self, diamond):
+        assert alg.transitive_reduction(diamond) == diamond
+
+    def test_redundant_edges(self):
+        graph = {"a": {"b", "c"}, "b": {"c"}, "c": set()}
+        assert alg.redundant_edges(graph) == {("a", "c")}
+
+    def test_no_redundant_edges_in_diamond(self, diamond):
+        assert alg.redundant_edges(diamond) == set()
+
+
+class TestEliminateNode:
+    def test_reconnects_predecessor_to_successor(self):
+        graph = {"a": {"m"}, "m": {"z"}, "z": set()}
+        alg.eliminate_node(graph, "m")
+        assert graph == {"a": {"z"}, "z": set()}
+
+    def test_skips_edge_when_path_exists(self):
+        # a -> m -> z and a -> side -> z: removing m must not add a->z.
+        graph = {"a": {"m", "side"}, "m": {"z"}, "side": {"z"}, "z": set()}
+        alg.eliminate_node(graph, "m")
+        assert "z" not in graph["a"]
+        assert alg.has_path(graph, "a", "z")
+
+    def test_keep_redundant_adds_edge_anyway(self):
+        graph = {"a": {"m", "side"}, "m": {"z"}, "side": {"z"}, "z": set()}
+        alg.eliminate_node(graph, "m", keep_redundant=True)
+        assert "z" in graph["a"]
+
+    def test_eliminating_source_or_sink(self):
+        graph = {"a": {"b"}, "b": {"c"}, "c": set()}
+        alg.eliminate_node(graph, "a")
+        assert graph == {"b": {"c"}, "c": set()}
+        alg.eliminate_node(graph, "c")
+        assert graph == {"b": set()}
+
+    def test_reachability_preserved_generally(self):
+        graph = {
+            "r": {"a", "b"},
+            "a": {"m"},
+            "b": {"m"},
+            "m": {"x", "y"},
+            "x": set(),
+            "y": set(),
+        }
+        before = {
+            (u, v)
+            for u in graph
+            for v in graph
+            if u != "m" and v != "m" and alg.has_path(graph, u, v)
+        }
+        alg.eliminate_node(graph, "m")
+        after = {
+            (u, v) for u in graph for v in graph if alg.has_path(graph, u, v)
+        }
+        assert before <= after | {(n, n) for n in graph}
+
+    def test_eliminate_nodes_bulk(self):
+        graph = {"a": {"m1"}, "m1": {"m2"}, "m2": {"z"}, "z": set()}
+        alg.eliminate_nodes(graph, ["m1", "m2"])
+        assert graph == {"a": {"z"}, "z": set()}
+
+
+class TestSmallHelpers:
+    def test_invert(self):
+        assert alg.invert({"a": {"b"}, "b": set()}) == {"a": set(), "b": {"a"}}
+
+    def test_copy_graph_closes_over_successors(self):
+        closed = alg.copy_graph({"a": ["b"]})
+        assert closed == {"a": {"b"}, "b": set()}
+
+    def test_induced_subgraph(self, diamond):
+        sub = alg.induced_subgraph(diamond, ["r", "a", "d"])
+        assert sub == {"r": {"a"}, "a": {"d"}, "d": set()}
+
+    def test_immediate_predecessors(self, diamond):
+        assert alg.immediate_predecessors(diamond, "d") == {"a", "b"}
+
+    def test_is_antichain(self):
+        anc = {"a": set(), "b": {"a"}, "c": {"a"}}
+        assert alg.is_antichain(anc, ["b", "c"])
+        assert not alg.is_antichain(anc, ["a", "b"])

@@ -1,0 +1,94 @@
+"""Unit tests for hierarchy builders."""
+
+import pytest
+
+from repro.errors import HierarchyError
+from repro.hierarchy import (
+    HierarchyBuilder,
+    hierarchy_from_dict,
+    hierarchy_from_edges,
+)
+
+
+class TestHierarchyBuilder:
+    def test_fluent_chain(self):
+        h = (
+            HierarchyBuilder("animal")
+            .klass("bird")
+            .klass("penguin", under="bird")
+            .instance("tweety", under="bird")
+            .build()
+        )
+        assert h.subsumes("bird", "tweety")
+        assert h.is_instance("tweety")
+
+    def test_multiple_parents(self):
+        h = (
+            HierarchyBuilder("d")
+            .klass("a")
+            .klass("b")
+            .klass("ab", under=["a", "b"])
+            .build()
+        )
+        assert h.parents("ab") == frozenset({"a", "b"})
+
+    def test_edge_and_prefer(self):
+        h = (
+            HierarchyBuilder("d")
+            .klass("a")
+            .klass("b")
+            .klass("c", under="a")
+            .edge("b", "c")
+            .prefer("a", over="b")
+            .build()
+        )
+        assert h.parents("c") == frozenset({"a", "b"})
+        assert h.preference_edges() == [("b", "a")]
+
+    def test_default_parent_is_root(self):
+        h = HierarchyBuilder("d").klass("a").build()
+        assert h.parents("a") == frozenset({"d"})
+
+
+class TestFromDict:
+    def test_nested(self):
+        h = hierarchy_from_dict(
+            "animal",
+            {"bird": {"canary": ["tweety"], "penguin": None}},
+            instances=["tweety"],
+        )
+        assert h.subsumes("bird", "tweety")
+        assert h.is_instance("tweety")
+        assert not h.is_instance("penguin")
+
+    def test_repeated_name_becomes_edge(self):
+        h = hierarchy_from_dict(
+            "d",
+            {"a": {"shared": None}, "b": {"shared": None}},
+        )
+        assert h.parents("shared") == frozenset({"a", "b"})
+
+    def test_leaf_sequence(self):
+        h = hierarchy_from_dict("d", {"grp": ["x", "y"]})
+        assert set(h.children("grp")) == {"x", "y"}
+
+
+class TestFromEdges:
+    def test_basic(self):
+        h = hierarchy_from_edges(
+            "animal",
+            [("animal", "bird"), ("bird", "tweety")],
+            instances=["tweety"],
+        )
+        assert h.subsumes("animal", "tweety")
+        assert h.is_instance("tweety")
+
+    def test_parent_must_exist_first(self):
+        with pytest.raises(HierarchyError):
+            hierarchy_from_edges("d", [("ghost", "child")])
+
+    def test_second_mention_becomes_edge(self):
+        h = hierarchy_from_edges(
+            "d", [("d", "a"), ("d", "b"), ("a", "c"), ("b", "c")]
+        )
+        assert h.parents("c") == frozenset({"a", "b"})

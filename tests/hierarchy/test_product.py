@@ -1,0 +1,190 @@
+"""Unit tests for product (item) hierarchies — section 2.2 / Fig. 2."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownNodeError
+from repro.hierarchy import Hierarchy, ProductHierarchy
+
+
+@pytest.fixture
+def student():
+    h = Hierarchy("student")
+    h.add_class("obsequious")
+    h.add_instance("john", parents=["obsequious"])
+    return h
+
+
+@pytest.fixture
+def teacher():
+    h = Hierarchy("teacher")
+    h.add_class("incoherent")
+    h.add_instance("bill", parents=["incoherent"])
+    return h
+
+
+@pytest.fixture
+def product(student, teacher):
+    return ProductHierarchy([student, teacher])
+
+
+class TestBasics:
+    def test_arity_and_top(self, product):
+        assert product.arity == 2
+        assert product.top == ("student", "teacher")
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(SchemaError):
+            ProductHierarchy([])
+
+    def test_check_item_arity(self, product):
+        with pytest.raises(SchemaError):
+            product.check_item(("student",))
+
+    def test_check_item_unknown_node(self, product):
+        with pytest.raises(UnknownNodeError):
+            product.check_item(("student", "nope"))
+
+    def test_contains(self, product):
+        assert ("obsequious", "teacher") in product
+        assert ("teacher", "obsequious") not in product
+
+
+class TestOrder:
+    def test_subsumes_componentwise(self, product):
+        assert product.subsumes(("student", "teacher"), ("john", "bill"))
+        assert product.subsumes(("obsequious", "teacher"), ("obsequious", "incoherent"))
+        assert not product.subsumes(("obsequious", "incoherent"), ("obsequious", "teacher"))
+
+    def test_incomparable_items(self, product):
+        a = ("obsequious", "teacher")
+        b = ("student", "incoherent")
+        assert not product.subsumes(a, b)
+        assert not product.subsumes(b, a)
+
+    def test_strict(self, product):
+        assert not product.strictly_subsumes(("john", "bill"), ("john", "bill"))
+        assert product.strictly_subsumes(("student", "teacher"), ("john", "bill"))
+
+    def test_is_leaf(self, product):
+        assert product.is_leaf(("john", "bill"))
+        assert not product.is_leaf(("obsequious", "bill"))
+
+    def test_topological_key_is_linear_extension(self, product):
+        items = [
+            ("student", "teacher"),
+            ("obsequious", "teacher"),
+            ("student", "incoherent"),
+            ("obsequious", "incoherent"),
+            ("john", "bill"),
+        ]
+        for a in items:
+            for b in items:
+                if product.strictly_subsumes(a, b):
+                    assert product.topological_key(a) < product.topological_key(b)
+
+
+class TestMeet:
+    def test_fig3_conflict_item(self, product):
+        # The meet of the two Fig. 3 assertions is exactly the item the
+        # paper resolves: (obsequious student, incoherent teacher).
+        meets = product.meet(("obsequious", "teacher"), ("student", "incoherent"))
+        assert meets == [("obsequious", "incoherent")]
+
+    def test_disjoint_meet_empty(self, student, teacher):
+        student.add_class("lazy")
+        product = ProductHierarchy([student, teacher])
+        assert product.meet(("lazy", "teacher"), ("obsequious", "teacher")) == []
+
+    def test_meet_of_comparable(self, product):
+        assert product.meet(("student", "teacher"), ("john", "bill")) == [
+            ("john", "bill")
+        ]
+
+
+class TestNeighbourhood:
+    def test_parents(self, product):
+        assert set(product.parents(("obsequious", "incoherent"))) == {
+            ("student", "incoherent"),
+            ("obsequious", "teacher"),
+        }
+
+    def test_children(self, product):
+        assert set(product.children(("student", "teacher"))) == {
+            ("obsequious", "teacher"),
+            ("student", "incoherent"),
+        }
+
+    def test_product_edge_count_matches_fig2(self, product):
+        # Fig. 2c: the product of two 3-chains is a 3x3 grid with 12 edges.
+        nodes = list(product.all_items())
+        assert len(nodes) == 9
+        edge_count = sum(len(product.children(n)) for n in nodes)
+        assert edge_count == 12
+
+    def test_ancestors_or_self(self, product):
+        cone = set(product.ancestors_or_self(("john", "bill")))
+        assert len(cone) == 9  # full grid: john/bill are the bottom corner
+        assert ("student", "teacher") in cone
+
+    def test_cone_size_matches(self, product):
+        item = ("john", "bill")
+        assert product.cone_size(item) == len(set(product.ancestors_or_self(item)))
+
+
+class TestLeaves:
+    def test_leaves_under_top(self, product):
+        leaves = set(product.all_leaves())
+        assert leaves == {("john", "bill")}
+
+    def test_count_matches_enumeration(self, product):
+        top = product.top
+        assert product.count_leaves_under(top) == len(set(product.leaves_under(top)))
+
+    def test_leaves_under_partial(self, student, teacher):
+        teacher.add_instance("tom")
+        product = ProductHierarchy([student, teacher])
+        leaves = set(product.leaves_under(("obsequious", "teacher")))
+        assert leaves == {("john", "bill"), ("john", "tom")}
+
+
+class TestConeGraph:
+    def test_cone_graph_edges(self, product):
+        graph = product.cone_graph(("obsequious", "incoherent"))
+        assert set(graph) == {
+            ("student", "teacher"),
+            ("obsequious", "teacher"),
+            ("student", "incoherent"),
+            ("obsequious", "incoherent"),
+        }
+        assert graph[("student", "teacher")] == {
+            ("obsequious", "teacher"),
+            ("student", "incoherent"),
+        }
+
+    def test_cone_graph_with_preferences(self, student, teacher):
+        student.add_class("keen")
+        student.add_preference_edge("keen", "obsequious")
+        product = ProductHierarchy([student, teacher])
+        graph = product.cone_graph(("obsequious", "teacher"), binding=True)
+        # keen is a binding-ancestor of obsequious via the preference edge.
+        assert ("keen", "teacher") in graph
+        plain = product.cone_graph(("obsequious", "teacher"), binding=False)
+        assert ("keen", "teacher") not in plain
+
+
+class TestStructureFlags:
+    def test_reduced_product(self, product):
+        assert not product.has_redundant_edges()
+        assert not product.needs_elimination_binding()
+
+    def test_redundant_factor_detected(self, student, teacher):
+        student.add_edge("student", "john")
+        product = ProductHierarchy([student, teacher])
+        assert product.has_redundant_edges()
+        assert product.needs_elimination_binding()
+
+    def test_preference_factor_detected(self, student, teacher):
+        student.add_class("keen")
+        student.add_preference_edge("keen", "obsequious")
+        product = ProductHierarchy([student, teacher])
+        assert product.has_preference_edges()

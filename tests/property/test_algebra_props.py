@@ -1,0 +1,212 @@
+"""Property tests: every hierarchical operator commutes with flattening.
+
+For each operator ``op`` and its flat counterpart ``flat_op``:
+
+    flatten(op(R, S)) == flat_op(flatten(R), flatten(S))
+
+where ``flatten`` is the unique equivalent flat relation.  This is the
+paper's stated semantics for section 3.4, tested across random
+hierarchies and relations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flat import algebra as flat_alg
+from repro.flat import from_hrelation
+from repro.core import (
+    HRelation,
+    RelationSchema,
+    difference,
+    intersection,
+    join,
+    project,
+    select,
+    union,
+)
+from tests.property.strategies import hierarchies, pair_of_relations, relations, repair
+
+
+def rows(relation):
+    return from_hrelation(relation).rows()
+
+
+@given(pair_of_relations())
+@settings(max_examples=60, deadline=None)
+def test_union_commutes(pair):
+    left, right = pair
+    got = rows(union(left, right))
+    want = flat_alg.union(from_hrelation(left), from_hrelation(right)).rows()
+    assert got == want
+
+
+@given(pair_of_relations())
+@settings(max_examples=60, deadline=None)
+def test_intersection_commutes(pair):
+    left, right = pair
+    got = rows(intersection(left, right))
+    want = flat_alg.intersection(from_hrelation(left), from_hrelation(right)).rows()
+    assert got == want
+
+
+@given(pair_of_relations())
+@settings(max_examples=60, deadline=None)
+def test_difference_commutes(pair):
+    left, right = pair
+    got = rows(difference(left, right))
+    want = flat_alg.difference(from_hrelation(left), from_hrelation(right)).rows()
+    assert got == want
+
+
+@given(pair_of_relations(arity=2, max_tuples=4))
+@settings(max_examples=30, deadline=None)
+def test_set_ops_commute_binary(pair):
+    left, right = pair
+    for op, flat_op in [
+        (union, flat_alg.union),
+        (intersection, flat_alg.intersection),
+        (difference, flat_alg.difference),
+    ]:
+        got = rows(op(left, right))
+        want = flat_op(from_hrelation(left), from_hrelation(right)).rows()
+        assert got == want
+
+
+@given(relations(arity=2, max_tuples=4), st.data())
+@settings(max_examples=50, deadline=None)
+def test_select_commutes(r, data):
+    attribute = data.draw(st.sampled_from(list(r.schema.attributes)), label="attr")
+    hierarchy = r.schema.hierarchy_for(attribute)
+    klass = data.draw(st.sampled_from(hierarchy.nodes()), label="class")
+    got = rows(select(r, {attribute: klass}))
+    members = set(hierarchy.leaves_under(klass))
+    want = flat_alg.select(
+        from_hrelation(r), lambda row: row[attribute] in members
+    ).rows()
+    assert got == want
+
+
+@given(relations(arity=2, max_tuples=4), st.data())
+@settings(max_examples=50, deadline=None)
+def test_project_commutes(r, data):
+    attribute = data.draw(st.sampled_from(list(r.schema.attributes)), label="attr")
+    got = rows(project(r, [attribute]))
+    want = flat_alg.project(from_hrelation(r), [attribute]).rows()
+    assert got == want
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_join_commutes(data):
+    shared = data.draw(hierarchies(name="shared"), label="shared")
+    left_extra = data.draw(hierarchies(max_nodes=4, name="lx"), label="lx")
+    right_extra = data.draw(hierarchies(max_nodes=4, name="rx"), label="rx")
+    left = HRelation(
+        RelationSchema([("k", shared), ("a", left_extra)]), name="left"
+    )
+    right = HRelation(
+        RelationSchema([("k", shared), ("b", right_extra)]), name="right"
+    )
+    for relation in (left, right):
+        count = data.draw(st.integers(min_value=0, max_value=4), label="count")
+        for _ in range(count):
+            item = tuple(
+                data.draw(st.sampled_from(h.nodes()))
+                for h in relation.schema.hierarchies
+            )
+            truth = data.draw(st.booleans())
+            if item not in relation.asserted:
+                relation.assert_item(item, truth=truth)
+        repair(relation)
+    got = rows(join(left, right))
+    want = flat_alg.join(from_hrelation(left), from_hrelation(right)).rows()
+    assert got == want
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_semijoin_antijoin_commute(data):
+    from repro.core import antijoin, semijoin
+
+    shared = data.draw(hierarchies(name="shared"), label="shared")
+    left_extra = data.draw(hierarchies(max_nodes=4, name="lx"), label="lx")
+    left = HRelation(RelationSchema([("k", shared), ("a", left_extra)]), name="left")
+    right = HRelation(RelationSchema([("k", shared)]), name="right")
+    for relation in (left, right):
+        count = data.draw(st.integers(min_value=0, max_value=4), label="count")
+        for _ in range(count):
+            item = tuple(
+                data.draw(st.sampled_from(h.nodes()))
+                for h in relation.schema.hierarchies
+            )
+            if item not in relation.asserted:
+                relation.assert_item(item, truth=data.draw(st.booleans()))
+        repair(relation)
+    flat_left = from_hrelation(left)
+    joined = flat_alg.join(flat_left, from_hrelation(right))
+    want_semi = flat_alg.project(joined, list(left.schema.attributes)).rows()
+    assert rows(semijoin(left, right)) == want_semi
+    assert rows(antijoin(left, right)) == flat_left.rows() - want_semi
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_divide_commutes(data):
+    from repro.core import divide
+
+    shared = data.draw(hierarchies(max_nodes=4, name="shared"), label="shared")
+    keep = data.draw(hierarchies(max_nodes=4, name="keep"), label="keep")
+    dividend = HRelation(
+        RelationSchema([("k", keep), ("s", shared)]), name="dividend"
+    )
+    divisor = HRelation(RelationSchema([("s", shared)]), name="divisor")
+    for relation in (dividend, divisor):
+        count = data.draw(st.integers(min_value=0, max_value=4), label="count")
+        for _ in range(count):
+            item = tuple(
+                data.draw(st.sampled_from(h.nodes()))
+                for h in relation.schema.hierarchies
+            )
+            if item not in relation.asserted:
+                relation.assert_item(item, truth=data.draw(st.booleans()))
+        repair(relation)
+    got = rows(divide(dividend, divisor))
+    flat_dividend = from_hrelation(dividend)
+    flat_divisor = from_hrelation(divisor)
+    if len(flat_divisor) == 0:
+        want = flat_alg.project(flat_dividend, ["k"]).rows()
+    else:
+        want = flat_alg.divide(flat_dividend, flat_divisor).rows()
+    assert got == want
+
+
+@given(pair_of_relations())
+@settings(max_examples=40, deadline=None)
+def test_equivalence_matches_flat_equality(pair):
+    from repro.core import consolidate, contains, equivalent
+
+    left, right = pair
+    flat_left = from_hrelation(left).rows()
+    flat_right = from_hrelation(right).rows()
+    assert equivalent(left, right) == (flat_left == flat_right)
+    assert contains(left, right) == (flat_right <= flat_left)
+    assert equivalent(left, consolidate(left))
+
+
+@given(pair_of_relations())
+@settings(max_examples=40, deadline=None)
+def test_results_are_consistent(pair):
+    left, right = pair
+    for op in (union, intersection, difference):
+        result = op(left, right)
+        assert result.is_consistent()
+
+
+@given(pair_of_relations())
+@settings(max_examples=40, deadline=None)
+def test_unconsolidated_matches_consolidated(pair):
+    left, right = pair
+    raw = union(left, right, consolidate=False)
+    compact = union(left, right, consolidate=True)
+    assert rows(raw) == rows(compact)
+    assert len(compact) <= len(raw)

@@ -1,0 +1,148 @@
+"""Property tests for the extension layers: discovery, K3 algebra, and
+deep-structure stress invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions import (
+    ThreeValuedRelation,
+    TruthValue3,
+    complement3,
+    discover_hierarchy,
+    discover_with_exceptions,
+    intersection3,
+    union3,
+)
+from tests.property.strategies import hierarchies
+
+
+# ----------------------------------------------------------------------
+# hierarchy discovery preserves every input relation
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def relation_families(draw):
+    """A random family of unary flat relations over a small universe."""
+    universe = ["a{}".format(i) for i in range(draw(st.integers(2, 8)))]
+    count = draw(st.integers(1, 4))
+    family = {}
+    for i in range(count):
+        members = draw(
+            st.sets(st.sampled_from(universe), min_size=0, max_size=len(universe))
+        )
+        family["r{}".format(i)] = members
+    return family
+
+
+@given(relation_families())
+@settings(max_examples=60, deadline=None)
+def test_exact_discovery_preserves_extensions(family):
+    result = discover_hierarchy(family)
+    for name, members in family.items():
+        got = {item[0] for item in result.relations[name].extension()}
+        assert got == members
+    assert result.hierarchical_tuple_count <= max(result.flat_tuple_count, 1) or (
+        result.flat_tuple_count == 0
+    )
+
+
+@given(relation_families())
+@settings(max_examples=60, deadline=None)
+def test_greedy_discovery_preserves_extensions(family):
+    result = discover_with_exceptions(family)
+    for name, members in family.items():
+        got = {item[0] for item in result.relations[name].extension()}
+        assert got == members
+
+
+@given(relation_families())
+@settings(max_examples=60, deadline=None)
+def test_greedy_never_beats_exact_on_correctness_and_never_pads(family):
+    exact = discover_hierarchy(family)
+    greedy = discover_with_exceptions(family)
+    assert greedy.hierarchical_tuple_count <= exact.hierarchical_tuple_count
+    for relation in greedy.relations.values():
+        assert relation.is_consistent()
+
+
+# ----------------------------------------------------------------------
+# K3 algebra: per-atom agreement with Kleene truth tables
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def three_valued_pairs(draw):
+    hierarchy = draw(hierarchies())
+    schema = [("x", hierarchy)]
+    left = ThreeValuedRelation(schema, name="left")
+    right = ThreeValuedRelation(left.schema, name="right")
+    values = [TruthValue3.TRUE, TruthValue3.FALSE, TruthValue3.UNKNOWN]
+    for relation in (left, right):
+        for _ in range(draw(st.integers(0, 4))):
+            node = draw(st.sampled_from(hierarchy.nodes()))
+            if (node,) not in dict(relation.tuples()):
+                relation.assert_item((node,), draw(st.sampled_from(values)))
+        # Repair conflicts by retracting a binder until clean.
+        for _ in range(10):
+            try:
+                for leaf in hierarchy.nodes():
+                    relation.truth_of((leaf,))
+                break
+            except Exception:
+                item = relation.tuples()[0][0]
+                relation.retract(item)
+    return hierarchy, left, right
+
+
+@given(three_valued_pairs())
+@settings(max_examples=50, deadline=None)
+def test_k3_operators_pointwise(pair):
+    from repro.extensions import kleene_and, kleene_not, kleene_or
+
+    hierarchy, left, right = pair
+    either = union3(left, right)
+    both = intersection3(left, right)
+    neither = complement3(left)
+    for leaf in hierarchy.leaves():
+        l = left.truth_of((leaf,))
+        r = right.truth_of((leaf,))
+        assert either.truth_of((leaf,)) is kleene_or(l, r)
+        assert both.truth_of((leaf,)) is kleene_and(l, r)
+        assert neither.truth_of((leaf,)) is kleene_not(l)
+
+
+# ----------------------------------------------------------------------
+# deep-structure stress
+# ----------------------------------------------------------------------
+
+
+def test_deep_chain_is_safe():
+    """A 400-deep specialisation chain: no recursion limits, correct
+    alternating semantics all the way down."""
+    from repro.workloads.generators import chain_hierarchy, exception_chain_relation
+
+    hierarchy = chain_hierarchy("deep", length=400, siblings=1)
+    relation = exception_chain_relation(hierarchy)
+    assert relation.truth_of(("leaf1_0",)) is True
+    # leaf399_0 hangs under chain398, whose sign is (398 % 2 == 0).
+    assert relation.truth_of(("leaf399_0",)) is True
+    assert relation.truth_of(("chain399",)) is False
+    assert len(relation.consolidated()) == 400
+
+
+def test_wide_fanout_is_safe():
+    """4000 instances under one class: extension machinery stays linear."""
+    from repro.hierarchy import Hierarchy
+    from repro.core import HRelation
+
+    hierarchy = Hierarchy("wide")
+    hierarchy.add_class("grp")
+    for i in range(4000):
+        hierarchy.add_instance("m{}".format(i), parents=["grp"])
+    relation = HRelation([("x", hierarchy)])
+    relation.assert_item(("grp",))
+    relation.assert_item(("m1234",), truth=False)
+    assert relation.extension_size() == 3999
+    assert relation.truth_of(("m1234",)) is False
+    assert relation.truth_of(("m7",)) is True

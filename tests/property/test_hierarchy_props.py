@@ -1,0 +1,117 @@
+"""Property tests for hierarchy algorithms, cross-checked against
+networkx where a reference implementation exists."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy import algorithms as alg
+from tests.property.strategies import hierarchies
+
+
+def to_nx(hierarchy):
+    graph = nx.DiGraph()
+    graph.add_nodes_from(hierarchy.nodes())
+    graph.add_edges_from(hierarchy.edges())
+    return graph
+
+
+@given(hierarchies())
+@settings(max_examples=60, deadline=None)
+def test_topological_order_is_valid(h):
+    order = h.topological_order()
+    position = {n: i for i, n in enumerate(order)}
+    for parent, child in h.edges():
+        assert position[parent] < position[child]
+    assert sorted(order) == sorted(h.nodes())
+
+
+@given(hierarchies())
+@settings(max_examples=60, deadline=None)
+def test_subsumption_matches_nx_reachability(h):
+    graph = to_nx(h)
+    for a in h.nodes():
+        for b in h.nodes():
+            assert h.subsumes(a, b) == nx.has_path(graph, a, b)
+
+
+@given(hierarchies())
+@settings(max_examples=60, deadline=None)
+def test_generated_hierarchies_are_reduced(h):
+    graph = to_nx(h)
+    reduced = nx.transitive_reduction(graph)
+    assert set(reduced.edges()) == set(graph.edges())
+    assert h.is_transitively_reduced()
+
+
+@given(hierarchies())
+@settings(max_examples=60, deadline=None)
+def test_meets_are_maximal_common_descendants(h):
+    graph = to_nx(h)
+    for a in h.nodes():
+        for b in h.nodes():
+            common = {
+                n
+                for n in h.nodes()
+                if nx.has_path(graph, a, n) and nx.has_path(graph, b, n)
+            }
+            maximal = {
+                n
+                for n in common
+                if not any(
+                    m != n and m in common and nx.has_path(graph, m, n)
+                    for m in common
+                )
+            }
+            assert set(h.maximal_common_descendants(a, b)) == maximal
+
+
+@given(hierarchies())
+@settings(max_examples=60, deadline=None)
+def test_ancestors_and_descendants_are_inverse(h):
+    for a in h.nodes():
+        for b in h.nodes():
+            assert (a in h.descendants(b)) == (b in h.ancestors(a))
+
+
+@given(hierarchies(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_node_elimination_preserves_reachability(h, data):
+    victim = data.draw(
+        st.sampled_from([n for n in h.nodes() if n != h.root]), label="victim"
+    )
+    graph_before = to_nx(h)
+    adjacency = h.class_graph()
+    alg.eliminate_node(adjacency, victim)
+    graph_after = nx.DiGraph()
+    graph_after.add_nodes_from(adjacency)
+    for node, succs in adjacency.items():
+        graph_after.add_edges_from((node, s) for s in succs)
+    for a in adjacency:
+        for b in adjacency:
+            assert nx.has_path(graph_before, a, b) == nx.has_path(graph_after, a, b)
+
+
+@given(hierarchies(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_node_elimination_stays_reduced(h, data):
+    victim = data.draw(
+        st.sampled_from([n for n in h.nodes() if n != h.root]), label="victim"
+    )
+    adjacency = h.class_graph()
+    alg.eliminate_node(adjacency, victim)
+    assert alg.redundant_edges(adjacency) == set()
+
+
+@given(hierarchies())
+@settings(max_examples=40, deadline=None)
+def test_leaves_under_matches_brute_force(h):
+    graph = to_nx(h)
+    for node in h.nodes():
+        brute = {
+            n
+            for n in h.nodes()
+            if nx.has_path(graph, node, n) and not h.children(n)
+        }
+        assert set(h.leaves_under(node)) == brute

@@ -1,0 +1,157 @@
+"""Property tests for the core model invariants.
+
+The checks here cross-validate structurally different code paths:
+binding (minimal-subsumer logic) versus consolidation and explication
+(subsumption-graph walks), and the candidate conflict scan versus the
+exhaustive one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HRelation,
+    NO_PREEMPTION,
+    ON_PATH,
+    consolidate,
+    explicate,
+    find_conflicts,
+)
+from repro.core.binding import truth_and_binders
+from tests.property.strategies import hierarchies, relations, repair
+
+
+def flat_map(relation):
+    """Atom -> truth, by per-atom binding (None marks a conflict)."""
+    out = {}
+    for atom in relation.schema.product.all_leaves():
+        truth, _ = truth_and_binders(relation, atom)
+        out[atom] = truth
+    return out
+
+
+@given(relations())
+@settings(max_examples=80, deadline=None)
+def test_consolidate_preserves_flat_relation(r):
+    assert flat_map(consolidate(r)) == flat_map(r)
+
+
+@given(relations(arity=2, max_tuples=4))
+@settings(max_examples=40, deadline=None)
+def test_consolidate_preserves_flat_relation_binary(r):
+    assert flat_map(consolidate(r)) == flat_map(r)
+
+
+@given(relations())
+@settings(max_examples=60, deadline=None)
+def test_consolidate_idempotent(r):
+    once = consolidate(r)
+    assert consolidate(once).same_tuples_as(once)
+
+
+@given(relations())
+@settings(max_examples=60, deadline=None)
+def test_consolidate_leaves_nothing_redundant(r):
+    """The result contains no *redundant* tuple in the paper's sense
+    (section 3.3.1's definition over the subsumption graph).
+
+    Note this is deliberately weaker than global extension-minimality:
+    e.g. ``{+c, -c'}`` with c' covering all of c's atoms has an empty
+    extension, yet neither tuple is redundant by the definition — each
+    differs from its immediate predecessor.
+    """
+    from repro.core.consolidate import redundant_tuples
+
+    compact = consolidate(r)
+    assert redundant_tuples(compact) == []
+
+
+@given(relations())
+@settings(max_examples=80, deadline=None)
+def test_explicate_equals_extension(r):
+    flat = explicate(r)
+    want = {atom for atom, truth in flat_map(r).items() if truth}
+    assert {t.item for t in flat.tuples()} == want
+    assert all(t.truth for t in flat.tuples())
+
+
+@given(relations(arity=2, max_tuples=4), st.data())
+@settings(max_examples=40, deadline=None)
+def test_partial_explication_preserves_flat_relation(r, data):
+    attribute = data.draw(
+        st.sampled_from(list(r.schema.attributes)), label="attribute"
+    )
+    partial = explicate(r, attributes=[attribute])
+    assert flat_map(partial) == flat_map(r)
+
+
+@given(relations(consistent=False))
+@settings(max_examples=80, deadline=None)
+def test_candidate_conflicts_agree_with_exhaustive(r):
+    candidates = find_conflicts(r)
+    exhaustive = find_conflicts(r, exhaustive=True)
+    assert bool(candidates) == bool(exhaustive)
+    witnessed = {c.item for c in candidates}
+    product = r.schema.product
+    for conflict in exhaustive:
+        assert any(product.subsumes(w, conflict.item) for w in witnessed)
+
+
+@given(relations(consistent=False, arity=2, max_tuples=4))
+@settings(max_examples=30, deadline=None)
+def test_candidate_conflicts_agree_with_exhaustive_binary(r):
+    candidates = find_conflicts(r)
+    exhaustive = find_conflicts(r, exhaustive=True)
+    assert bool(candidates) == bool(exhaustive)
+
+
+@given(relations(consistent=False))
+@settings(max_examples=60, deadline=None)
+def test_repair_terminates_and_repaired_is_consistent(r):
+    repair(r)
+    assert not find_conflicts(r, exhaustive=True)
+
+
+@given(relations())
+@settings(max_examples=60, deadline=None)
+def test_own_tuple_always_decides(r):
+    for item, truth in r.asserted.items():
+        got, binders = truth_and_binders(r, item)
+        assert got == truth
+        assert [b.item for b in binders] == [item]
+
+
+@given(relations())
+@settings(max_examples=40, deadline=None)
+def test_on_path_conflicts_superset_of_off_path(r):
+    """On-path preemption preempts less, so anything consistent under it
+    is consistent under off-path too (on reduced hierarchies)."""
+    off_conflicts = {c.item for c in find_conflicts(r, exhaustive=True)}
+    r.strategy = ON_PATH
+    on_conflicts = {c.item for c in find_conflicts(r, exhaustive=True)}
+    assert off_conflicts <= on_conflicts
+
+
+@given(relations())
+@settings(max_examples=40, deadline=None)
+def test_no_preemption_conflicts_superset_of_on_path(r):
+    r.strategy = ON_PATH
+    on_conflicts = {c.item for c in find_conflicts(r, exhaustive=True)}
+    r.strategy = NO_PREEMPTION
+    none_conflicts = {c.item for c in find_conflicts(r, exhaustive=True)}
+    assert on_conflicts <= none_conflicts
+
+
+@given(relations())
+@settings(max_examples=60, deadline=None)
+def test_positive_only_relation_matches_cone_union(r):
+    """With no negated tuples, an atom is true iff some asserted item
+    contains it — binding must agree with plain reachability."""
+    positive = HRelation(r.schema, name="pos")
+    for item, truth in r.asserted.items():
+        if truth:
+            positive.assert_item(item, truth=True)
+    product = r.schema.product
+    for atom in product.all_leaves():
+        want = any(product.subsumes(item, atom) for item in positive.asserted)
+        assert positive.truth_of(atom) == want

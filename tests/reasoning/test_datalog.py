@@ -1,0 +1,133 @@
+"""Unit tests for the Datalog layer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.reasoning import DatalogProgram, Literal, Rule, Variable, parse_rule
+
+
+class TestParsing:
+    def test_basic_rule(self):
+        rule = parse_rule("travels_far(X) :- flies(X)")
+        assert rule.head == Literal("travels_far", (Variable("X"),))
+        assert rule.body == (Literal("flies", (Variable("X"),)),)
+
+    def test_constants_and_variables(self):
+        rule = parse_rule("likes(X, tweety) :- knows(X, tweety)")
+        assert rule.head.terms == (Variable("X"), "tweety")
+
+    def test_quoted_constants(self):
+        rule = parse_rule("p(X) :- q(X, 'Upper Case')")
+        assert rule.body[0].terms[1] == "Upper Case"
+
+    def test_negated_literal(self):
+        rule = parse_rule("p(X) :- q(X), not r(X)")
+        assert rule.body[1].negated
+
+    def test_trailing_period_ok(self):
+        parse_rule("p(X) :- q(X).")
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ReproError):
+            parse_rule("not p(X) :- q(X)")
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ReproError):
+            parse_rule("p(X, Y) :- q(X)")
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(ReproError):
+            parse_rule("p(X) :- q(X), not r(Y)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ReproError):
+            parse_rule("this is not a rule")
+
+    def test_rule_str(self):
+        assert str(parse_rule("p(X) :- q(X), not r(X)")) == "p(X) :- q(X), not r(X)"
+
+
+class TestEvaluation:
+    def test_simple_derivation(self):
+        p = DatalogProgram()
+        p.add_facts("flies", [("tweety",)])
+        p.add_rule("travels_far(X) :- flies(X)")
+        assert p.query("travels_far") == {("tweety",)}
+
+    def test_join_in_body(self):
+        p = DatalogProgram()
+        p.add_facts("parent", [("a", "b"), ("b", "c")])
+        p.add_rule("grandparent(X, Z) :- parent(X, Y), parent(Y, Z)")
+        assert p.query("grandparent") == {("a", "c")}
+
+    def test_recursion(self):
+        p = DatalogProgram()
+        p.add_facts("edge", [("a", "b"), ("b", "c"), ("c", "d")])
+        p.add_rule("path(X, Y) :- edge(X, Y)")
+        p.add_rule("path(X, Z) :- path(X, Y), edge(Y, Z)")
+        assert ("a", "d") in p.query("path")
+        assert len(p.query("path")) == 6
+
+    def test_negation(self):
+        p = DatalogProgram()
+        p.add_facts("bird", [("tweety",), ("paul",)])
+        p.add_facts("penguin", [("paul",)])
+        p.add_rule("flier(X) :- bird(X), not penguin(X)")
+        assert p.query("flier") == {("tweety",)}
+
+    def test_negation_over_derived_rejected(self):
+        p = DatalogProgram()
+        p.add_rule("a(X) :- b(X)")
+        with pytest.raises(ReproError):
+            p.add_rule("c(X) :- b(X), not a(X)")
+
+    def test_constant_in_body(self):
+        p = DatalogProgram()
+        p.add_facts("likes", [("jack", "peter"), ("jill", "tweety")])
+        p.add_rule("peter_fan(X) :- likes(X, peter)")
+        assert p.query("peter_fan") == {("jack",)}
+
+    def test_query_pattern(self):
+        p = DatalogProgram()
+        p.add_facts("edge", [("a", "b"), ("a", "c"), ("b", "c")])
+        assert p.query("edge", ("a", None)) == {("a", "b"), ("a", "c")}
+
+    def test_query_unknown_predicate_empty(self):
+        assert DatalogProgram().query("nope") == set()
+
+
+class TestHierarchicalIntegration:
+    def test_hrelation_edb(self, flying):
+        p = DatalogProgram()
+        p.add_hrelation("flies", flying.flies)
+        p.add_rule("travels_far(X) :- flies(X)")
+        assert ("tweety",) in p.query("travels_far")
+        assert ("paul",) not in p.query("travels_far")
+
+    def test_isa_edb(self, flying):
+        p = DatalogProgram()
+        p.add_isa(flying.animal)
+        assert ("tweety", "bird") in p.query("isa")
+        assert ("tweety", "tweety") not in p.query("isa")
+
+    def test_taxonomy_plus_association(self, flying):
+        """The paper's point: flying is an association, the taxonomy is
+        separate, and logic programming combines them."""
+        p = DatalogProgram()
+        p.add_hrelation("flies", flying.flies)
+        p.add_isa(flying.animal)
+        p.add_rule("flying_penguin(X) :- flies(X), isa(X, penguin)")
+        assert p.query("flying_penguin") == {
+            ("pamela",),
+            ("patricia",),
+            ("peter",),
+        }
+
+    def test_evaluation_is_restartable(self, flying):
+        p = DatalogProgram()
+        p.add_hrelation("flies", flying.flies)
+        p.add_rule("t(X) :- flies(X)")
+        first = p.query("t")
+        p.add_facts("flies", [("extra",)])
+        assert ("extra",) in p.query("t")
+        assert first <= p.query("t")

@@ -1,0 +1,38 @@
+"""Unit tests for DOT export."""
+
+from repro.core import UNIVERSAL, subsumption_graph
+from repro.render import graph_to_dot, hierarchy_to_dot
+
+
+class TestHierarchyDot:
+    def test_nodes_and_edges(self, flying):
+        dot = hierarchy_to_dot(flying.animal)
+        assert dot.startswith("digraph")
+        assert '"bird" -> "penguin";' in dot
+        assert '"tweety" [shape=box];' in dot  # instances are boxes
+        assert '"bird" [shape=ellipse];' in dot
+
+    def test_preference_edges_dashed(self, flying):
+        flying.animal.add_preference_edge("penguin", "canary")
+        dot = hierarchy_to_dot(flying.animal)
+        assert "style=dashed" in dot
+
+    def test_quote_escaping(self, flying):
+        dot = hierarchy_to_dot(flying.animal, name="my-graph")
+        assert "digraph my_graph" in dot
+
+
+class TestGraphDot:
+    def test_subsumption_graph_export(self, flying):
+        graph = subsumption_graph(flying.flies)
+        signs = {
+            item: truth for item, truth in flying.flies.asserted.items()
+        }
+        dot = graph_to_dot(graph, name="subsumption", signs=signs)
+        assert '"-(D*)"' in dot  # the universal negated tuple
+        assert '"bird"' in dot
+        assert "style=dashed" in dot  # negated tuples dashed
+
+    def test_tuple_nodes_joined(self):
+        dot = graph_to_dot({("a", "b"): {("c", "d")}})
+        assert '"a, b" -> "c, d";' in dot

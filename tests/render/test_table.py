@@ -1,0 +1,48 @@
+"""Unit tests for figure-style table rendering."""
+
+from repro.core import justify
+from repro.render import render_justification, render_relation, render_rows
+from repro.render.table import relation_rows
+
+
+class TestRenderRows:
+    def test_alignment(self):
+        table = render_rows(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a   | bb |" in lines[1]
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_empty_rows(self):
+        table = render_rows(["x"], [])
+        assert table.count("\n") == 3  # rule, header, rule, rule
+
+
+class TestRelationRendering:
+    def test_signs_and_quantifiers(self, flying):
+        rows = relation_rows(flying.flies)
+        assert ["+", "∀bird"] in rows
+        assert ["-", "∀penguin"] in rows
+        assert ["+", "peter"] in rows
+
+    def test_render_relation_titled(self, flying):
+        text = render_relation(flying.flies)
+        assert text.startswith("flies\n")
+        assert "creature" in text
+
+    def test_multiattr(self, school):
+        text = render_relation(school.respects)
+        assert "∀obsequious_student" in text
+        assert "∀incoherent_teacher" in text
+
+
+class TestJustificationRendering:
+    def test_positive(self, flying):
+        text = render_justification(justify(flying.flies, ("pamela",)))
+        assert "true" in text
+        assert "amazing_flying_penguin" in text
+
+    def test_default(self, flying):
+        text = render_justification(justify(flying.flies, ("animal",)))
+        assert "default" in text
+        assert "(none)" in text

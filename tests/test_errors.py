@@ -1,0 +1,62 @@
+"""Unit tests for the exception types' payloads and messages."""
+
+import pytest
+
+from repro import errors
+from repro.core import HTuple
+from repro.core.conflicts import Conflict
+
+
+class TestAmbiguityError:
+    def test_payload_and_message(self):
+        exc = errors.AmbiguityError(
+            ("pam",), [(("afp",), True), (("penguin",), False)]
+        )
+        assert exc.item == ("pam",)
+        assert exc.binders == ((("afp",), True), (("penguin",), False))
+        text = str(exc)
+        assert "pam" in text and "+afp" in text and "-penguin" in text
+
+    def test_is_repro_error(self):
+        assert issubclass(errors.AmbiguityError, errors.ReproError)
+
+
+class TestInconsistentRelationError:
+    def test_carries_conflicts(self):
+        conflict = Conflict(
+            item=("x",),
+            binders=(HTuple(("a",), True), HTuple(("b",), False)),
+        )
+        exc = errors.InconsistentRelationError([conflict])
+        assert exc.conflicts == (conflict,)
+        assert "1 unresolved conflict" in str(exc)
+
+    def test_empty_conflicts_message(self):
+        exc = errors.InconsistentRelationError([])
+        assert "<none>" in str(exc)
+
+
+class TestHQLSyntaxError:
+    def test_position_in_message(self):
+        exc = errors.HQLSyntaxError("boom", line=3, column=7)
+        assert exc.line == 3 and exc.column == 7
+        assert "(line 3, column 7)" in str(exc)
+
+
+class TestCatchability:
+    def test_one_handler_for_everything(self, flying):
+        # The advertised pattern: catch ReproError for any library error.
+        with pytest.raises(errors.ReproError):
+            flying.flies.assert_item(("not_a_node",))
+        with pytest.raises(errors.ReproError):
+            flying.animal.add_class("bird")  # duplicate
+        with pytest.raises(errors.ReproError):
+            flying.flies.retract(("tweety",))  # nothing stored there
+
+    def test_unknown_node_dual_inheritance(self, flying):
+        try:
+            flying.animal.subsumes("bird", "ghost")
+        except KeyError as exc:
+            assert isinstance(exc, errors.ReproError)
+        else:
+            pytest.fail("expected UnknownNodeError")

@@ -1,0 +1,74 @@
+"""Integration: every example script runs to completion.
+
+Each example is executed in-process via runpy (same interpreter, fast)
+with stdout captured; a crash in any example fails its test.  Spot
+checks assert each script still demonstrates what it claims to.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def run_example(path: Path, capsys) -> str:
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    out = run_example(path, capsys)
+    assert out.strip(), "example produced no output"
+    assert "Traceback" not in out
+
+
+def _run_named(name, capsys):
+    path = next(p for p in EXAMPLES if p.stem == name)
+    return run_example(path, capsys)
+
+
+class TestExampleContent:
+    def test_quickstart_shows_verdicts(self, capsys):
+        out = _run_named("quickstart", capsys)
+        assert "does tweety fly? True" in out
+        assert "does paul fly? False" in out
+
+    def test_flying_creatures_semantics_table(self, capsys):
+        out = _run_named("flying_creatures", capsys)
+        assert "CONFLICT" in out  # on-path Patricia
+        assert "digraph" in out  # the DOT export
+
+    def test_university_shows_rejection_then_commit(self, capsys):
+        out = _run_named("university", capsys)
+        assert "rejected: conflict at" in out
+        assert "1 tuple(s) instead of 3" in out
+
+    def test_elephants_lossless(self, capsys):
+        out = _run_named("elephants_kb", capsys)
+        assert "no loss of information: True" in out
+        assert "royal and white: ['appu']" in out
+
+    def test_compression_reports_ratios(self, capsys):
+        out = _run_named("compression", capsys)
+        assert "hierarchical relation" in out
+        assert "invented classes" in out
+
+    def test_access_control_checks(self, capsys):
+        out = _run_named("access_control", capsys)
+        assert "rejected: conflict at (engineering, prod_key)" in out
+        assert "same policy: True" in out
+
+    def test_hql_tour_roundtrip(self, capsys):
+        out = _run_named("hql_tour", capsys)
+        assert "tweety flies? True" in out

@@ -1,0 +1,85 @@
+"""Coverage for small corners: REPL entry point, Result fallback,
+justification rendering on conflicts, keep-redundant node removal."""
+
+import io
+import sys
+
+import pytest
+
+from repro.core import justify
+from repro.engine.hql.executor import Result
+from repro.hierarchy import Hierarchy
+from repro.render import render_justification
+from tests.conftest import make_relation
+
+
+class TestResultFallback:
+    def test_str_without_message(self):
+        result = Result(kind="truth", payload=True)
+        assert "truth" in str(result) and "True" in str(result)
+
+    def test_str_with_message(self):
+        assert str(Result(kind="ok", message="done")) == "done"
+
+
+class TestJustificationConflictRendering:
+    def test_conflict_text(self, diamond):
+        r = make_relation(diamond, [("a", True), ("b", False)])
+        text = render_justification(justify(r, ("x",)))
+        assert "CONFLICT" in text
+        assert "+(a)" in text and "-(b)" in text
+
+
+class TestKeepRedundantRemoval:
+    def test_remove_node_keeping_redundant_edges(self):
+        h = Hierarchy("d")
+        h.add_class("a")
+        h.add_class("b", parents=["a"])
+        h.add_class("c", parents=["b"])
+        h.add_class("side", parents=["a"])
+        h.add_edge("side", "c")
+        h.remove_node("b", keep_redundant=True)
+        # With keep_redundant the direct a -> c edge appears even though
+        # a -> side -> c already exists.
+        assert "c" in h.children("a")
+        assert not h.is_transitively_reduced()
+
+
+class TestReplMain:
+    def test_repl_main_with_database_file(self, tmp_path, monkeypatch, capsys):
+        from repro.engine import HierarchicalDatabase
+        from repro.engine.repl import main
+
+        db = HierarchicalDatabase("saved")
+        db.execute("CREATE HIERARCHY h; CREATE RELATION r (x: h); ASSERT r (h);")
+        path = tmp_path / "saved.json"
+        db.save(str(path))
+        monkeypatch.setattr(sys, "stdin", io.StringIO("TRUTH r (h);\n\\q\n"))
+        assert main([str(path)]) == 0
+        assert "(h) is true" in capsys.readouterr().out
+
+    def test_repl_main_fresh_session(self, monkeypatch, capsys):
+        from repro.engine.repl import main
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("\\q\n"))
+        assert main([]) == 0
+
+
+class TestHierarchyIterationOrder:
+    def test_iter_matches_insertion(self, flying):
+        nodes = list(flying.animal)
+        assert nodes[0] == "animal"
+        assert nodes == flying.animal.nodes()
+
+    def test_leaves_under_self_for_leaf(self, flying):
+        assert flying.animal.leaves_under("peter") == ["peter"]
+
+
+class TestSchemaEdgeCases:
+    def test_restrict_preserves_hierarchy_identity(self, school):
+        restricted = school.respects.schema.restrict(["teacher"])
+        assert restricted.hierarchy_for("teacher") is school.teacher
+
+    def test_renamed_preserves_hierarchy_identity(self, school):
+        renamed = school.respects.schema.renamed({"teacher": "prof"})
+        assert renamed.hierarchy_for("prof") is school.teacher

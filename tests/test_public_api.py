@@ -1,0 +1,66 @@
+"""The public API surface: imports, __all__, and the README quickstart."""
+
+import repro
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_import(self):
+        import repro.core
+        import repro.engine
+        import repro.extensions
+        import repro.flat
+        import repro.frontend
+        import repro.hierarchy
+        import repro.reasoning
+        import repro.render
+        import repro.workloads
+
+        for module in (repro.core, repro.hierarchy, repro.flat):
+            for name in module.__all__:
+                assert hasattr(module, name), name
+
+
+class TestQuickstart:
+    def test_readme_example(self):
+        """The module docstring / README quickstart, executed."""
+        from repro import Hierarchy, HRelation
+
+        animal = Hierarchy("animal")
+        animal.add_class("bird")
+        animal.add_class("penguin", parents=["bird"])
+        animal.add_instance("tweety", parents=["bird"])
+        flies = HRelation([("creature", animal)], name="flies")
+        flies.assert_item(("bird",))
+        flies.assert_item(("penguin",), False)
+        assert flies.holds("tweety")
+        assert not flies.holds("penguin")
+
+    def test_doctests_in_init(self):
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_unknown_node_is_also_keyerror(self):
+        from repro.errors import UnknownNodeError
+
+        assert issubclass(UnknownNodeError, KeyError)
+        assert str(UnknownNodeError("plain message")) == "plain message"

@@ -1,0 +1,74 @@
+"""Sanity tests for the paper's datasets."""
+
+from repro.workloads import (
+    elephant_dataset,
+    flying_dataset,
+    loves_dataset,
+    school_dataset,
+)
+
+
+class TestFlyingDataset:
+    def test_structure(self):
+        ds = flying_dataset()
+        assert ds.animal.subsumes("penguin", "patricia")
+        assert ds.animal.subsumes("amazing_flying_penguin", "patricia")
+        assert len(ds.flies) == 4
+
+    def test_consistent(self):
+        assert flying_dataset().flies.is_consistent()
+
+    def test_redundant_edge_variant(self):
+        ds = flying_dataset(redundant_pamela_edge=True)
+        assert not ds.animal.is_transitively_reduced()
+
+    def test_fresh_objects_each_call(self):
+        a = flying_dataset()
+        b = flying_dataset()
+        assert a.animal is not b.animal
+
+
+class TestSchoolDataset:
+    def test_respects_consistent(self):
+        assert school_dataset().respects.is_consistent()
+
+    def test_unresolved_inconsistent(self):
+        assert not school_dataset().unresolved().is_consistent()
+
+    def test_membership(self):
+        ds = school_dataset()
+        assert ds.student.subsumes("obsequious_student", "john")
+        assert ds.teacher.subsumes("incoherent_teacher", "bill")
+
+
+class TestElephantDataset:
+    def test_appu_double_membership(self):
+        ds = elephant_dataset()
+        assert ds.animal.subsumes("royal_elephant", "appu")
+        assert ds.animal.subsumes("indian_elephant", "appu")
+
+    def test_relations_consistent(self):
+        ds = elephant_dataset()
+        assert ds.animal_color.is_consistent()
+        assert ds.enclosure_size.is_consistent()
+
+    def test_paper_verdicts(self):
+        ds = elephant_dataset()
+        assert ds.animal_color.truth_of(("clyde", "dappled"))
+        assert not ds.animal_color.truth_of(("clyde", "white"))
+        assert ds.animal_color.truth_of(("appu", "white"))
+        assert not ds.animal_color.truth_of(("appu", "grey"))
+        assert not ds.enclosure_size.truth_of(("appu", "3000"))
+        assert ds.enclosure_size.truth_of(("appu", "2000"))
+        assert ds.enclosure_size.truth_of(("clyde", "3000"))
+
+
+class TestLovesDataset:
+    def test_consistent(self):
+        ds = loves_dataset()
+        assert ds.jack_loves.is_consistent()
+        assert ds.jill_loves.is_consistent()
+
+    def test_shared_schema(self):
+        ds = loves_dataset()
+        assert ds.jack_loves.schema.same_as(ds.jill_loves.schema)

@@ -1,0 +1,88 @@
+"""Unit tests for the synthetic workload generators."""
+
+from repro.core import RelationSchema
+from repro.workloads import generators as gen
+
+
+class TestTreeHierarchy:
+    def test_node_count(self):
+        h = gen.balanced_tree_hierarchy("t", depth=2, fanout=3)
+        assert len(h) == 1 + 3 + 9
+
+    def test_instances(self):
+        h = gen.balanced_tree_hierarchy("t", depth=1, fanout=2, instances_per_leaf_class=4)
+        assert len(h.leaves()) == 8
+        assert all(h.is_instance(leaf) for leaf in h.leaves())
+
+    def test_is_reduced(self):
+        assert gen.balanced_tree_hierarchy("t", 3, 2).is_transitively_reduced()
+
+
+class TestLayeredDag:
+    def test_shape(self):
+        h = gen.layered_dag_hierarchy("d", layers=3, width=4, seed=1)
+        assert len(h) == 1 + 12
+
+    def test_deterministic(self):
+        a = gen.layered_dag_hierarchy("d", 3, 4, seed=7)
+        b = gen.layered_dag_hierarchy("d", 3, 4, seed=7)
+        assert a.edges() == b.edges()
+
+    def test_multiple_inheritance_appears(self):
+        h = gen.layered_dag_hierarchy("d", 3, 6, extra_parent_probability=0.9, seed=3)
+        assert any(len(h.parents(n)) > 1 for n in h.nodes() if n != h.root)
+
+
+class TestChains:
+    def test_chain_depth(self):
+        h = gen.chain_hierarchy("c", length=5)
+        assert h.subsumes("chain0", "chain4")
+
+    def test_exception_chain_relation(self):
+        h = gen.chain_hierarchy("c", length=6, siblings=1)
+        r = gen.exception_chain_relation(h)
+        assert len(r) == 6
+        # Alternating truth all the way down, nothing redundant:
+        assert len(r.consolidated()) == 6
+        assert r.is_consistent()
+
+    def test_exception_chain_semantics(self):
+        h = gen.chain_hierarchy("c", length=4, siblings=1)
+        r = gen.exception_chain_relation(h)
+        # leaf at level k hangs under chain(k-1); its truth alternates.
+        assert r.truth_of(("leaf1_0",)) is True  # under chain0(+)
+        assert r.truth_of(("leaf2_0",)) is False  # under chain1(-)
+
+
+class TestRandomRelation:
+    def test_consistent_by_construction(self):
+        h = gen.layered_dag_hierarchy("d", 3, 4, seed=5)
+        schema = RelationSchema([("x", h)])
+        r = gen.random_consistent_relation(schema, tuple_count=12, seed=5)
+        assert r.is_consistent()
+        assert len(r) > 0
+
+    def test_deterministic(self):
+        h = gen.layered_dag_hierarchy("d", 3, 4, seed=5)
+        schema = RelationSchema([("x", h)])
+        a = gen.random_consistent_relation(schema, 10, seed=9)
+        b = gen.random_consistent_relation(schema, 10, seed=9)
+        assert a.same_tuples_as(b)
+
+    def test_negative_ratio_zero(self):
+        h = gen.layered_dag_hierarchy("d", 2, 3, seed=5)
+        schema = RelationSchema([("x", h)])
+        r = gen.random_consistent_relation(schema, 8, negative_ratio=0.0, seed=2)
+        assert all(t.truth for t in r.tuples())
+
+
+class TestMembershipWorkload:
+    def test_counts(self):
+        hierarchy, relation, instances = gen.membership_workload(3, 7)
+        assert len(relation) == 3
+        assert len(instances) == 21
+        assert relation.extension_size() == 21
+
+    def test_every_instance_has_property(self):
+        hierarchy, relation, instances = gen.membership_workload(2, 4)
+        assert all(relation.holds(i) for i in instances)

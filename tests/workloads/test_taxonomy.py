@@ -1,0 +1,88 @@
+"""Tests for the biology knowledge base."""
+
+import pytest
+
+from repro.core import consolidate, explicate, select
+from repro.workloads import biology_dataset, biology_hierarchy
+
+
+@pytest.fixture(scope="module")
+def bio():
+    return biology_dataset()
+
+
+class TestHierarchy:
+    def test_size(self):
+        h = biology_hierarchy()
+        assert len(h) >= 90
+        assert h.is_transitively_reduced()
+
+    def test_multiple_inheritance_cases(self):
+        h = biology_hierarchy()
+        assert h.parents("bat") == frozenset({"mammal", "flyer"})
+        assert h.parents("flying_fish") == frozenset({"bony_fish", "flyer"})
+        assert h.subsumes("swimmer", "emperor")
+        assert h.subsumes("bird", "emperor")
+
+    def test_deep_chains(self):
+        h = biology_hierarchy()
+        assert h.subsumes("animal", "exocoetus")
+        assert h.subsumes("vertebrate", "exocoetus")
+        assert h.subsumes("fish", "exocoetus")
+
+
+class TestCanFly:
+    def test_consistent(self, bio):
+        assert bio.can_fly.is_consistent()
+
+    def test_flying_verdicts(self, bio):
+        assert bio.can_fly.holds("eagle")
+        assert bio.can_fly.holds("fruit_bat")        # flying mammal
+        assert bio.can_fly.holds("exocoetus")        # flying fish
+        assert bio.can_fly.holds("bee")              # exception to insects
+        assert not bio.can_fly.holds("emperor")      # penguin
+        assert not bio.can_fly.holds("ostrich")      # ratite
+        assert not bio.can_fly.holds("ladybird")     # beetle
+        assert not bio.can_fly.holds("blue_whale")   # nothing applies
+
+    def test_selection_on_capability_class(self, bio):
+        swimmers_that_fly = select(bio.can_fly, {"creature": "swimmer"})
+        got = {x[0] for x in swimmers_that_fly.extension()}
+        assert got == {"mallard", "swan", "goose", "exocoetus", "cheilopogon"}
+
+    def test_consolidate_cascades_like_fig6(self, bio):
+        # -(insect) restates the universal default, so it goes; with it
+        # gone +(flying_insect) is redundant under +(flyer) — the same
+        # cascade as Fig. 6.  The load-bearing exceptions stay.
+        compact = consolidate(bio.can_fly)
+        assert ("penguin",) in compact
+        assert ("ratite",) in compact
+        assert ("insect",) not in compact
+        assert ("flying_insect",) not in compact
+        assert set(compact.extension()) == set(bio.can_fly.extension())
+
+    def test_explication_counts(self, bio):
+        flat = explicate(bio.can_fly)
+        assert len(flat) == bio.can_fly.extension_size()
+        assert len(flat) > 15  # a real extension, not a toy
+
+
+class TestLaysEggs:
+    def test_consistent(self, bio):
+        assert bio.lays_eggs.is_consistent()
+
+    def test_monotreme_chain(self, bio):
+        assert bio.lays_eggs.holds("platypus")       # re-insertion
+        assert not bio.lays_eggs.holds("dolphin")    # mammal default
+        assert bio.lays_eggs.holds("emperor")        # bird
+        assert bio.lays_eggs.holds("cobra")          # reptile
+
+    def test_justification_depth(self, bio):
+        j = bio.lays_eggs.justify(("platypus",))
+        assert j.truth is True
+        assert [t.item for t in j.deciders] == [("platypus",)]
+        assert ("mammal",) in [t.item for t in j.applicable]
+
+    def test_class_level_queries(self, bio):
+        assert not bio.lays_eggs.truth_of(("cetacean",))
+        assert bio.lays_eggs.truth_of(("shark",))
