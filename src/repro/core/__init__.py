@@ -9,6 +9,8 @@ The public surface re-exported here is what the README documents:
   (appendix);
 * the binding API: :func:`truth_of`, :func:`strongest_binders`,
   :func:`justify`, :func:`binding_graph`;
+* the batch path: :class:`BulkEvaluator` / :func:`evaluator_for` and
+  the amortised :func:`bulk_truth_of` / :func:`bulk_truths`;
 * conflict machinery: :func:`find_conflicts`,
   :func:`complete_resolution_set`, :func:`minimal_resolution_set`;
 * the two new operators: :func:`consolidate` and :func:`explicate`
@@ -35,6 +37,12 @@ from repro.core.binding import (
     strongest_binders,
     subsumption_graph,
     truth_of,
+)
+from repro.core.bulk import (
+    BulkEvaluator,
+    evaluator_for,
+    truth_of as bulk_truth_of,
+    truths as bulk_truths,
 )
 from repro.core.conflicts import (
     Conflict,
@@ -86,6 +94,10 @@ __all__ = [
     "strongest_binders",
     "subsumption_graph",
     "truth_of",
+    "BulkEvaluator",
+    "evaluator_for",
+    "bulk_truth_of",
+    "bulk_truths",
     "Conflict",
     "complete_resolution_set",
     "find_conflicts",

@@ -43,9 +43,9 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
-from repro.errors import AmbiguityError, InconsistentRelationError, SchemaError
+from repro.errors import InconsistentRelationError, SchemaError
 from repro.hierarchy.product import Item, ProductHierarchy
-from repro.core import binding as _binding
+from repro.core import bulk as _bulk
 from repro.core.conflicts import Conflict
 from repro.core.consolidate import consolidate as _consolidate
 from repro.core.explicate import explicate as _explicate
@@ -55,20 +55,23 @@ from repro.core.schema import RelationSchema
 
 def meet_closure(product: ProductHierarchy, items: Iterable[Item]) -> Set[Item]:
     """The smallest superset of ``items`` closed under pairwise meets
-    (maximal common descendants)."""
+    (maximal common descendants).
+
+    The worklist pairs each element only with the elements before it,
+    so every unordered pair is probed exactly once — meets of meets no
+    longer re-probe the pairs earlier rounds already checked.
+    """
     pool: Set[Item] = set(items)
-    frontier: List[Item] = list(pool)
-    while frontier:
-        fresh: List[Item] = []
-        for new in frontier:
-            for old in list(pool):
-                if old == new:
-                    continue
-                for meet in product.meet(new, old):
-                    if meet not in pool:
-                        pool.add(meet)
-                        fresh.append(meet)
-        frontier = fresh
+    order: List[Item] = list(pool)
+    cursor = 0
+    while cursor < len(order):
+        new = order[cursor]
+        for earlier in range(cursor):
+            for meet in product.meet(new, order[earlier]):
+                if meet not in pool:
+                    pool.add(meet)
+                    order.append(meet)
+        cursor += 1
     return pool
 
 
@@ -102,15 +105,16 @@ def combine(
         seeds.update(relation.asserted)
     candidates = sorted(meet_closure(product, seeds), key=product.topological_key)
     out = HRelation(schema, name=name, strategy=relations[0].strategy)
+    # One bulk evaluator per input: the candidate set is evaluated
+    # set-at-a-time instead of re-deriving a binding per (item, input).
+    evaluators = [_bulk.evaluator_for(relation) for relation in relations]
     for item in candidates:
         truths: List[bool] = []
-        for relation in relations:
-            try:
-                truths.append(_binding.truth_of(relation, item))
-            except AmbiguityError as exc:
-                raise InconsistentRelationError(
-                    [Conflict(item=item, binders=())]
-                ) from exc
+        for evaluator in evaluators:
+            truth = evaluator.truth(item)
+            if truth is None:
+                raise InconsistentRelationError([Conflict(item=item, binders=())])
+            truths.append(truth)
         out.assert_item(item, truth=fn(*truths))
     if consolidate:
         out = _consolidate(out, name=name)

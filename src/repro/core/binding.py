@@ -100,8 +100,12 @@ def subsumption_graph(relation) -> Dict[object, Set[object]]:
         graph = _eliminated_graph(relation, items)
     else:
         graph = _hasse_graph(product, items)
-    roots = [node for node in graph if not _has_predecessor(graph, node)]
-    graph[UNIVERSAL] = set(roots)
+    # One pass over the edges finds every node with a predecessor; the
+    # rest are the roots the universal negated tuple feeds.
+    with_predecessor: Set[object] = set()
+    for succs in graph.values():
+        with_predecessor.update(succs)
+    graph[UNIVERSAL] = {node for node in graph if node not in with_predecessor}
     return graph
 
 
@@ -131,10 +135,6 @@ def _eliminated_graph(relation, items: List[Item]) -> Dict[object, Set[object]]:
     for node in sorted(doomed, key=rank.__getitem__):
         algorithms.eliminate_node(merged, node, keep_redundant=False)
     return {node: set(succs) for node, succs in merged.items()}
-
-
-def _has_predecessor(graph: Dict[object, Set[object]], node: object) -> bool:
-    return any(node in succs for other, succs in graph.items() if other is not node)
 
 
 def binding_graph(relation, item: Item) -> Dict[object, Set[object]]:

@@ -1,0 +1,301 @@
+"""Bulk truth evaluation: one subsumption sweep answering many queries.
+
+Section 4 of the paper leaves efficiency open ("the model shows promise
+of efficient implementation, though some further work is needed in this
+direction").  The per-item machinery in :mod:`repro.core.binding`
+re-derives an item's applicability set and minimality frontier on every
+call, so bulk consumers — :meth:`HRelation.extension`,
+:func:`algebra.combine`, :func:`conflicts.find_conflicts`, full
+:func:`explicate` — paid O(n · binding) for n queries.  A
+:class:`BulkEvaluator` builds the relation's binding structure **once**
+and answers each query from bitset lookups:
+
+* Every stored tuple gets one bit position.  Per attribute, the tuples'
+  bits are seeded onto their value nodes and swept *down* the class
+  graph in one pass (:meth:`Hierarchy.downward_union`), yielding at
+  each node the bitset of stored tuples whose value there subsumes it.
+* The applicability set of a query item is then the AND across
+  attributes of those per-node bitsets — one dict lookup and one
+  integer AND per attribute, instead of a subsumption test per stored
+  tuple (or a posting intersection per query).
+* Binding strength falls out of the same structure: the strict
+  subsumers of stored tuple *t* among the stored tuples are just the
+  applicability mask of *t*'s own item (memoised per tuple), so the
+  minimal — strongest-binding — applicable tuples of any query are an
+  OR/AND-NOT away.
+
+Strategy coverage mirrors :mod:`repro.core.preemption`:
+
+* **off-path** on normal-form hierarchies (the paper's default) and
+  **no preemption** on any hierarchy are answered exactly from the
+  sweep.
+* Items whose applicable tuples are unanimous, or whose *minimal*
+  applicable tuples already disagree, are strategy-independent
+  (strongest binders always sit between the two sets), so the sweep
+  also decides them for **on-path** and for off-path over
+  redundant-edge hierarchies; only the remaining stratum falls back to
+  per-item node elimination.
+* Hierarchies with preference edges delegate every query to the
+  per-item path (the binding order diverges from the applicability
+  order there).
+
+Evaluators are immutable snapshots keyed on ``(strategy, relation
+version, hierarchy versions)``; :func:`evaluator_for` memoises the
+current one on the relation, so interleaved reads share a single sweep
+and any mutation transparently invalidates it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import AmbiguityError
+from repro.hierarchy.product import Item
+from repro.core.htuple import HTuple
+from repro.core import binding as _binding
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class BulkEvaluator:
+    """A read-only snapshot of one relation's binding structure.
+
+    Build once (O(hierarchy + stored tuples) bitset work), then call
+    :meth:`truth` / :meth:`truth_and_binders` any number of times.  The
+    snapshot is only valid for the ``(relation, hierarchy)`` versions it
+    was built against; use :func:`evaluator_for` to get a cached,
+    auto-refreshed instance.
+    """
+
+    def __init__(self, relation, strategy=None) -> None:
+        chosen = strategy if strategy is not None else relation.strategy
+        self.relation = relation
+        self.strategy = chosen
+        schema = relation.schema
+        product = schema.product
+        self._product = product
+        self._asserted: Dict[Item, bool] = dict(relation.asserted)
+        self._items: List[Item] = list(self._asserted)
+        self.key = (chosen.name, relation.version, product.version)
+        pos = neg = 0
+        for i, item in enumerate(self._items):
+            if self._asserted[item]:
+                pos |= 1 << i
+            else:
+                neg |= 1 << i
+        self._pos = pos
+        self._neg = neg
+        self._delegate_all = product.has_preference_edges()
+        self._minimal_exact = (
+            chosen.name == "off-path" and not product.needs_elimination_binding()
+        )
+        self._postings: List[Dict[str, int]] = []
+        if not self._delegate_all:
+            for position, hierarchy in enumerate(schema.hierarchies):
+                seed: Dict[str, int] = {}
+                for i, item in enumerate(self._items):
+                    value = item[position]
+                    seed[value] = seed.get(value, 0) | (1 << i)
+                self._postings.append(hierarchy.downward_union(seed))
+        # Strict asserted subsumers per stored tuple, filled lazily:
+        # only queries that reach the minimality check pay for them.
+        self._above: List[Optional[int]] = [None] * len(self._items)
+
+    # ------------------------------------------------------------------
+    # masks
+    # ------------------------------------------------------------------
+
+    def applicable_mask(self, item: Item) -> int:
+        """The bitset of stored tuples whose item subsumes ``item``."""
+        postings = self._postings
+        mask = postings[0].get(item[0], 0)
+        for position in range(1, len(postings)):
+            if not mask:
+                return 0
+            mask &= postings[position].get(item[position], 0)
+        return mask
+
+    def _above_mask(self, index: int) -> int:
+        mask = self._above[index]
+        if mask is None:
+            mask = self.applicable_mask(self._items[index]) & ~(1 << index)
+            self._above[index] = mask
+        return mask
+
+    def _minimal_mask(self, applicable: int) -> int:
+        """The minimal (most specific) tuples of an applicability mask."""
+        dominated = 0
+        rest = applicable
+        while rest:
+            low = rest & -rest
+            dominated |= self._above_mask(low.bit_length() - 1)
+            rest ^= low
+        return applicable & ~dominated
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def truth(self, item: Item) -> Optional[bool]:
+        """The truth value of ``item`` (already schema-checked), or
+        ``None`` when its strongest binders conflict.
+
+        Decides as much as possible from the sweep: an exact stored hit,
+        an empty or sign-unanimous applicable set, and a sign-mixed
+        minimal frontier are strategy-independent; only the genuinely
+        strategy-sensitive leftovers delegate to the per-item path.
+        """
+        sign = self._asserted.get(item)
+        if sign is not None:
+            return sign
+        if self._delegate_all:
+            return _binding.truth_and_binders(self.relation, item, self.strategy)[0]
+        applicable = self.applicable_mask(item)
+        if not applicable:
+            return False
+        if not applicable & self._neg:
+            return True
+        if not applicable & self._pos:
+            return False
+        if self.strategy.name == "none":
+            return None
+        minimal = self._minimal_mask(applicable)
+        minimal_pos = minimal & self._pos
+        if minimal_pos and minimal & self._neg:
+            return None
+        if self._minimal_exact:
+            return bool(minimal_pos)
+        return _binding.truth_and_binders(self.relation, item, self.strategy)[0]
+
+    def truth_and_binders(self, item: Item) -> Tuple[Optional[bool], List[HTuple]]:
+        """Like :func:`binding.truth_and_binders`, bit-identical binders
+        included.  Strategies whose binder *sets* need node elimination
+        delegate wholesale; consumers that only need truth values should
+        call :meth:`truth` and fetch binders for the rare conflict."""
+        sign = self._asserted.get(item)
+        if sign is not None:
+            return sign, [HTuple(item, sign)]
+        if self._delegate_all:
+            return _binding.truth_and_binders(self.relation, item, self.strategy)
+        applicable = self.applicable_mask(item)
+        if not applicable:
+            return False, []
+        if self.strategy.name == "none":
+            binders = self._htuples(applicable, reverse=True)
+        elif self._minimal_exact:
+            binders = self._htuples(self._minimal_mask(applicable))
+        else:
+            return _binding.truth_and_binders(self.relation, item, self.strategy)
+        truths = {b.truth for b in binders}
+        return (binders[0].truth if len(truths) == 1 else None), binders
+
+    def truths(self, items: Sequence[Item]) -> List[Optional[bool]]:
+        """Truth values for many (schema-checked) items at once."""
+        return [self.truth(item) for item in items]
+
+    def mixed_sign_items(self) -> List[Item]:
+        """Every domain item with tuples of *both* signs applicable, in
+        a linear extension of the subsumption order.
+
+        Any conflicted item's strongest binders are a sign-mixed subset
+        of its applicable set — under every strategy — so this is a
+        complete conflict-probe set, read straight off the posting
+        masks with no meet computations.  Only available for unary
+        schemas (higher arities would need the product enumerated) that
+        were actually swept (no preference edges).
+        """
+        if self._delegate_all or len(self._postings) != 1:
+            raise ValueError(
+                "mixed-sign enumeration needs a unary, swept schema"
+            )
+        pos, neg = self._pos, self._neg
+        out = [
+            (node,)
+            for node, mask in self._postings[0].items()
+            if mask & pos and mask & neg
+        ]
+        out.sort(key=self._product.topological_key)
+        return out
+
+    def _htuples(self, mask: int, reverse: bool = False) -> List[HTuple]:
+        items = [self._items[i] for i in _iter_bits(mask)]
+        items.sort(key=self._product.topological_key, reverse=reverse)
+        return [HTuple(item, self._asserted[item]) for item in items]
+
+    def __repr__(self) -> str:
+        return "BulkEvaluator({!r}, {} tuples, {})".format(
+            getattr(self.relation, "name", "?"), len(self._items), self.strategy
+        )
+
+
+# ----------------------------------------------------------------------
+# module API
+# ----------------------------------------------------------------------
+
+
+def evaluator_for(relation, strategy=None) -> BulkEvaluator:
+    """The relation's current evaluator, rebuilt only when the relation
+    or a hierarchy it is defined over has changed since the last call."""
+    chosen = strategy if strategy is not None else relation.strategy
+    key = (chosen.name, relation.version, relation.schema.product.version)
+    cached = getattr(relation, "_bulk_eval", None)
+    if cached is not None and cached.key == key:
+        return cached
+    evaluator = BulkEvaluator(relation, chosen)
+    try:
+        relation._bulk_eval = evaluator
+    except AttributeError:
+        pass
+    return evaluator
+
+
+def truth_of(relation, item: Sequence[str], strategy=None) -> bool:
+    """Drop-in equivalent of :func:`binding.truth_of` that amortises the
+    binding structure across calls; raises :class:`AmbiguityError` when
+    the ambiguity constraint fails at ``item``."""
+    key = relation.schema.check_item(item)
+    evaluator = evaluator_for(relation, strategy)
+    truth = evaluator.truth(key)
+    if truth is None:
+        _, binders = evaluator.truth_and_binders(key)
+        raise AmbiguityError(key, [(b.item, b.truth) for b in binders])
+    return truth
+
+
+def truths(relation, items: Sequence[Sequence[str]], strategy=None) -> List[Optional[bool]]:
+    """Truth values for many items in one sweep (``None`` marks a
+    conflict instead of raising, so callers can batch-triage)."""
+    evaluator = evaluator_for(relation, strategy)
+    check = relation.schema.check_item
+    return [evaluator.truth(check(item)) for item in items]
+
+
+def extension_atoms(relation) -> Iterator[Item]:
+    """The relation's flat extension, enumerated through one evaluator.
+
+    Same contract as the historical per-item loop — atoms below the
+    positive tuples, deduplicated, filtered by binding, conflicted atoms
+    raising :class:`AmbiguityError` — at one bitset lookup per atom.
+    """
+    evaluator = evaluator_for(relation)
+    product = relation.schema.product
+    seen = set()
+    for item, truth in relation.asserted.items():
+        if not truth:
+            continue
+        for atom in product.leaves_under(item):
+            if atom in seen:
+                continue
+            seen.add(atom)
+            answer = evaluator.truth(atom)
+            if answer is None:
+                _, binders = evaluator.truth_and_binders(atom)
+                raise AmbiguityError(atom, [(b.item, b.truth) for b in binders])
+            if answer:
+                yield atom

@@ -28,6 +28,17 @@ for no-preemption by the identical argument on *applicable* sets;
 for on-path the candidate set is a heuristic and ``exhaustive=True``
 is available — the hypothesis suite cross-validates both against the
 brute-force oracle on small universes).
+
+On *unary normal-form* schemas :func:`find_conflicts` does not compute
+meets at all: the bulk evaluator's posting masks directly enumerate
+every node with tuples of both signs applicable (see
+:meth:`~repro.core.bulk.BulkEvaluator.mixed_sign_items`), which is a
+complete probe set under every strategy — a conflicted item's
+strongest binders are always a sign-mixed subset of its applicable
+set.  That probe may surface conflicted items *below* a meet candidate
+as well; they are genuine conflicts, so callers relying on "candidates
+⊆ exhaustive" are unaffected.  Redundant-edge hierarchies keep the
+historical meet probe (whose coverage there is heuristic anyway).
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from repro.hierarchy.product import Item
 from repro.core.htuple import HTuple
-from repro.core import binding as _binding
+from repro.core import bulk as _bulk
 
 
 @dataclass(frozen=True)
@@ -92,8 +103,18 @@ def find_conflicts(relation, exhaustive: bool = False) -> List[Conflict]:
     meet candidates (complete for off-path preemption, see module doc).
     """
     product = relation.schema.product
+    evaluator = _bulk.evaluator_for(relation)
     if exhaustive:
         candidates: Iterator[Item] | List[Item] = product.all_items()
+    elif relation.schema.arity == 1 and not product.needs_elimination_binding():
+        # Unary normal-form schemas skip the pairwise meets entirely:
+        # the sweep's posting masks name every node with both signs
+        # applicable — a complete probe set under every strategy (it
+        # contains each meet candidate, and more; everything reported
+        # is still a real conflict, so soundness is untouched).  With
+        # redundant or preference edges the probe stays the meet set,
+        # keeping the historical (heuristic) coverage there.
+        candidates = evaluator.mixed_sign_items()
     else:
         candidates = conflict_candidates(relation)
     out: List[Conflict] = []
@@ -102,8 +123,8 @@ def find_conflicts(relation, exhaustive: bool = False) -> List[Conflict]:
         if item in seen:
             continue
         seen.add(item)
-        truth, binders = _binding.truth_and_binders(relation, item)
-        if truth is None:
+        if evaluator.truth(item) is None:
+            _, binders = evaluator.truth_and_binders(item)
             out.append(Conflict(item=item, binders=tuple(binders)))
     return out
 

@@ -20,6 +20,15 @@ redundant (the subsumption graph degenerates into isolated atoms under
 the universal negated root), so they are dropped by default; after a
 *partial* explication the negated tuples still cancel class-valued
 tuples on the untouched attributes and are retained.
+
+A full explication that drops negated tuples is exactly the flat
+extension, so it is served by the bulk truth evaluator
+(:mod:`repro.core.bulk`): one subsumption sweep, then a bitset lookup
+per atom — and the negative tuples' cones are never enumerated at all
+(any true atom below a negative tuple lies below its positive
+counter-binder too).  A relation that turns out to be inconsistent
+falls back to the writer-order algorithm so the historical output is
+preserved; partial explications always use it.
 """
 
 from __future__ import annotations
@@ -61,6 +70,14 @@ def explicate(
     full = set(chosen) == set(schema.attributes)
     if drop_negated is None:
         drop_negated = full
+    if full and drop_negated:
+        atoms = _bulk_extension(relation)
+        if atoms is not None:
+            out = relation.copy(name=name or relation.name)
+            out.clear()
+            for atom in atoms:
+                out.assert_item(atom, truth=True)
+            return out
     explicated_indices = {schema.index_of(a) for a in chosen}
 
     ordered = sorted(
@@ -89,6 +106,34 @@ def explicate(
             continue
         out.assert_item(item, truth=truth)
     return out
+
+
+def _bulk_extension(relation) -> List[Item] | None:
+    """The positive atoms of ``relation`` via the bulk evaluator, in a
+    deterministic most-specific-writer-first order, or ``None`` when a
+    conflicted atom demands the legacy writer-order fallback."""
+    from repro.core import bulk
+
+    evaluator = bulk.evaluator_for(relation)
+    product = relation.schema.product
+    ordered = sorted(
+        (item for item, truth in relation.asserted.items() if truth),
+        key=product.topological_key,
+        reverse=True,
+    )
+    atoms: List[Item] = []
+    seen = set()
+    for item in ordered:
+        for atom in product.leaves_under(item):
+            if atom in seen:
+                continue
+            seen.add(atom)
+            truth = evaluator.truth(atom)
+            if truth is None:
+                return None
+            if truth:
+                atoms.append(atom)
+    return atoms
 
 
 def extension_relation(relation, name: str | None = None):

@@ -14,9 +14,13 @@ answers it from per-attribute postings instead:
 
 Cost: O(Σ_a |ancestors(x_a)|) posting unions plus one k-way set
 intersection, versus O(|relation| · arity) subsumption checks for the
-scan.  The index is rebuilt lazily when the relation's version moves
-(mutations are cheap-ish appends; rebuild keeps the code simple and is
-amortised across queries).
+scan.  Maintenance is **incremental**: :class:`~repro.core.relation.
+HRelation` feeds each assert/retract delta straight into the postings
+(:meth:`BinderIndex.add` / :meth:`BinderIndex.remove`) and restamps
+``version``, so a bulk load touches each posting once instead of
+rebuilding the whole index per mutation; the full rebuild remains the
+fallback for unscoped changes (``clear``) or an index created against
+an older snapshot.
 
 :class:`~repro.core.relation.HRelation` consults the index
 automatically once it holds at least ``HRelation.index_threshold``
@@ -40,8 +44,29 @@ class BinderIndex:
             {} for _ in range(self.arity)
         ]
         for item in relation.asserted:
-            for position, value in enumerate(item):
-                self._postings[position].setdefault(value, set()).add(item)
+            self.add(item)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+
+    def add(self, item: Item) -> None:
+        """Enter ``item`` into every attribute posting (idempotent)."""
+        for position, value in enumerate(item):
+            self._postings[position].setdefault(value, set()).add(item)
+
+    def remove(self, item: Item) -> None:
+        """Drop ``item`` from every attribute posting (idempotent)."""
+        for position, value in enumerate(item):
+            bucket = self._postings[position].get(value)
+            if bucket is not None:
+                bucket.discard(item)
+                if not bucket:
+                    del self._postings[position][value]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
 
     def subsumers_of(self, schema, item: Item) -> List[Item]:
         """Every indexed item that subsumes ``item`` (including an exact

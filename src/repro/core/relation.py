@@ -62,11 +62,13 @@ class HRelation:
         self.schema = schema
         self.name = name
         self.strategy = strategy
+        #: Insertion-ordered (dicts preserve it) item -> truth mapping;
+        #: doubles as the insertion record, so retraction is O(1).
         self._tuples: Dict[Item, bool] = {}
-        self._insertion: List[Item] = []
         self._version = 0
         self._binder_cache: Dict[object, Tuple[HTuple, ...]] = {}
         self._binder_index = None
+        self._bulk_eval = None
 
     #: Relations holding at least this many tuples answer subsumer
     #: lookups from a :class:`~repro.core.index.BinderIndex` instead of
@@ -89,6 +91,7 @@ class HRelation:
         a relation mapping one item to both 0 and 1 is meaningless.
         """
         key = self.schema.check_item(item)
+        delta = 1
         if key in self._tuples:
             if self._tuples[key] == truth:
                 return
@@ -99,10 +102,9 @@ class HRelation:
                         ", ".join(key), self._tuples[key]
                     )
                 )
-        else:
-            self._insertion.append(key)
+            delta = 0  # sign flip: the item set is unchanged
         self._tuples[key] = truth
-        self._bump()
+        self._bump(key, delta)
 
     def assert_tuple(self, htuple: HTuple, replace: bool = False) -> None:
         """Add an :class:`HTuple` (see :meth:`assert_item`)."""
@@ -125,8 +127,7 @@ class HRelation:
         if key not in self._tuples:
             raise TupleError("no tuple asserted at ({})".format(", ".join(key)))
         del self._tuples[key]
-        self._insertion.remove(key)
-        self._bump()
+        self._bump(key, -1)
 
     def discard(self, item: Sequence[str]) -> bool:
         """Remove the tuple at ``item`` if present; returns whether it was."""
@@ -134,18 +135,45 @@ class HRelation:
         if key not in self._tuples:
             return False
         del self._tuples[key]
-        self._insertion.remove(key)
-        self._bump()
+        self._bump(key, -1)
         return True
 
     def clear(self) -> None:
         self._tuples.clear()
-        self._insertion.clear()
         self._bump()
 
-    def _bump(self) -> None:
+    def _bump(self, changed: Item | None = None, delta: int = 0) -> None:
+        """Advance the version after a mutation.
+
+        ``changed`` is the touched item (``None`` for an unscoped wipe)
+        and ``delta`` the stored-tuple count change (+1 assert, -1
+        retract, 0 sign flip).  Cached binders survive unless the
+        mutated item subsumes theirs — a tuple influences exactly the
+        queries below it — so bulk loads no longer discard every cached
+        binder on each assert; the binder index absorbs the same delta
+        incrementally instead of being rebuilt from scratch.
+        """
         self._version += 1
-        self._binder_cache.clear()
+        if changed is None:
+            self._binder_cache.clear()
+            self._binder_index = None
+            return
+        if self._binder_cache:
+            product = self.schema.product
+            doomed = [
+                key
+                for key in self._binder_cache
+                if product.subsumes(changed, key[1])
+            ]
+            for key in doomed:
+                del self._binder_cache[key]
+        index = self._binder_index
+        if index is not None:
+            if delta > 0:
+                index.add(changed)
+            elif delta < 0:
+                index.remove(changed)
+            index.version = self._version
 
     # ------------------------------------------------------------------
     # storage views
@@ -162,10 +190,10 @@ class HRelation:
 
     def tuples(self) -> List[HTuple]:
         """All stored tuples, in insertion order."""
-        return [HTuple(item, self._tuples[item]) for item in self._insertion]
+        return [HTuple(item, truth) for item, truth in self._tuples.items()]
 
     def items(self) -> List[Item]:
-        return list(self._insertion)
+        return list(self._tuples)
 
     def truth_of_stored(self, item: Sequence[str]) -> Optional[bool]:
         """The stored sign at exactly ``item`` (no binding), else ``None``."""
@@ -186,9 +214,7 @@ class HRelation:
 
     def copy(self, name: str | None = None) -> "HRelation":
         out = HRelation(self.schema, name=name or self.name, strategy=self.strategy)
-        for item in self._insertion:
-            out._insertion.append(item)
-            out._tuples[item] = self._tuples[item]
+        out._tuples = dict(self._tuples)
         return out
 
     def same_tuples_as(self, other: "HRelation") -> bool:
@@ -232,19 +258,14 @@ class HRelation:
         """The equivalent flat relation: every atomic item mapped to 1.
 
         Enumerates the atoms below the positive tuples (rather than all
-        of D*) and filters by binding, so the cost scales with the
-        positive cones, not the domain.
+        of D*) and filters through one :class:`~repro.core.bulk.
+        BulkEvaluator`, so the cost scales with the positive cones, not
+        the domain — and each atom costs a bitset lookup, not a binding
+        derivation.
         """
-        seen = set()
-        for item, truth in self._tuples.items():
-            if not truth:
-                continue
-            for atom in self.schema.product.leaves_under(item):
-                if atom in seen:
-                    continue
-                seen.add(atom)
-                if _binding.truth_of(self, atom):
-                    yield atom
+        from repro.core import bulk as _bulk
+
+        return _bulk.extension_atoms(self)
 
     def extension_size(self) -> int:
         return sum(1 for _ in self.extension())

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.errors import HQLError
-from repro.core import algebra
+from repro.core import algebra, bulk
 from repro.core.binding import justify as _justify
 from repro.core.conflicts import find_conflicts
 from repro.render.table import render_justification, render_relation, render_rows
@@ -196,7 +196,10 @@ class HQLExecutor:
     # ------------------------------------------------------------------
 
     def _exec_truth(self, stmt: ast.Truth) -> Result:
-        value = self._relation(stmt.relation).truth_of(stmt.values)
+        # Sessions ask many TRUTHs of one relation; the bulk evaluator
+        # amortises the subsumption sweep across them (it is cached on
+        # the relation and refreshed only when a write moves a version).
+        value = bulk.truth_of(self._relation(stmt.relation), stmt.values)
         return Result(
             kind="truth",
             payload=value,

@@ -64,8 +64,8 @@ class ThreeValuedRelation:
             schema = RelationSchema(schema)
         self.schema = schema
         self.name = name
+        # Insertion order lives in the dict itself, so retraction is O(1).
         self._tuples: Dict[Item, TruthValue3] = {}
-        self._insertion: List[Item] = []
 
     # ------------------------------------------------------------------
 
@@ -82,8 +82,6 @@ class ThreeValuedRelation:
                     ", ".join(key), self._tuples[key].value
                 )
             )
-        if key not in self._tuples:
-            self._insertion.append(key)
         self._tuples[key] = truth
 
     def retract(self, item: Sequence[str]) -> None:
@@ -91,10 +89,9 @@ class ThreeValuedRelation:
         if key not in self._tuples:
             raise TupleError("no tuple asserted at ({})".format(", ".join(key)))
         del self._tuples[key]
-        self._insertion.remove(key)
 
     def tuples(self) -> List[Tuple[Item, TruthValue3]]:
-        return [(item, self._tuples[item]) for item in self._insertion]
+        return list(self._tuples.items())
 
     def __len__(self) -> int:
         return len(self._tuples)

@@ -327,6 +327,41 @@ class Hierarchy:
                 out.append(node)
         return out
 
+    def descendant_mask(self, name: str) -> int:
+        """The descendant bitset of ``name`` as a Python int; bit ``i``
+        is set iff the node of :meth:`topological_rank` ``i`` is a
+        (reflexive) descendant.  This is the raw form of
+        :meth:`descendants`, exposed for batch algorithms that combine
+        many reachability facts without materialising node sets."""
+        self._require(name)
+        return self._masks()["desc"][name]  # type: ignore[index]
+
+    def ancestor_mask(self, name: str) -> int:
+        """The ancestor bitset of ``name`` (see :meth:`descendant_mask`)."""
+        self._require(name)
+        return self._masks()["anc"][name]  # type: ignore[index]
+
+    def downward_union(self, seed: Dict[str, int]) -> Dict[str, int]:
+        """Sweep integer bitmasks down the class graph in one pass.
+
+        The result at each node is the union of its own ``seed`` mask
+        with the seed masks of *all* its ancestors — i.e. the seeds that
+        subsume the node.  One O(V + E) traversal answers what would
+        otherwise be a reachability query per (seed, node) pair; the
+        bulk truth evaluator uses it to push every stored tuple's bit
+        down to each hierarchy node its value subsumes.  Nodes absent
+        from ``seed`` contribute the empty mask.  Redundant class edges
+        are harmless (union is idempotent); preference edges are
+        ignored, matching the applicability order.
+        """
+        out: Dict[str, int] = {}
+        for node in self._masks()["order"]:  # type: ignore[union-attr]
+            mask = seed.get(node, 0)
+            for parent in self._parents[node]:
+                mask |= out[parent]
+            out[node] = mask
+        return out
+
     def redundant_edges(self) -> Set[Tuple[str, str]]:
         """Class edges parallel to a longer path (see the appendix)."""
         return self._masks()["redundant"]  # type: ignore[return-value]

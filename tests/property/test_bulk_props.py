@@ -1,0 +1,148 @@
+"""Bulk evaluation vs per-item binding: the two paths must be identical.
+
+The :class:`~repro.core.bulk.BulkEvaluator` answers most queries from
+one bitset sweep and delegates the rest; per-item binding re-derives
+everything per query.  On random normal-form DAGs — deliberately
+*without* the consistency repair, so conflicted items exercise the
+``None`` verdicts — every item of D* must get the same truth under
+every preemption strategy, and the off-path / no-preemption binder
+lists must match tuple for tuple.
+
+The second half pins the incremental :class:`~repro.core.index.
+BinderIndex` invariant: an index maintained by assert/retract deltas
+answers ``subsumers_of`` exactly like one rebuilt from scratch.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core import HRelation, NO_PREEMPTION, OFF_PATH, ON_PATH
+from repro.core import binding, bulk
+from repro.core.index import BinderIndex
+from tests.property.strategies import relations
+
+STRATEGIES = [OFF_PATH, ON_PATH, NO_PREEMPTION]
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations(max_tuples=5, consistent=False))
+def test_bulk_truth_matches_binding_for_every_strategy(relation):
+    product = relation.schema.product
+    for strategy in STRATEGIES:
+        evaluator = bulk.BulkEvaluator(relation, strategy)
+        for item in product.all_items():
+            expected, _ = binding.truth_and_binders(relation, item, strategy)
+            assert evaluator.truth(item) == expected, (strategy.name, item)
+
+
+@settings(max_examples=40, deadline=None)
+@given(relations(max_tuples=5, arity=2, consistent=False))
+def test_bulk_truth_matches_binding_arity_two(relation):
+    product = relation.schema.product
+    for strategy in STRATEGIES:
+        evaluator = bulk.BulkEvaluator(relation, strategy)
+        for item in product.all_items():
+            expected, _ = binding.truth_and_binders(relation, item, strategy)
+            assert evaluator.truth(item) == expected, (strategy.name, item)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations(max_tuples=5, consistent=False))
+def test_bulk_binders_match_binding_exactly(relation):
+    """Binder lists, not just truths: order and content must agree on
+    the strategies the sweep answers natively (the rest delegate, so
+    equality there is trivial but still asserted)."""
+    product = relation.schema.product
+    for strategy in STRATEGIES:
+        evaluator = bulk.BulkEvaluator(relation, strategy)
+        for item in product.all_items():
+            expected = binding.truth_and_binders(relation, item, strategy)
+            assert evaluator.truth_and_binders(item) == (
+                expected[0],
+                list(expected[1]),
+            ), (strategy.name, item)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations(max_tuples=6, consistent=False))
+def test_evaluator_for_tracks_mutations(relation):
+    """The memoised evaluator must never serve stale answers across a
+    mutation (version-keyed rebuild)."""
+    product = relation.schema.product
+    probes = list(product.all_items())
+    assert bulk.truths(relation, probes) == [
+        binding.truth_and_binders(relation, item)[0] for item in probes
+    ]
+    # Mutate: flip one stored sign, retract another, assert a new item.
+    stored = relation.items()
+    if stored:
+        relation.assert_item(stored[0], truth=not relation.asserted[stored[0]],
+                             replace=True)
+    if len(stored) > 1:
+        relation.retract(stored[1])
+    for node in relation.schema.hierarchies[0].nodes():
+        if (node,) not in relation.asserted:
+            relation.assert_item((node,), truth=True)
+            break
+    assert bulk.truths(relation, probes) == [
+        binding.truth_and_binders(relation, item)[0] for item in probes
+    ]
+
+
+# ----------------------------------------------------------------------
+# incremental BinderIndex == rebuilt BinderIndex
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations(max_tuples=8, consistent=False))
+def test_incremental_index_equals_rebuilt(relation):
+    """Drive a live index through the relation's own delta feed, then
+    compare against a from-scratch rebuild at every step."""
+    schema = relation.schema
+    ops = list(relation.asserted.items())
+    probes = list(schema.product.all_items())
+
+    live = HRelation(schema, name="live")
+    live.index_threshold = 0  # force the indexed path from the start
+    for step, (item, truth) in enumerate(ops):
+        live.subsumers_of(probes[0])  # materialise/refresh the live index
+        live.assert_item(item, truth=truth)
+        if step % 2 == 1:
+            live.retract(item)
+        fresh = BinderIndex(live)
+        incremental = live._binder_index
+        assert incremental is not None
+        assert incremental.version == live.version
+        for probe in probes:
+            assert sorted(incremental.subsumers_of(schema, probe)) == sorted(
+                fresh.subsumers_of(schema, probe)
+            ), probe
+        # And the indexed answer equals the brute-force scan.
+        product = schema.product
+        for probe in probes:
+            assert sorted(live.subsumers_of(probe)) == sorted(
+                other for other in live.asserted if product.subsumes(other, probe)
+            ), probe
+
+
+@settings(max_examples=60, deadline=None)
+@given(relations(max_tuples=6, consistent=False))
+def test_scoped_cache_invalidation_is_sound(relation):
+    """Warm the per-item binder cache everywhere, mutate one item, and
+    require every cached answer to still match a cold relation."""
+    product = relation.schema.product
+    probes = list(product.all_items())
+    for probe in probes:  # warm the cache
+        binding.truth_and_binders(relation, probe)
+    stored = relation.items()
+    if stored:
+        relation.retract(stored[len(stored) // 2])
+    else:
+        relation.assert_item((relation.schema.hierarchies[0].root,), truth=True)
+    cold = relation.copy(name="cold")
+    for probe in probes:
+        assert binding.truth_and_binders(relation, probe) == binding.truth_and_binders(
+            cold, probe
+        ), probe
