@@ -27,7 +27,6 @@ from repro.core import (
 )
 from repro.errors import AmbiguityError
 from repro.flat import MembershipBaseline, from_hrelation
-from repro.flat import algebra as flat_algebra
 from repro.render import render_justification
 from repro.workloads import (
     elephant_dataset,

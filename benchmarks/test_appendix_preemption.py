@@ -8,7 +8,6 @@
 * a preference edge resolves an arbitrary diamond.
 """
 
-import pytest
 
 from repro.errors import AmbiguityError
 from repro.core import HRelation, NO_PREEMPTION, OFF_PATH, ON_PATH

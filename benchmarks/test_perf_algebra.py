@@ -1,0 +1,73 @@
+"""P9: the bitset-native algebra engine must stay ahead of the code
+shape it replaced.
+
+``BENCH_algebra.json`` (written by ``bench_algebra.py``, committed at
+the repository root) records the pre-refactor timings — full-scan
+meet-closure, graph-based consolidation, materialised cylindric
+extensions.  These tests run the *shipped* union and join on the same
+workloads and fail if they no longer beat those recorded timings with
+ample margin, so an accidental regression of the memoised meet tables,
+the fused emission sweep, or the zero-copy join adaptor shows up in CI
+rather than in the next benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import algebra
+from benchmarks.bench_algebra import binary_workload, cold, unary_workload
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_algebra.json"
+CLASSES = 100  # 400 unary / 800 join stored tuples: the mid-size rows
+# The recorded speedups are two orders of magnitude; requiring merely
+# "faster than before" with this margin keeps the guard immune to
+# machine noise while still catching any real regression.
+MARGIN = 0.5
+
+
+def recorded_before_ms(op: str) -> float:
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_algebra.json not generated yet")
+    payload = json.loads(BENCH_PATH.read_text())
+    for row in payload["rows"]:
+        if row["op"] == op and row["classes"] == CLASSES:
+            return row["before_ms"]
+    pytest.skip("no {} row at classes={} in BENCH_algebra.json".format(op, CLASSES))
+
+
+def best_of(fn, repeat=3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def test_union_beats_pre_refactor_timing():
+    relation, other = unary_workload(CLASSES)
+    before_ms = recorded_before_ms("union")
+
+    def run():
+        cold(relation, other)
+        return algebra.union(relation, other)
+
+    assert len(run()) > 0
+    assert best_of(run) < before_ms * MARGIN
+
+
+def test_join_beats_pre_refactor_timing():
+    left, right, _ = binary_workload(CLASSES)
+    before_ms = recorded_before_ms("join")
+
+    def run():
+        cold(left, right)
+        return algebra.join(left, right)
+
+    assert len(run()) > 0
+    assert best_of(run) < before_ms * MARGIN

@@ -9,7 +9,7 @@ O(assertions) items while the flat path touches O(extension) rows.
 
 import pytest
 
-from repro.core import HRelation, RelationSchema, intersection, select, union
+from repro.core import HRelation, intersection, select, union
 from repro.flat import algebra as flat_algebra
 from repro.flat import from_hrelation
 from repro.workloads.generators import membership_workload

@@ -9,7 +9,7 @@ carry many interacting signs.
 
 import pytest
 
-from repro.core import HRelation, find_conflicts
+from repro.core import find_conflicts
 from repro.workloads import biology_dataset
 from repro.workloads.generators import (
     balanced_tree_hierarchy,

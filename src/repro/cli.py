@@ -14,7 +14,6 @@ Commands
 from __future__ import annotations
 
 import argparse
-import sys
 from typing import List, Optional
 
 from repro import __version__

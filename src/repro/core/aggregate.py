@@ -14,10 +14,9 @@ parse, rather than silently skipping rows.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import SchemaError
-from repro.hierarchy.product import Item
 
 
 def count(relation, conditions: Optional[Dict[str, str]] = None) -> int:

@@ -40,7 +40,6 @@ since consolidation never changes the flat relation.
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
 
 from repro.errors import InconsistentRelationError, SchemaError
@@ -48,6 +47,7 @@ from repro.hierarchy.product import Item, ProductHierarchy
 from repro.core import bulk as _bulk
 from repro.core.conflicts import Conflict
 from repro.core.consolidate import consolidate as _consolidate
+from repro.core.consolidate import redundancy_sweep as _redundancy_sweep
 from repro.core.explicate import explicate as _explicate
 from repro.core.relation import HRelation
 from repro.core.schema import RelationSchema
@@ -57,22 +57,59 @@ def meet_closure(product: ProductHierarchy, items: Iterable[Item]) -> Set[Item]:
     """The smallest superset of ``items`` closed under pairwise meets
     (maximal common descendants).
 
-    The worklist pairs each element only with the elements before it,
-    so every unordered pair is probed exactly once — meets of meets no
-    longer re-probe the pairs earlier rounds already checked.
+    Delegates to :meth:`ProductHierarchy.meet_closure`: unary schemas
+    run one bulk closed-value-set sweep (no item pairs at all); higher
+    arities probe each unordered pair once against the factors'
+    memoised meet tables, so no component meet is ever recomputed.
     """
-    pool: Set[Item] = set(items)
-    order: List[Item] = list(pool)
-    cursor = 0
-    while cursor < len(order):
-        new = order[cursor]
-        for earlier in range(cursor):
-            for meet in product.meet(new, order[earlier]):
-                if meet not in pool:
-                    pool.add(meet)
-                    order.append(meet)
-        cursor += 1
-    return pool
+    return product.meet_closure(items)
+
+
+def _pointwise(
+    schema: RelationSchema,
+    strategy,
+    evaluators: Sequence[object],
+    fn: Callable[..., bool],
+    name: str,
+    seeds: Iterable[Item],
+    consolidate: bool,
+) -> HRelation:
+    """The bitset-native pointwise engine every operator rides.
+
+    Evaluates the meet-closure of ``seeds`` through the given truth
+    evaluators (bulk evaluators, projection adaptors, or cone
+    evaluators) in topological order.  With ``consolidate=True`` on a
+    normal-form product, consolidation is *fused* into the emission
+    sweep: a candidate whose truth matches all of its minimal
+    already-emitted subsumers (the immediate predecessors of the
+    would-be subsumption graph) is simply never asserted, replacing the
+    build-relation-then-consolidate round trip with one pass over the
+    same posting masks.  Non-normal-form products emit everything and
+    run the literal consolidation procedure.
+    """
+    product = schema.product
+    candidates = sorted(meet_closure(product, seeds), key=product.topological_key)
+    truths: List[bool] = []
+    for item in candidates:
+        row: List[bool] = []
+        for evaluator in evaluators:
+            truth = evaluator.truth(item)
+            if truth is None:
+                raise InconsistentRelationError([Conflict(item=item, binders=())])
+            row.append(truth)
+        truths.append(fn(*row))
+    out = HRelation(schema, name=name, strategy=strategy)
+    if consolidate and not product.needs_elimination_binding():
+        flags = _redundancy_sweep(schema, candidates, truths)
+        for item, truth, redundant in zip(candidates, truths, flags):
+            if not redundant:
+                out.assert_item(item, truth=truth)
+        return out
+    for item, truth in zip(candidates, truths):
+        out.assert_item(item, truth=truth)
+    if consolidate:
+        out = _consolidate(out, name=name)
+    return out
 
 
 def combine(
@@ -99,26 +136,15 @@ def combine(
             "combine requires fn(false, ..., false) == false; items below "
             "no candidate default to false and fn must agree"
         )
-    product = schema.product
     seeds: Set[Item] = set(extra_items)
     for relation in relations:
         seeds.update(relation.asserted)
-    candidates = sorted(meet_closure(product, seeds), key=product.topological_key)
-    out = HRelation(schema, name=name, strategy=relations[0].strategy)
     # One bulk evaluator per input: the candidate set is evaluated
     # set-at-a-time instead of re-deriving a binding per (item, input).
     evaluators = [_bulk.evaluator_for(relation) for relation in relations]
-    for item in candidates:
-        truths: List[bool] = []
-        for evaluator in evaluators:
-            truth = evaluator.truth(item)
-            if truth is None:
-                raise InconsistentRelationError([Conflict(item=item, binders=())])
-            truths.append(truth)
-        out.assert_item(item, truth=fn(*truths))
-    if consolidate:
-        out = _consolidate(out, name=name)
-    return out
+    return _pointwise(
+        schema, relations[0].strategy, evaluators, fn, name, seeds, consolidate
+    )
 
 
 # ----------------------------------------------------------------------
@@ -185,14 +211,25 @@ def select(
     """
     if not conditions:
         return relation.copy(name=name or relation.name)
-    cone_item = relation.schema.item_from_mapping(dict(conditions), default_top=True)
-    cone = HRelation(relation.schema, name="cone", strategy=relation.strategy)
-    cone.assert_item(cone_item, truth=True)
-    return combine(
-        [relation, cone],
+    schema = relation.schema
+    cone_item = schema.item_from_mapping(dict(conditions), default_top=True)
+    # The selection cone is a one-tuple relation whose truth function is
+    # plain subsumption — valid under every strategy — so it is evaluated
+    # directly instead of being materialised and re-bound.
+    evaluators = [
+        _bulk.evaluator_for(relation),
+        _bulk.ConeEvaluator(schema.product, cone_item),
+    ]
+    seeds: Set[Item] = set(relation.asserted)
+    seeds.add(cone_item)
+    return _pointwise(
+        schema,
+        relation.strategy,
+        evaluators,
         lambda a, b: a and b,
-        name=name or "{}_where".format(relation.name),
-        consolidate=consolidate,
+        name or "{}_where".format(relation.name),
+        seeds,
+        consolidate,
     )
 
 
@@ -258,12 +295,43 @@ def join(
     to the same hierarchy objects).
 
     Implemented as the pointwise AND of the two *cylindric extensions*
-    over the merged schema: each relation's tuples are padded with the
-    hierarchy root (the whole domain) on the attributes it lacks, which
-    preserves its binding structure exactly.
+    over the merged schema.  When both evaluators are sweep-exact under
+    the paper's default strategy, the extensions are never materialised:
+    a projection adaptor maps each merged-schema candidate onto the
+    input's own attribute positions (padding with a hierarchy root
+    preserves the binding structure exactly, so projecting instead of
+    padding answers the same query zero-copy).  Otherwise each input is
+    padded with the hierarchy root (the whole domain) on the attributes
+    it lacks, as before.
     """
-    merged_schema, shared = left.schema.join_schema(right.schema)
+    if left.strategy.name != right.strategy.name:
+        raise SchemaError(
+            "cannot join relations with different preemption strategies: "
+            "{!r} uses {!r}, {!r} uses {!r}".format(
+                left.name, left.strategy.name, right.name, right.strategy.name
+            )
+        )
+    merged_schema = left.schema.join_schema(right.schema)[0]
     out_name = name or "{}_join_{}".format(left.name, right.name)
+
+    if left.strategy.name == "off-path":
+        left_eval = _bulk.evaluator_for(left)
+        right_eval = _bulk.evaluator_for(right)
+        if left_eval.sweep_exact and right_eval.sweep_exact:
+            left_pos, left_seeds = _padded_seeds(merged_schema, left)
+            right_pos, right_seeds = _padded_seeds(merged_schema, right)
+            return _pointwise(
+                merged_schema,
+                left.strategy,
+                [
+                    _bulk.ProjectedEvaluator(left_eval, left_pos),
+                    _bulk.ProjectedEvaluator(right_eval, right_pos),
+                ],
+                lambda a, b: a and b,
+                out_name,
+                left_seeds | right_seeds,
+                consolidate,
+            )
 
     left_cyl = HRelation(merged_schema, name="cyl_left", strategy=left.strategy)
     for item, truth in left.asserted.items():
@@ -272,7 +340,7 @@ def join(
             padded[merged_schema.index_of(attribute)] = value
         left_cyl.assert_item(tuple(padded), truth=truth)
 
-    right_cyl = HRelation(merged_schema, name="cyl_right", strategy=left.strategy)
+    right_cyl = HRelation(merged_schema, name="cyl_right", strategy=right.strategy)
     for item, truth in right.asserted.items():
         padded = list(merged_schema.product.top)
         for value, attribute in zip(item, right.schema.attributes):
@@ -285,6 +353,23 @@ def join(
         name=out_name,
         consolidate=consolidate,
     )
+
+
+def _padded_seeds(
+    merged_schema: RelationSchema, relation: HRelation
+) -> Tuple[List[int], Set[Item]]:
+    """``relation``'s attribute positions within the merged schema, and
+    its asserted items padded with roots up to that schema (the seeds its
+    cylindric extension would contribute to the candidate set)."""
+    top = merged_schema.product.top
+    positions = [merged_schema.index_of(a) for a in relation.schema.attributes]
+    seeds: Set[Item] = set()
+    for item in relation.asserted:
+        padded = list(top)
+        for position, value in zip(positions, item):
+            padded[position] = value
+        seeds.add(tuple(padded))
+    return positions, seeds
 
 
 def divide(
@@ -314,8 +399,13 @@ def divide(
     if not kept:
         raise SchemaError("division needs at least one surviving attribute")
     out_name = name or "{}_divide_{}".format(dividend.name, divisor.name)
-    divisor_atoms = sorted(divisor.extension())
-    if not divisor_atoms:
+    # The divisor's extension is streamed straight off its bulk
+    # evaluator — the atoms are never sorted or collected into a list.
+    # AND is symmetric and the candidate set is a union of the slices'
+    # seeds, so enumeration order cannot affect the result.
+    atoms = divisor.extension()
+    first = next(atoms, None)
+    if first is None:
         return project(dividend, kept, name=out_name, consolidate=consolidate)
 
     out_schema = dividend.schema.restrict(kept)
@@ -331,7 +421,11 @@ def divide(
             slices[atom_key] = piece
         piece.assert_item(tuple(item[i] for i in kept_indices), truth=truth)
     empty = HRelation(out_schema, name="empty", strategy=dividend.strategy)
-    pieces = [slices.get(atom, empty) for atom in divisor_atoms]
+    pieces: List[HRelation] = []
+    atom = first
+    while atom is not None:
+        pieces.append(slices.get(atom, empty))
+        atom = next(atoms, None)
     return combine(
         pieces,
         lambda *truths: all(truths),

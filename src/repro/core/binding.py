@@ -109,17 +109,32 @@ def subsumption_graph(relation) -> Dict[object, Set[object]]:
     return graph
 
 
-def _hasse_graph(product, items: List[Item]) -> Dict[object, Set[object]]:
-    strict_subsumers: Dict[Item, List[Item]] = {}
-    for j in items:
-        strict_subsumers[j] = [i for i in items if i != j and product.subsumes(i, j)]
+def _hasse_graph(product, items: List[Item], schema=None) -> Dict[object, Set[object]]:
+    """Covering graph of ``items`` under subsumption, via one posting
+    sweep per attribute (``bulk.subsumer_masks``) instead of a pairwise
+    ``subsumes`` scan: ``i`` covers ``j`` iff ``i`` is minimal among
+    ``j``'s strict subsumers."""
+    from repro.core import bulk as _bulk
+
+    if schema is None:
+        schema = _SchemaView(product)
+    subsumers = _bulk.subsumer_masks(schema, items)
     graph: Dict[object, Set[object]] = {item: set() for item in items}
-    for j, subs in strict_subsumers.items():
-        pool = set(subs)
-        for i in subs:
-            if not any(k != i and product.subsumes(i, k) for k in pool):
-                graph[i].add(j)
+    for j, item in enumerate(items):
+        covers = _bulk.minimal_of_mask(subsumers[j], subsumers)
+        while covers:
+            low = covers & -covers
+            graph[items[low.bit_length() - 1]].add(item)
+            covers ^= low
     return graph
+
+
+class _SchemaView:
+    """The slice of the schema interface ``bulk.subsumer_masks`` reads
+    (just the factor hierarchies), for callers holding only a product."""
+
+    def __init__(self, product) -> None:
+        self.hierarchies = product.factors
 
 
 def _eliminated_graph(relation, items: List[Item]) -> Dict[object, Set[object]]:

@@ -111,6 +111,19 @@ class BulkEvaluator:
     # masks
     # ------------------------------------------------------------------
 
+    @property
+    def sweep_exact(self) -> bool:
+        """True when *every* query is answered by the sweep itself —
+        no per-item delegation stratum exists.  Holds for off-path over
+        normal-form hierarchies (the paper's default) and for
+        no-preemption over any preference-free hierarchy; these are the
+        strategies the zero-copy algebra adaptors may wrap."""
+        if self._delegate_all:
+            return False
+        if self.strategy.name == "none":
+            return True
+        return self._minimal_exact
+
     def applicable_mask(self, item: Item) -> int:
         """The bitset of stored tuples whose item subsumes ``item``."""
         postings = self._postings
@@ -232,6 +245,89 @@ class BulkEvaluator:
         return "BulkEvaluator({!r}, {} tuples, {})".format(
             getattr(self.relation, "name", "?"), len(self._items), self.strategy
         )
+
+
+class ProjectedEvaluator:
+    """Schema-projection adaptor: answers truth queries posed over a
+    *wider* schema by projecting each item onto the base relation's
+    attribute positions before consulting its evaluator.
+
+    This is the zero-copy cylindric extension: a relation padded with
+    hierarchy roots on the attributes it lacks has exactly the base
+    relation's binding structure (root components subsume everything
+    and compare equal among stored tuples), so the padded relation
+    never needs to be materialised.  Only valid when the base
+    evaluator's answers are decided entirely by the sweep
+    (:attr:`BulkEvaluator.sweep_exact`); delegation strata would
+    otherwise re-derive bindings against the wrong (unpadded) schema.
+    """
+
+    def __init__(self, base: BulkEvaluator, positions: Sequence[int]) -> None:
+        if not base.sweep_exact:
+            raise ValueError(
+                "projection adaptor requires a sweep-exact base evaluator"
+            )
+        self._base = base
+        self._positions = tuple(positions)
+
+    def truth(self, item: Item) -> Optional[bool]:
+        positions = self._positions
+        return self._base.truth(tuple(item[p] for p in positions))
+
+
+class ConeEvaluator:
+    """The truth function of a one-tuple relation ``{(cone, true)}``:
+    an item is true iff the cone item subsumes it.  Strategy-free (a
+    single positive tuple either applies or nothing does), so ``select``
+    can evaluate its selection cone without building a relation."""
+
+    def __init__(self, product, cone_item: Item) -> None:
+        self._product = product
+        self._cone = cone_item
+
+    def truth(self, item: Item) -> bool:
+        return self._product.subsumes(self._cone, item)
+
+
+def subsumer_masks(schema, items: Sequence[Item]) -> List[int]:
+    """Per item, the bitset of *other* ``items`` strictly subsuming it.
+
+    One posting sweep per attribute (seed each item's bit on its value,
+    :meth:`Hierarchy.downward_union` pushes it over the value's cone)
+    replaces the pairwise ``subsumes`` scan: the strict subsumers of
+    item *i* are the AND across attributes of the masks at its values,
+    minus its own bit.  This is the substrate the bulk consolidation
+    sweep and the vectorised subsumption graph read from.
+    """
+    postings: List[Dict[str, int]] = []
+    for position, hierarchy in enumerate(schema.hierarchies):
+        seed: Dict[str, int] = {}
+        for i, item in enumerate(items):
+            value = item[position]
+            seed[value] = seed.get(value, 0) | (1 << i)
+        postings.append(hierarchy.downward_union(seed))
+    out: List[int] = []
+    for i, item in enumerate(items):
+        mask = postings[0].get(item[0], 0)
+        for position in range(1, len(postings)):
+            if not mask:
+                break
+            mask &= postings[position].get(item[position], 0)
+        out.append(mask & ~(1 << i))
+    return out
+
+
+def minimal_of_mask(mask: int, subsumers: Sequence[int]) -> int:
+    """The minimal (most specific) members of ``mask`` given each
+    member's strict-subsumer mask: drop everything some member sits
+    strictly above."""
+    dominated = 0
+    rest = mask
+    while rest:
+        low = rest & -rest
+        dominated |= subsumers[low.bit_length() - 1]
+        rest ^= low
+    return mask & ~dominated
 
 
 # ----------------------------------------------------------------------

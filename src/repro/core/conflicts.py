@@ -44,7 +44,7 @@ historical meet probe (whose coverage there is heuristic anyway).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Iterator, List, Sequence, Set, Tuple
 
 from repro.hierarchy.product import Item
 from repro.core.htuple import HTuple
@@ -146,7 +146,6 @@ def complete_resolution_set(relation, a: Sequence[str], b: Sequence[str]) -> Lis
     Unique for a given conflict on a given item hierarchy.  Note the
     size is the product of the per-attribute common-descendant counts.
     """
-    product = relation.schema.product
     a = relation.schema.check_item(a)
     b = relation.schema.check_item(b)
     import itertools

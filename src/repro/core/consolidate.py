@@ -14,16 +14,28 @@ elimination procedure, so subsequent redundancy tests see the updated
 graph — this is what lets both the ``(student, incoherent-teacher)``
 tuple *and* the conflict-resolving ``(obsequious-student,
 incoherent-teacher)`` tuple of Fig. 6 be removed in one pass.
+
+Implementation.  On normal-form products (no redundant or preference
+edges — every hierarchy its own transitive reduction) the graph is the
+Hasse diagram of the asserted items, and node elimination preserves
+reachability without introducing parallel edges.  The immediate
+predecessors of a node in the partially-consolidated graph are then
+exactly the *minimal kept strict subsumers* of its item — so the whole
+pass runs as one bulk subsumption sweep (:func:`redundancy_sweep`) over
+posting bitsets: no graph is built and no node is eliminated.  Products
+that need elimination binding fall back to the literal
+graph-construction procedure.
 """
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Sequence
 
 from repro.hierarchy import algorithms
 from repro.hierarchy.product import Item
 from repro.core.htuple import UNIVERSAL
 from repro.core import binding as _binding
+from repro.core import bulk as _bulk
 
 
 def consolidate(relation, name: str | None = None):
@@ -41,6 +53,57 @@ def consolidate(relation, name: str | None = None):
 def redundant_tuples(relation) -> List[Item]:
     """The items consolidation would remove, in removal order (useful
     for explaining a consolidation without performing it)."""
+    product = relation.schema.product
+    if product.needs_elimination_binding():
+        return _redundant_by_elimination(relation)
+    items = sorted(relation.asserted, key=product.topological_key)
+    flags = redundancy_sweep(
+        relation.schema, items, [relation.asserted[item] for item in items]
+    )
+    return [item for item, redundant in zip(items, flags) if redundant]
+
+
+def redundancy_sweep(
+    schema, items: Sequence[Item], truths: Sequence[bool]
+) -> List[bool]:
+    """One bulk subsumption sweep deciding redundancy for every item.
+
+    ``items`` must be listed in a linear extension of the subsumption
+    order (ancestors first) with their truth values; the result flags
+    each item the topologically-ordered elimination pass would remove.
+    An item is redundant iff its minimal *kept* strict subsumers — the
+    immediate predecessors in the partially-consolidated subsumption
+    graph — unanimously carry its truth value; with no kept subsumer
+    the universal negated tuple is the predecessor.  Valid on
+    normal-form products only (the caller gates on
+    ``needs_elimination_binding``).
+    """
+    subsumers = _bulk.subsumer_masks(schema, items)
+    kept = 0
+    flags: List[bool] = []
+    for i, truth in enumerate(truths):
+        preds = subsumers[i] & kept
+        if preds:
+            minimal = _bulk.minimal_of_mask(preds, subsumers)
+            same = True
+            rest = minimal
+            while rest:
+                low = rest & -rest
+                if truths[low.bit_length() - 1] != truth:
+                    same = False
+                    break
+                rest ^= low
+        else:
+            same = truth is UNIVERSAL.truth
+        flags.append(same)
+        if not same:
+            kept |= 1 << i
+    return flags
+
+
+def _redundant_by_elimination(relation) -> List[Item]:
+    """The literal procedure: build the subsumption graph, walk it in
+    topological order, eliminate each redundant node as it is found."""
     graph = _binding.subsumption_graph(relation)
     order = algorithms.topological_order(graph)
     removed: List[Item] = []

@@ -29,7 +29,7 @@ tuples; benchmarks/test_perf_index.py measures the crossover.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.hierarchy.product import Item
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import SchemaError, TupleError
+from repro.errors import TupleError
 from repro.hierarchy.graph import Hierarchy
 from repro.hierarchy.product import Item
 from repro.core.htuple import HTuple, format_item

@@ -10,7 +10,7 @@ question is delegated to.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import SchemaError
 from repro.hierarchy.graph import Hierarchy

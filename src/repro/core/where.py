@@ -21,7 +21,7 @@ Build conditions with :func:`member` and combine with ``&``, ``|``,
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from repro.errors import SchemaError
 

@@ -370,6 +370,32 @@ class HQLExecutor:
             )
         else:
             lines.append("  meet-closure candidates: over the merged schema")
+            if isinstance(inner, ast.BinaryOp) and inner.op == "JOIN":
+                from repro.core import bulk as _bulk
+
+                zero_copy = all(
+                    r.strategy.name == "off-path"
+                    and _bulk.evaluator_for(r).sweep_exact
+                    for r in inputs
+                )
+                lines.append(
+                    "  join inputs: {}".format(
+                        "zero-copy projection adaptors (no cylindric "
+                        "extensions materialised)"
+                        if zero_copy
+                        else "materialised cylindric extensions"
+                    )
+                )
+        normal_form = not any(
+            r.schema.product.needs_elimination_binding() for r in inputs
+        )
+        lines.append(
+            "  consolidation: {}".format(
+                "fused into the bitset emission sweep"
+                if normal_form
+                else "literal subsumption-graph elimination"
+            )
+        )
         started = time.perf_counter()
         result = self.execute_statement(inner)
         elapsed = time.perf_counter() - started

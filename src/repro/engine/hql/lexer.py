@@ -11,7 +11,7 @@ names stay case-sensitive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from repro.errors import HQLSyntaxError
 

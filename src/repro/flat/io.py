@@ -10,7 +10,6 @@ hierarchical relation over an existing schema.
 from __future__ import annotations
 
 import csv
-from typing import Sequence
 
 from repro.errors import SchemaError, StorageError
 from repro.flat.relation import FlatRelation

@@ -16,7 +16,7 @@ footnote's strawman.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Sequence, Set
 
 from repro.flat import algebra
 from repro.flat.relation import FlatRelation

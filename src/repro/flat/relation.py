@@ -7,7 +7,7 @@ hierarchical model can be tested against textbook semantics.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.errors import SchemaError
 

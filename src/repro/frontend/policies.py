@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 import warnings
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.errors import ReproError
 from repro.core import binding as _binding

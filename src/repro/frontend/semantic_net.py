@@ -28,11 +28,10 @@ True
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.errors import ReproError
 from repro.hierarchy.graph import Hierarchy
-from repro.core import binding as _binding
 from repro.core.relation import HRelation
 
 

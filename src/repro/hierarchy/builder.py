@@ -6,7 +6,7 @@ tests, and workloads declare one as a nested dict or an edge list.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+from typing import Iterable, Mapping, Sequence, Tuple, Union
 
 from repro.errors import HierarchyError
 from repro.hierarchy.graph import Hierarchy

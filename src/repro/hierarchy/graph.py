@@ -313,19 +313,121 @@ class Hierarchy:
         multi-attribute *maximal conflict-resolution set*.  If ``a``
         subsumes ``b`` the result is ``[b]``; if the two classes share no
         node the result is empty (the paper's "optimistic" disjointness).
+
+        Answers are memoised per hierarchy version (the *meet table*),
+        so algebra sweeps that probe the same value pair across many
+        item pairs pay for each component meet exactly once.
         """
         self._require(a)
         self._require(b)
         masks = self._masks()
-        common = masks["desc"][a] & masks["desc"][b]
+        if a == b:
+            return [a]
+        meets: Dict[Tuple[str, str], Tuple[str, ...]] = masks["meets"]  # type: ignore[assignment]
+        key = (a, b) if a <= b else (b, a)
+        hit = meets.get(key)
+        if hit is not None:
+            return list(hit)
+        desc = masks["desc"]
+        da, db = desc[a], desc[b]
+        common = da & db
         if not common:
-            return []
-        out = []
-        for node in self._insertion:
-            bit = 1 << masks["rank"][node]
-            if common & bit and not (masks["anc"][node] & ~bit & common):
-                out.append(node)
+            out: List[str] = []
+        elif common == db:  # a subsumes b
+            out = [b]
+        elif common == da:  # b subsumes a
+            out = [a]
+        else:
+            out = self._maximal_of_mask(common)
+        meets[key] = tuple(out)
         return out
+
+    def _maximal_of_mask(self, mask: int) -> List[str]:
+        """The nodes of a bitset with no strict ancestor in the bitset,
+        in topological-rank order (only the set bits are visited)."""
+        masks = self._masks()
+        order: List[str] = masks["order"]  # type: ignore[assignment]
+        anc = masks["anc"]
+        out: List[str] = []
+        rest = mask
+        while rest:
+            low = rest & -rest
+            node = order[low.bit_length() - 1]
+            if anc[node] & mask == low:
+                out.append(node)
+            rest ^= low
+        return out
+
+    def meet_closed_values(self, values: Iterable[str]) -> Set[str]:
+        """The smallest superset of ``values`` closed under pairwise
+        meets (:meth:`maximal_common_descendants`), computed as a bulk
+        bitset sweep rather than a quadratic scan of node pairs.
+
+        Each round seeds the pool values onto their nodes, sweeps the
+        masks down (:meth:`downward_union`) and back up the class graph,
+        so every pool value knows — in one pass — exactly which other
+        pool values share a descendant with it.  Only those pairs are
+        probed for meets; comparable pairs are skipped outright (their
+        meet is the lower value, already pooled).  Disjoint-heavy pools
+        (the common case for stored relations) therefore cost O(V + E)
+        per round instead of O(pool**2) full-graph scans.
+        """
+        masks = self._masks()
+        desc = masks["desc"]
+        order: List[str] = []
+        pool: Set[str] = set()
+        for value in values:
+            self._require(value)
+            if value not in pool:
+                pool.add(value)
+                order.append(value)
+        start = 0
+        while start < len(order):
+            frontier = len(order)
+            overlap = self._overlap_masks(order[:frontier])
+            for j in range(start, frontier):
+                vj = order[j]
+                dj = desc[vj]
+                partners = overlap[vj] & ((1 << j) - 1)
+                while partners:
+                    low = partners & -partners
+                    partners ^= low
+                    di = desc[order[low.bit_length() - 1]]
+                    common = dj & di
+                    if common == dj or common == di:
+                        continue  # comparable: the meet is already pooled
+                    for node in self._maximal_of_mask(common):
+                        if node not in pool:
+                            pool.add(node)
+                            order.append(node)
+            start = frontier
+        return pool
+
+    def _overlap_masks(self, values: Sequence[str]) -> Dict[str, int]:
+        """For each node, the bitset of ``values`` (by position) sharing
+        at least one descendant with it."""
+        seed: Dict[str, int] = {}
+        for i, value in enumerate(values):
+            seed[value] = seed.get(value, 0) | (1 << i)
+        return self.overlap_union(seed)
+
+    def overlap_union(self, seed: Dict[str, int]) -> Dict[str, int]:
+        """The *overlap* analogue of :meth:`downward_union`: the result
+        at each node is the union of the seed masks of every node whose
+        descendant cone intersects its own.  One downward sweep pushes
+        each seed to the nodes it subsumes, one upward sweep unions the
+        result back over each node's descendant cone — O(V + E) for what
+        would otherwise be a cone-intersection test per (seed, node)
+        pair.  This is how the product meet-closure decides which item
+        pairs can possibly meet without probing them."""
+        down = self.downward_union(seed)
+        up: Dict[str, int] = {}
+        for node in reversed(self._masks()["order"]):  # type: ignore[arg-type]
+            mask = down[node]
+            for child in self._children[node]:
+                mask |= up[child]
+            up[node] = mask
+        return up
 
     def descendant_mask(self, name: str) -> int:
         """The descendant bitset of ``name`` as a Python int; bit ``i``
@@ -442,6 +544,10 @@ class Hierarchy:
             "bind_desc": bind_desc,
             "anc": anc,
             "redundant": redundant,
+            # Meet table: (a, b) value pair -> meet set, filled lazily by
+            # maximal_common_descendants and discarded with the rest of
+            # the cache whenever the hierarchy version moves.
+            "meets": {},
         }
         self._cache_version = self._version
         return self._cache

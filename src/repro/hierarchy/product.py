@@ -109,7 +109,9 @@ class ProductHierarchy:
         """The maximal common descendants of items ``a`` and ``b``.
 
         Componentwise: the cartesian product of per-attribute meet sets;
-        empty as soon as any attribute pair shares no descendant.
+        empty as soon as any attribute pair shares no descendant.  Each
+        component meet is a lookup in the factor's memoised meet table
+        after the first probe of that value pair.
         """
         per_attribute: List[List[str]] = []
         for h, va, vb in zip(self.factors, a, b):
@@ -118,6 +120,63 @@ class ProductHierarchy:
                 return []
             per_attribute.append(meets)
         return [tuple(combo) for combo in itertools.product(*per_attribute)]
+
+    def meet_closure(self, items: Iterable[Item]) -> Set[Item]:
+        """The smallest superset of ``items`` closed under pairwise meets.
+
+        Unary products delegate to the factor's bulk closed-value-set
+        sweep (:meth:`Hierarchy.meet_closed_values`): no item pairs are
+        enumerated at all.  Higher arities probe only the pairs that can
+        possibly meet: each round, one :meth:`Hierarchy.overlap_union`
+        sweep per attribute tells every pool item which earlier items
+        share a descendant with it on that attribute, and the AND across
+        attributes is exactly the pairs with a non-empty product meet.
+        Disjoint-heavy pools (stored relations mostly are) therefore
+        cost O(attributes · (V + E)) per round instead of a quadratic
+        pair scan, and each surviving probe hits the factors' memoised
+        meet tables.
+        """
+        pool: Set[Item] = set(items)
+        if not pool:
+            return pool
+        if self.arity == 1:
+            factor = self.factors[0]
+            return {(value,) for value in factor.meet_closed_values(v for (v,) in pool)}
+        order: List[Item] = list(pool)
+        start = 0
+        while start < len(order):
+            frontier = len(order)
+            partner_masks = self._partner_masks(order[:frontier])
+            for j in range(start, frontier):
+                new = order[j]
+                partners = partner_masks[j] & ((1 << j) - 1)
+                while partners:
+                    low = partners & -partners
+                    partners ^= low
+                    for met in self.meet(new, order[low.bit_length() - 1]):
+                        if met not in pool:
+                            pool.add(met)
+                            order.append(met)
+            start = frontier
+        return pool
+
+    def _partner_masks(self, items: Sequence[Item]) -> List[int]:
+        """Per item, the bitset of ``items`` whose meet with it can be
+        non-empty: the AND over attributes of the overlap-union masks at
+        the item's component values."""
+        out: List[int] = []
+        for position, factor in enumerate(self.factors):
+            seed: Dict[str, int] = {}
+            for i, item in enumerate(items):
+                value = item[position]
+                seed[value] = seed.get(value, 0) | (1 << i)
+            overlap = factor.overlap_union(seed)
+            if position == 0:
+                out = [overlap[item[0]] for item in items]
+            else:
+                for i, item in enumerate(items):
+                    out[i] &= overlap[item[position]]
+        return out
 
     def topological_key(self, item: Item):
         """A sort key realising a linear extension of the subsumption

@@ -6,7 +6,7 @@ any DOT renderer to get the paper's Fig. 1a/1c/1d pictures.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Dict, Set
 
 from repro.core.htuple import UNIVERSAL
 

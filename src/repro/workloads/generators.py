@@ -7,7 +7,7 @@ Everything takes an explicit ``seed`` and builds from
 from __future__ import annotations
 
 import random
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.hierarchy.graph import Hierarchy
 from repro.core.relation import HRelation

@@ -10,7 +10,7 @@ meet machinery all do real work, small enough to debug by eye.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.hierarchy.graph import Hierarchy
 from repro.core.relation import HRelation

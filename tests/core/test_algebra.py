@@ -16,7 +16,6 @@ from repro.core import (
     union,
 )
 from repro.core.algebra import combine, meet_closure
-from tests.conftest import make_relation
 
 
 def flat_rows(relation):

@@ -1,6 +1,5 @@
 """Unit tests for conflict detection and resolution sets (section 3.1)."""
 
-import pytest
 
 from repro.core import (
     HRelation,

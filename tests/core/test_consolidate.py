@@ -1,6 +1,5 @@
 """Unit tests for the consolidate operator (section 3.3.1, Fig. 6)."""
 
-import pytest
 
 from repro.core import HRelation, consolidate
 from repro.core.consolidate import redundant_tuples

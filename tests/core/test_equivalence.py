@@ -1,6 +1,5 @@
 """Unit tests for condensed-form equivalence and containment."""
 
-import pytest
 
 from repro.core import (
     HRelation,

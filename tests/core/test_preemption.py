@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import AmbiguityError
-from repro.core import HRelation, NO_PREEMPTION, OFF_PATH, ON_PATH
+from repro.core import NO_PREEMPTION, OFF_PATH, ON_PATH
 from repro.core.preemption import STRATEGIES
 from repro.workloads import flying_dataset
 from tests.conftest import make_relation
@@ -100,7 +100,6 @@ class TestPreferenceEdges:
         assert r.truth_of(("x",)) is False
 
     def test_preference_does_not_create_membership(self, diamond):
-        r = make_relation(diamond, [("b", True)])
         diamond.add_preference_edge("b", "a")
         # 'a' is not a member of 'b'; a tuple at b still does not apply
         # to items only under a.

@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import AmbiguityError
 from repro.core import (
-    HRelation,
     UNIVERSAL,
     consolidate,
     explicate,

@@ -6,7 +6,7 @@ from repro.errors import SchemaError
 from repro.flat import algebra as flat_algebra
 from repro.flat import from_hrelation
 from repro.core import member, select, select_where
-from repro.core.where import And, Not, Or
+from repro.core.where import And, Or
 
 
 def rows(relation):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.core import HRelation
 from repro.flat import FlatRelation, from_hrelation, to_hrelation
 
 

@@ -8,7 +8,7 @@ properties can assume the ambiguity constraint holds.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 from hypothesis import strategies as st
 

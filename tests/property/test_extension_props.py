@@ -5,7 +5,6 @@ against their literal definitions."""
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import AmbiguityError
 from repro.flat import from_hrelation
 from repro.core import ON_PATH, member, select_where
 from repro.core.binding import truth_and_binders

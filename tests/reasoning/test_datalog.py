@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ReproError
-from repro.reasoning import DatalogProgram, Literal, Rule, Variable, parse_rule
+from repro.reasoning import DatalogProgram, Literal, Variable, parse_rule
 
 
 class TestParsing:

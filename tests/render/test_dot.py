@@ -1,6 +1,6 @@
 """Unit tests for DOT export."""
 
-from repro.core import UNIVERSAL, subsumption_graph
+from repro.core import subsumption_graph
 from repro.render import graph_to_dot, hierarchy_to_dot
 
 

@@ -3,7 +3,6 @@
 import io
 import sys
 
-import pytest
 
 from repro import __version__
 from repro.cli import main

@@ -4,7 +4,6 @@ justification rendering on conflicts, keep-redundant node removal."""
 import io
 import sys
 
-import pytest
 
 from repro.core import justify
 from repro.engine.hql.executor import Result
