@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Regenerate every paper figure as text, plus the P1/P2/P5 numbers.
+"""The benchmark suite's one CLI entry point.
 
-Run:  python benchmarks/report.py
-The output of this script is the source for EXPERIMENTS.md.
+Run:  python -m benchmarks.report              # list all BENCH_*.json deltas
+      python -m benchmarks.report --figures    # every paper figure as text
+      python -m benchmarks.report --run NAME   # (re)run bench_NAME.py
+
+The ``--figures`` output is the source for EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
+import argparse
+import importlib
+import json
 import time
+from pathlib import Path
 
 from repro.core import (
     NO_PREEMPTION,
@@ -230,7 +237,7 @@ def perf() -> None:
     )
 
 
-def main() -> None:
+def figures() -> None:
     fig1()
     fig2()
     fig3()
@@ -243,6 +250,53 @@ def main() -> None:
     fig11()
     appendix()
     perf()
+
+
+def bench_deltas() -> None:
+    """One line per row of every committed ``BENCH_*.json``: the full
+    before/after trajectory of the perf PRs, in one place."""
+    root = Path(__file__).resolve().parent.parent
+    paths = sorted(root.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json at {}; run e.g. "
+              "`python -m benchmarks.report --run views`".format(root))
+        return
+    for path in paths:
+        payload = json.loads(path.read_text())
+        header(path.name)
+        print("before: {}".format(payload.get("before", "?")))
+        print("after:  {}".format(payload.get("after", "?")))
+        for row in payload.get("rows", []):
+            print(
+                "  {:22s} tuples={:<6} {:>10.3f}ms -> {:>8.3f}ms  "
+                "{:>8.1f}x".format(
+                    row.get("op", "?"),
+                    row.get("tuples", "?"),
+                    row.get("before_ms", float("nan")),
+                    row.get("after_ms", float("nan")),
+                    row.get("speedup", float("nan")),
+                )
+            )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figures", action="store_true",
+        help="regenerate every paper figure as text (EXPERIMENTS.md source)",
+    )
+    parser.add_argument(
+        "--run", metavar="NAME",
+        help="run benchmarks/bench_NAME.py and rewrite its BENCH_*.json",
+    )
+    args = parser.parse_args(argv)
+    if args.figures:
+        figures()
+    elif args.run:
+        module = importlib.import_module("benchmarks.bench_{}".format(args.run))
+        module.main()
+    else:
+        bench_deltas()
 
 
 if __name__ == "__main__":

@@ -9,8 +9,8 @@
 """
 
 
-from repro.errors import AmbiguityError
 from repro.core import HRelation, NO_PREEMPTION, OFF_PATH, ON_PATH
+from repro.errors import AmbiguityError
 from repro.hierarchy import Hierarchy
 from repro.workloads import flying_dataset
 

@@ -19,8 +19,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import algebra
 from benchmarks.bench_algebra import binary_workload, cold, unary_workload
+from repro.core import algebra
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_algebra.json"
 CLASSES = 100  # 400 unary / 800 join stored tuples: the mid-size rows

@@ -4,9 +4,9 @@ shipped paths so regressions show up in the benchmark run)."""
 
 import pytest
 
+from benchmarks.bench_bulk import build_workload
 from repro.core import find_conflicts
 from repro.core.bulk import BulkEvaluator, evaluator_for
-from benchmarks.bench_bulk import build_workload
 
 
 @pytest.fixture(scope="module")

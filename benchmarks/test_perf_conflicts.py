@@ -10,12 +10,12 @@ carry many interacting signs.
 import pytest
 
 from repro.core import find_conflicts
+from repro.core.schema import RelationSchema
 from repro.workloads import biology_dataset
 from repro.workloads.generators import (
     balanced_tree_hierarchy,
     random_consistent_relation,
 )
-from repro.core.schema import RelationSchema
 
 
 @pytest.fixture(scope="module")

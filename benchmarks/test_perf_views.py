@@ -1,0 +1,104 @@
+"""P10: the query cache and delta view refresh must stay ahead of the
+recompute-everything paths they replaced.
+
+``BENCH_views.json`` (written by ``bench_views.py``, committed at the
+repository root) records the pre-cache timings — every HQL statement
+re-executed from scratch, every view access a full operator recompute.
+These tests run the *shipped* cache-hit and delta-refresh paths on the
+same workloads and fail if they no longer beat those recorded timings
+with ample margin, so a broken stamp check (silently turning every hit
+into a miss) or a delta bail-out regression (silently falling back to
+full recompute) shows up in CI rather than in the next benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_algebra import unary_workload
+from benchmarks.bench_views import (
+    CHURNS,
+    build_database,
+    churn_loop,
+    select_views,
+    union_views,
+)
+from repro.engine.hql.executor import HQLExecutor
+from repro.engine.hql.parser import parse
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_views.json"
+# The recorded speedups are one to three orders of magnitude; requiring
+# merely "faster than before" with this margin keeps the guard immune
+# to machine noise while still catching any real regression.
+MARGIN = 0.5
+
+
+def recorded_before_ms(op: str) -> float:
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_views.json not generated yet")
+    payload = json.loads(BENCH_PATH.read_text())
+    for row in payload["rows"]:
+        if row["op"] == op:
+            return row["before_ms"]
+    pytest.skip("no {} row in BENCH_views.json".format(op))
+
+
+def best_of(fn, repeat=3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def test_cached_select_beats_recompute_timing():
+    before_ms = recorded_before_ms("hql_select_steady")
+    db, _, _ = build_database()
+    session = HQLExecutor(db)
+    statement = parse("SELECT FROM has_property WHERE thing = group0;")[0]
+    session.execute_statement(statement)  # prime the cache
+
+    def run():
+        assert session.execute_statement(statement).payload is not None
+
+    assert best_of(run) < before_ms * MARGIN
+    assert db.query_cache.hits > 0
+
+
+def test_cached_union_beats_recompute_timing():
+    before_ms = recorded_before_ms("hql_union_steady")
+    db, _, _ = build_database()
+    session = HQLExecutor(db)
+    statement = parse("UNION has_property WITH other AS either;")[0]
+    session.execute_statement(statement)
+
+    def run():
+        assert session.execute_statement(statement).payload is not None
+
+    assert best_of(run) < before_ms * MARGIN
+    assert db.query_cache.hits > 0
+
+
+def test_delta_select_refresh_beats_full_recompute_timing():
+    before_ms = recorded_before_ms("view_churn_select")
+    relation, other = unary_workload(200)
+    view = select_views("after")(relation, other)
+    view.relation()  # initial full refresh outside the timed loop
+    per_churn_ms = churn_loop(view, relation, CHURNS) * 1e3 / CHURNS
+    assert view.delta_refresh_count == CHURNS
+    assert per_churn_ms < before_ms * MARGIN
+
+
+def test_delta_union_refresh_beats_full_recompute_timing():
+    before_ms = recorded_before_ms("view_churn_union")
+    relation, other = unary_workload(200)
+    view = union_views("after")(relation, other)
+    view.relation()
+    per_churn_ms = churn_loop(view, relation, CHURNS) * 1e3 / CHURNS
+    assert view.delta_refresh_count == CHURNS
+    assert per_churn_ms < before_ms * MARGIN

@@ -23,29 +23,6 @@ True
 False
 """
 
-from repro.errors import (
-    AmbiguityError,
-    CatalogError,
-    CycleError,
-    DuplicateNodeError,
-    HierarchyError,
-    HQLError,
-    HQLSyntaxError,
-    InconsistentRelationError,
-    ReproError,
-    SchemaError,
-    StorageError,
-    TransactionError,
-    TupleError,
-    UnknownNodeError,
-)
-from repro.hierarchy import (
-    Hierarchy,
-    HierarchyBuilder,
-    ProductHierarchy,
-    hierarchy_from_dict,
-    hierarchy_from_edges,
-)
 from repro.core import (
     HRelation,
     HTuple,
@@ -78,6 +55,29 @@ from repro.core import (
     member,
     select_where,
     aggregate,
+)
+from repro.errors import (
+    AmbiguityError,
+    CatalogError,
+    CycleError,
+    DuplicateNodeError,
+    HierarchyError,
+    HQLError,
+    HQLSyntaxError,
+    InconsistentRelationError,
+    ReproError,
+    SchemaError,
+    StorageError,
+    TransactionError,
+    TupleError,
+    UnknownNodeError,
+)
+from repro.hierarchy import (
+    Hierarchy,
+    HierarchyBuilder,
+    ProductHierarchy,
+    hierarchy_from_dict,
+    hierarchy_from_edges,
 )
 
 __version__ = "1.0.0"

@@ -21,14 +21,18 @@ The public surface re-exported here is what the README documents:
   :func:`rename`.
 """
 
-from repro.core.schema import RelationSchema
-from repro.core.htuple import HTuple, UNIVERSAL, format_item
-from repro.core.relation import HRelation
-from repro.core.preemption import (
-    OFF_PATH,
-    ON_PATH,
-    NO_PREEMPTION,
-    PreemptionStrategy,
+from repro.core import aggregate
+from repro.core.algebra import (
+    antijoin,
+    difference,
+    divide,
+    intersection,
+    join,
+    project,
+    rename,
+    select,
+    semijoin,
+    union,
 )
 from repro.core.binding import (
     Justification,
@@ -52,31 +56,27 @@ from repro.core.conflicts import (
     minimal_resolution_set,
 )
 from repro.core.consolidate import consolidate
-from repro.core.explicate import explicate
-from repro.core.algebra import (
-    antijoin,
-    difference,
-    divide,
-    intersection,
-    join,
-    project,
-    rename,
-    select,
-    semijoin,
-    union,
-)
 from repro.core.equivalence import (
     containment_witness,
     contains,
     difference_witness,
     equivalent,
 )
-from repro.core.integrity import IntegrityChecker, check_consistent
-from repro.core.where import And, Condition, Member, Not, Or, member, select_where
-from repro.core import aggregate
+from repro.core.explicate import explicate
+from repro.core.htuple import UNIVERSAL, HTuple, format_item
 from repro.core.index import BinderIndex
-from repro.core.views import MaterializedView, ViewRegistry
+from repro.core.integrity import IntegrityChecker, check_consistent
+from repro.core.preemption import (
+    NO_PREEMPTION,
+    OFF_PATH,
+    ON_PATH,
+    PreemptionStrategy,
+)
 from repro.core.provenance import AssertionRecord, ProvenanceTracker
+from repro.core.relation import HRelation
+from repro.core.schema import RelationSchema
+from repro.core.views import MaterializedView, ViewPlan, ViewRegistry, ViewRelation
+from repro.core.where import And, Condition, Member, Not, Or, member, select_where
 
 __all__ = [
     "RelationSchema",
@@ -131,7 +131,9 @@ __all__ = [
     "aggregate",
     "BinderIndex",
     "MaterializedView",
+    "ViewPlan",
     "ViewRegistry",
+    "ViewRelation",
     "ProvenanceTracker",
     "AssertionRecord",
 ]

@@ -40,10 +40,8 @@ since consolidation never changes the flat relation.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.errors import InconsistentRelationError, SchemaError
-from repro.hierarchy.product import Item, ProductHierarchy
 from repro.core import bulk as _bulk
 from repro.core.conflicts import Conflict
 from repro.core.consolidate import consolidate as _consolidate
@@ -51,6 +49,8 @@ from repro.core.consolidate import redundancy_sweep as _redundancy_sweep
 from repro.core.explicate import explicate as _explicate
 from repro.core.relation import HRelation
 from repro.core.schema import RelationSchema
+from repro.errors import InconsistentRelationError, SchemaError
+from repro.hierarchy.product import Item, ProductHierarchy
 
 
 def meet_closure(product: ProductHierarchy, items: Iterable[Item]) -> Set[Item]:
@@ -73,6 +73,7 @@ def _pointwise(
     name: str,
     seeds: Iterable[Item],
     consolidate: bool,
+    capture: Optional[Dict] = None,
 ) -> HRelation:
     """The bitset-native pointwise engine every operator rides.
 
@@ -86,6 +87,10 @@ def _pointwise(
     build-relation-then-consolidate round trip with one pass over the
     same posting masks.  Non-normal-form products emit everything and
     run the literal consolidation procedure.
+
+    ``capture``, when a dict, receives the full pre-consolidation
+    ``candidates`` / ``truths`` lists — the state the delta-refresh
+    path of :mod:`repro.core.views` patches incrementally.
     """
     product = schema.product
     candidates = sorted(meet_closure(product, seeds), key=product.topological_key)
@@ -98,6 +103,9 @@ def _pointwise(
                 raise InconsistentRelationError([Conflict(item=item, binders=())])
             row.append(truth)
         truths.append(fn(*row))
+    if capture is not None:
+        capture["candidates"] = candidates
+        capture["truths"] = truths
     out = HRelation(schema, name=name, strategy=strategy)
     if consolidate and not product.needs_elimination_binding():
         flags = _redundancy_sweep(schema, candidates, truths)
@@ -118,6 +126,7 @@ def combine(
     name: str = "combined",
     extra_items: Iterable[Item] = (),
     consolidate: bool = True,
+    capture: Optional[Dict] = None,
 ) -> HRelation:
     """The pointwise combinator (see module docstring).
 
@@ -143,7 +152,8 @@ def combine(
     # set-at-a-time instead of re-deriving a binding per (item, input).
     evaluators = [_bulk.evaluator_for(relation) for relation in relations]
     return _pointwise(
-        schema, relations[0].strategy, evaluators, fn, name, seeds, consolidate
+        schema, relations[0].strategy, evaluators, fn, name, seeds, consolidate,
+        capture=capture,
     )
 
 
@@ -153,7 +163,8 @@ def combine(
 
 
 def union(
-    left: HRelation, right: HRelation, name: str | None = None, consolidate: bool = True
+    left: HRelation, right: HRelation, name: str | None = None,
+    consolidate: bool = True, capture: Optional[Dict] = None,
 ) -> HRelation:
     """Flat semantics: an atom satisfies the union iff it satisfies
     either argument ("Jack and Jill between them love")."""
@@ -162,11 +173,13 @@ def union(
         lambda a, b: a or b,
         name=name or "{}_union_{}".format(left.name, right.name),
         consolidate=consolidate,
+        capture=capture,
     )
 
 
 def intersection(
-    left: HRelation, right: HRelation, name: str | None = None, consolidate: bool = True
+    left: HRelation, right: HRelation, name: str | None = None,
+    consolidate: bool = True, capture: Optional[Dict] = None,
 ) -> HRelation:
     """Flat semantics: both arguments ("Jack and Jill both love")."""
     return combine(
@@ -174,11 +187,13 @@ def intersection(
         lambda a, b: a and b,
         name=name or "{}_intersect_{}".format(left.name, right.name),
         consolidate=consolidate,
+        capture=capture,
     )
 
 
 def difference(
-    left: HRelation, right: HRelation, name: str | None = None, consolidate: bool = True
+    left: HRelation, right: HRelation, name: str | None = None,
+    consolidate: bool = True, capture: Optional[Dict] = None,
 ) -> HRelation:
     """Flat semantics: the left but not the right ("Jack loves but Jill
     does not")."""
@@ -187,6 +202,7 @@ def difference(
         lambda a, b: a and not b,
         name=name or "{}_minus_{}".format(left.name, right.name),
         consolidate=consolidate,
+        capture=capture,
     )
 
 
@@ -200,6 +216,7 @@ def select(
     conditions: Mapping[str, str],
     name: str | None = None,
     consolidate: bool = True,
+    capture: Optional[Dict] = None,
 ) -> HRelation:
     """Selection by class membership: keep the atoms whose value on each
     conditioned attribute lies inside the given class (or equals the
@@ -230,6 +247,7 @@ def select(
         name or "{}_where".format(relation.name),
         seeds,
         consolidate,
+        capture=capture,
     )
 
 

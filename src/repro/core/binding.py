@@ -25,11 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.htuple import HTuple, UNIVERSAL
+from repro.core.preemption import PreemptionStrategy
 from repro.errors import AmbiguityError
 from repro.hierarchy import algorithms
 from repro.hierarchy.product import Item
-from repro.core.htuple import HTuple, UNIVERSAL
-from repro.core.preemption import PreemptionStrategy
 
 
 def strongest_binders(

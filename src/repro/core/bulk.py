@@ -49,10 +49,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import binding as _binding
+from repro.core.htuple import HTuple
 from repro.errors import AmbiguityError
 from repro.hierarchy.product import Item
-from repro.core.htuple import HTuple
-from repro.core import binding as _binding
 
 
 def _iter_bits(mask: int) -> Iterator[int]:
@@ -315,6 +315,56 @@ def subsumer_masks(schema, items: Sequence[Item]) -> List[int]:
             mask &= postings[position].get(item[position], 0)
         out.append(mask & ~(1 << i))
     return out
+
+
+def cover_masks(schema, covers: Sequence[Item], items: Sequence[Item]) -> List[int]:
+    """Per item, the bitset of ``covers`` whose item subsumes it.
+
+    One posting sweep per attribute (seed each cover's bit on its value,
+    :meth:`Hierarchy.downward_union` pushes it over the value's cone)
+    answers every (cover, item) subsumption test at once.  The delta
+    view-refresh path uses this as its changed-cone test: an item lies
+    inside the union of the mutated items' descendant cones iff its
+    mask is non-zero.
+    """
+    postings: List[Dict[str, int]] = []
+    for position, hierarchy in enumerate(schema.hierarchies):
+        seed: Dict[str, int] = {}
+        for i, cover in enumerate(covers):
+            value = cover[position]
+            seed[value] = seed.get(value, 0) | (1 << i)
+        postings.append(hierarchy.downward_union(seed))
+    out: List[int] = []
+    for item in items:
+        mask = postings[0].get(item[0], 0)
+        for position in range(1, len(postings)):
+            if not mask:
+                break
+            mask &= postings[position].get(item[position], 0)
+        out.append(mask)
+    return out
+
+
+def overlap_masks(schema, subjects: Sequence[Item], others: Sequence[Item]) -> List[int]:
+    """Per subject, the bitset of ``others`` whose descendant cone can
+    intersect the subject's — the AND across attributes of one
+    :meth:`Hierarchy.overlap_union` sweep each.  Pairs with a zero bit
+    are disjoint and need no meet probe (optimistic disjointness); this
+    is the pruning mask the conflict scan and the meet-closure share.
+    """
+    masks: List[int] = []
+    for position, hierarchy in enumerate(schema.hierarchies):
+        seed: Dict[str, int] = {}
+        for i, other in enumerate(others):
+            value = other[position]
+            seed[value] = seed.get(value, 0) | (1 << i)
+        overlap = hierarchy.overlap_union(seed)
+        if position == 0:
+            masks = [overlap.get(subject[0], 0) for subject in subjects]
+        else:
+            for i, subject in enumerate(subjects):
+                masks[i] &= overlap.get(subject[position], 0)
+    return masks
 
 
 def minimal_of_mask(mask: int, subsumers: Sequence[int]) -> int:

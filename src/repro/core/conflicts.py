@@ -43,12 +43,13 @@ historical meet probe (whose coverage there is heuristic anyway).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Set, Tuple
 
-from repro.hierarchy.product import Item
-from repro.core.htuple import HTuple
 from repro.core import bulk as _bulk
+from repro.core.htuple import HTuple
+from repro.hierarchy.product import Item
 
 
 @dataclass(frozen=True)
@@ -88,10 +89,18 @@ def conflict_candidates(relation) -> List[Item]:
     positives = [item for item, truth in relation.asserted.items() if truth]
     negatives = [item for item, truth in relation.asserted.items() if not truth]
     seen: Set[Item] = set()
-    for pos in positives:
-        for neg in negatives:
-            for meet in product.meet(pos, neg):
-                seen.add(meet)
+    if positives and negatives:
+        # Optimistic-disjointness pruning: one overlap sweep per
+        # attribute marks, for each positive, exactly the negatives
+        # whose descendant cones can intersect it; only those pairs get
+        # a meet probe.  A clear bit proves the meet set is empty, so
+        # the candidate set is identical to the all-pairs scan.
+        masks = _bulk.overlap_masks(relation.schema, positives, negatives)
+        for pos, mask in zip(positives, masks):
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                seen.update(product.meet(pos, negatives[low.bit_length() - 1]))
     return sorted(seen, key=product.topological_key)
 
 
@@ -148,8 +157,6 @@ def complete_resolution_set(relation, a: Sequence[str], b: Sequence[str]) -> Lis
     """
     a = relation.schema.check_item(a)
     b = relation.schema.check_item(b)
-    import itertools
-
     per_attribute: List[List[str]] = []
     for h, va, vb in zip(relation.schema.hierarchies, a, b):
         common = sorted(

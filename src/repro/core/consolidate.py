@@ -31,11 +31,11 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.hierarchy import algorithms
-from repro.hierarchy.product import Item
-from repro.core.htuple import UNIVERSAL
 from repro.core import binding as _binding
 from repro.core import bulk as _bulk
+from repro.core.htuple import UNIVERSAL
+from repro.hierarchy import algorithms
+from repro.hierarchy.product import Item
 
 
 def consolidate(relation, name: str | None = None):

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.hierarchy.product import Item
 from repro.core.algebra import combine
 from repro.core.relation import HRelation
+from repro.hierarchy.product import Item
 
 
 def _first_atom(relation: HRelation) -> Optional[Item]:

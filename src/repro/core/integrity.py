@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.errors import InconsistentRelationError
 from repro.core.conflicts import Conflict, find_conflicts, resolution_tuples
 from repro.core.htuple import HTuple
+from repro.errors import InconsistentRelationError
 
 
 def check_consistent(relation, exhaustive: bool = False) -> None:

@@ -42,9 +42,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Sequence
 
+from repro.core.htuple import HTuple
 from repro.hierarchy import algorithms
 from repro.hierarchy.product import Item, ProductHierarchy
-from repro.core.htuple import HTuple
 
 
 def _relevant(

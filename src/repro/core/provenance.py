@@ -26,9 +26,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.relation import HRelation
 from repro.errors import TupleError
 from repro.hierarchy.product import Item
-from repro.core.relation import HRelation
 
 
 @dataclass

@@ -17,13 +17,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import TupleError
-from repro.hierarchy.graph import Hierarchy
-from repro.hierarchy.product import Item
+from repro.core import binding as _binding
 from repro.core.htuple import HTuple, format_item
 from repro.core.preemption import OFF_PATH, PreemptionStrategy
 from repro.core.schema import RelationSchema
-from repro.core import binding as _binding
+from repro.errors import TupleError
+from repro.hierarchy.graph import Hierarchy
+from repro.hierarchy.product import Item
 
 
 class HRelation:
@@ -69,12 +69,25 @@ class HRelation:
         self._binder_cache: Dict[object, Tuple[HTuple, ...]] = {}
         self._binder_index = None
         self._bulk_eval = None
+        #: Recent mutations as ``(version, item)`` pairs; ``item`` is the
+        #: touched item.  Incremental consumers (materialized views, the
+        #: engine query cache) replay it via :meth:`changes_since`.
+        self._delta_log: List[Tuple[int, Item]] = []
+        #: Versions at or below this floor have fallen off the delta log
+        #: (capacity trim or an unscoped wipe); ``changes_since`` answers
+        #: ``None`` for cursors that old, forcing a full recompute.
+        self._delta_floor = 0
 
     #: Relations holding at least this many tuples answer subsumer
     #: lookups from a :class:`~repro.core.index.BinderIndex` instead of
     #: scanning every stored tuple.  Tune per workload; tests force
     #: either path by setting it on an instance.
     index_threshold = 32
+
+    #: Delta-log capacity: beyond this many recorded mutations the oldest
+    #: entries are dropped and the floor advances, so an idle consumer can
+    #: never pin unbounded history.
+    delta_log_limit = 256
 
     # ------------------------------------------------------------------
     # mutation
@@ -157,7 +170,13 @@ class HRelation:
         if changed is None:
             self._binder_cache.clear()
             self._binder_index = None
+            self._delta_log.clear()
+            self._delta_floor = self._version
             return
+        self._delta_log.append((self._version, changed))
+        if len(self._delta_log) > self.delta_log_limit:
+            trimmed, _ = self._delta_log.pop(0)
+            self._delta_floor = trimmed
         if self._binder_cache:
             product = self.schema.product
             doomed = [
@@ -188,6 +207,17 @@ class HRelation:
     def version(self) -> int:
         return self._version
 
+    def changes_since(self, version: int) -> Optional[List[Item]]:
+        """The items mutated after ``version`` (assert, retract, or sign
+        flip), oldest first, or ``None`` when that history is no longer
+        available — the cursor predates the delta-log floor or an
+        unscoped ``clear`` intervened.  Consumers getting ``None`` must
+        fall back to a full recompute.
+        """
+        if version < self._delta_floor:
+            return None
+        return [item for v, item in self._delta_log if v > version]
+
     def tuples(self) -> List[HTuple]:
         """All stored tuples, in insertion order."""
         return [HTuple(item, truth) for item, truth in self._tuples.items()]
@@ -213,8 +243,19 @@ class HRelation:
         return iter(self.tuples())
 
     def copy(self, name: str | None = None) -> "HRelation":
+        """An independent relation with the same tuples.
+
+        The version counter and delta log carry over, so a copy staged by
+        a transaction and later installed in place of the original reads
+        as a *continuation* of its history: version stamps stay
+        monotonic (query-cache keys cannot collide with the original's)
+        and ``changes_since`` keeps working across the swap.
+        """
         out = HRelation(self.schema, name=name or self.name, strategy=self.strategy)
         out._tuples = dict(self._tuples)
+        out._version = self._version
+        out._delta_log = list(self._delta_log)
+        out._delta_floor = self._delta_floor
         return out
 
     def same_tuples_as(self, other: "HRelation") -> bool:

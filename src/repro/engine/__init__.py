@@ -12,10 +12,10 @@ operation.
 """
 
 from repro.engine.database import HierarchicalDatabase
-from repro.engine.transactions import Transaction
-from repro.engine.storage import save_database, load_database
 from repro.engine.oplog import OperationLog
 from repro.engine.repl import HQLRepl
+from repro.engine.storage import save_database, load_database
+from repro.engine.transactions import Transaction
 
 __all__ = [
     "HierarchicalDatabase",

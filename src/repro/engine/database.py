@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.errors import CatalogError
-from repro.hierarchy.graph import Hierarchy
 from repro.core.integrity import IntegrityChecker
 from repro.core.preemption import OFF_PATH, STRATEGIES, PreemptionStrategy
 from repro.core.relation import HRelation
 from repro.core.schema import RelationSchema
+from repro.core.views import MaterializedView, ViewPlan, ViewRegistry
+from repro.engine.querycache import QueryCache
+from repro.errors import CatalogError
+from repro.hierarchy.graph import Hierarchy
 
 
 class HierarchicalDatabase:
@@ -37,6 +39,12 @@ class HierarchicalDatabase:
         self.relations: Dict[str, HRelation] = {}
         self.checker = IntegrityChecker()
         self._relation_checkers: Dict[str, IntegrityChecker] = {}
+        #: Engine-level result cache for read-only HQL statements.
+        #: Version stamps in the keys make DML invalidation implicit;
+        #: the DDL paths below call :meth:`QueryCache.invalidate_relation`
+        #: whenever an *object* is replaced under an existing name.
+        self.query_cache = QueryCache()
+        self.views = ViewRegistry()
 
     # ------------------------------------------------------------------
     # DDL
@@ -87,12 +95,16 @@ class HierarchicalDatabase:
                 ) from None
         relation = HRelation(RelationSchema(resolved), name=name, strategy=strategy)
         self.relations[name] = relation
+        # A fresh object may reuse a dropped relation's name with a
+        # colliding version counter; stale entries must not survive.
+        self.query_cache.invalidate_relation(name)
         return relation
 
     def register_relation(self, relation: HRelation) -> HRelation:
         if relation.name in self.relations:
             raise CatalogError("relation {!r} already exists".format(relation.name))
         self.relations[relation.name] = relation
+        self.query_cache.invalidate_relation(relation.name)
         return relation
 
     def relation(self, name: str) -> HRelation:
@@ -105,6 +117,7 @@ class HierarchicalDatabase:
         if name not in self.relations:
             raise CatalogError("unknown relation {!r}".format(name))
         del self.relations[name]
+        self.query_cache.invalidate_relation(name)
 
     def drop_hierarchy(self, name: str) -> None:
         hierarchy = self.hierarchy(name)
@@ -118,6 +131,47 @@ class HierarchicalDatabase:
                 "hierarchy {!r} is used by relations {}".format(name, users)
             )
         del self.hierarchies[name]
+
+    # ------------------------------------------------------------------
+    # materialized views
+    # ------------------------------------------------------------------
+
+    def define_view(
+        self,
+        name: str,
+        op: str,
+        sources: Sequence[str],
+        conditions: Optional[Mapping[str, str]] = None,
+    ) -> MaterializedView:
+        """Define a plan-backed materialized view over catalogued
+        relations.
+
+        ``sources`` are relation *names*, resolved against the catalog
+        on every access — so the view tracks DROP + CREATE under the
+        same name instead of pinning a dead object.  Views over the
+        pointwise operators (``select``, ``union``, ``intersection``,
+        ``difference``) refresh incrementally from the sources' delta
+        logs; ``join`` and ``divide`` views recompute fully when stale.
+        """
+        for source in sources:
+            self.relation(source)  # must exist now; resolved again later
+        resolvers = [
+            (lambda n=source: self.relation(n)) for source in sources
+        ]
+        plan = ViewPlan(op, resolvers, conditions)
+        return self.views.define(name, plan=plan)
+
+    def view(self, name: str) -> MaterializedView:
+        try:
+            return self.views.view(name)
+        except KeyError:
+            raise CatalogError("unknown view {!r}".format(name)) from None
+
+    def drop_view(self, name: str) -> None:
+        try:
+            self.views.drop(name)
+        except KeyError:
+            raise CatalogError("unknown view {!r}".format(name)) from None
 
     # ------------------------------------------------------------------
     # application-level constraints (section 3.1's "catalog" constraints)
@@ -172,6 +226,7 @@ class HierarchicalDatabase:
         before = len(relation)
         compacted = relation.consolidated()
         self.relations[relation_name] = compacted
+        self.query_cache.invalidate_relation(relation_name)
         return before - len(compacted)
 
     def explicate_in_place(
@@ -182,6 +237,7 @@ class HierarchicalDatabase:
         before = len(relation)
         flattened = relation.explicated(attributes)
         self.relations[relation_name] = flattened
+        self.query_cache.invalidate_relation(relation_name)
         return len(flattened) - before
 
     # ------------------------------------------------------------------

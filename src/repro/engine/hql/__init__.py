@@ -34,10 +34,10 @@ Use :func:`execute` for one-shot scripts or :class:`HQLExecutor` to keep
 a session (open transactions) across calls.
 """
 
+from repro.engine.hql import ast
+from repro.engine.hql.executor import HQLExecutor, Result, execute
 from repro.engine.hql.lexer import tokenize, Token
 from repro.engine.hql.parser import parse
-from repro.engine.hql.executor import HQLExecutor, Result, execute
-from repro.engine.hql import ast
 
 __all__ = [
     "tokenize",

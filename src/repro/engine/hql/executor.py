@@ -11,28 +11,54 @@ Every statement yields a :class:`Result` with a ``kind``, a ``payload``
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, List, Optional
+import time
+from typing import Any, Callable, List, Optional, Tuple
 
-from repro.errors import HQLError
 from repro.core import algebra, bulk
 from repro.core.binding import justify as _justify
 from repro.core.conflicts import find_conflicts
-from repro.render.table import render_justification, render_relation, render_rows
+from repro.core.relation import HRelation
 from repro.engine.hql import ast
 from repro.engine.hql.parser import parse
+from repro.engine.querycache import MISS, cache_key, key_source_names
+from repro.errors import HQLError
+from repro.render.table import render_justification, render_relation, render_rows
 
 
-@dataclass
 class Result:
-    """The outcome of one HQL statement."""
+    """The outcome of one HQL statement.
 
-    kind: str
-    payload: Any = None
-    message: str = ""
+    ``message`` is the human-readable rendering.  Statements with large
+    relation payloads pass a ``render`` callable instead of an eager
+    string: the table is built on first read of ``message`` (and cached),
+    so programmatic callers — the query-result cache's steady-state hit
+    path above all — never pay for ASCII art they do not look at.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        payload: Any = None,
+        message: str = "",
+        render: Optional[Callable[[], str]] = None,
+    ) -> None:
+        self.kind = kind
+        self.payload = payload
+        self._message = message
+        self._render = render
+
+    @property
+    def message(self) -> str:
+        if self._render is not None:
+            self._message = self._render()
+            self._render = None
+        return self._message
 
     def __str__(self) -> str:
         return self.message or "{}: {!r}".format(self.kind, self.payload)
+
+    def __repr__(self) -> str:
+        return "Result(kind={!r}, payload={!r})".format(self.kind, self.payload)
 
 
 class HQLExecutor:
@@ -85,14 +111,99 @@ class HQLExecutor:
         if alias:
             relation.name = alias
             if alias in self.database.relations:
+                # Rebinding an existing name replaces the object; its
+                # version counter restarts, so stamps alone cannot see
+                # the swap and the cache must be told explicitly.
                 self.database.relations[alias] = relation
+                cache = self._query_cache()
+                if cache is not None:
+                    cache.invalidate_relation(alias)
             else:
                 self.database.register_relation(relation)
         return Result(
             kind="relation",
             payload=relation,
-            message=render_relation(relation),
+            render=lambda: render_relation(relation),
         )
+
+    # ------------------------------------------------------------------
+    # query-result cache plumbing
+    # ------------------------------------------------------------------
+
+    def _query_cache(self):
+        return getattr(self.database, "query_cache", None)
+
+    def _where_fingerprint(self, where: Optional[ast.WhereExpr]) -> Optional[Tuple]:
+        """A canonical hashable fingerprint of a WHERE tree (cache-key
+        operand; two syntactically identical trees must collide)."""
+        if where is None:
+            return None
+        if isinstance(where, ast.WhereTest):
+            return ("test", where.attribute, where.value, bool(where.negated))
+        if isinstance(where, ast.WhereAnd):
+            return ("and",) + tuple(self._where_fingerprint(p) for p in where.parts)
+        if isinstance(where, ast.WhereOr):
+            return ("or",) + tuple(self._where_fingerprint(p) for p in where.parts)
+        if isinstance(where, ast.WhereNot):
+            return ("not", self._where_fingerprint(where.part))
+        raise HQLError("unknown WHERE node {}".format(type(where).__name__))
+
+    def _statement_cache_key(self, stmt: ast.Statement) -> Optional[Tuple]:
+        """The cache key for a read-only statement, or ``None`` when the
+        statement is uncacheable here — unknown shape, no cache on the
+        database, or an open transaction (whose staged, uncommitted
+        relations must never leak into the shared cache).
+
+        EXPLAIN uses the same function, so the reported ``cache:`` line
+        can never drift from what execution actually looks up.
+        """
+        if self._query_cache() is None or self._transaction is not None:
+            return None
+        if isinstance(stmt, ast.Select):
+            return cache_key(
+                "select",
+                (self._where_fingerprint(stmt.where), tuple(stmt.attributes or ())),
+                [self._relation(stmt.relation)],
+            )
+        if isinstance(stmt, ast.Project):
+            return cache_key(
+                "project", tuple(stmt.attributes), [self._relation(stmt.relation)]
+            )
+        if isinstance(stmt, ast.BinaryOp):
+            return cache_key(
+                stmt.op,
+                (),
+                [self._relation(stmt.left), self._relation(stmt.right)],
+            )
+        if isinstance(stmt, ast.Truth):
+            return cache_key(
+                "truth", tuple(stmt.values), [self._relation(stmt.relation)]
+            )
+        if isinstance(stmt, ast.Count):
+            return cache_key(
+                "count",
+                (self._where_fingerprint(stmt.where),),
+                [self._relation(stmt.relation)],
+            )
+        return None
+
+    def _through_cache(self, key: Optional[Tuple], compute):
+        """Serve ``compute()`` through the database's query cache.
+
+        Relation payloads are stored as private copies and served as
+        copies, so neither a later alias rebind nor a caller mutating
+        the result can corrupt the cached entry.
+        """
+        cache = self._query_cache()
+        if key is None or cache is None:
+            return compute()
+        hit = cache.get(key)
+        if hit is not MISS:
+            return hit.copy(name=hit.name) if isinstance(hit, HRelation) else hit
+        result = compute()
+        payload = result.copy(name=result.name) if isinstance(result, HRelation) else result
+        cache.put(key, payload, source_names=key_source_names(key))
+        return result
 
     # ------------------------------------------------------------------
     # DDL
@@ -198,8 +309,12 @@ class HQLExecutor:
     def _exec_truth(self, stmt: ast.Truth) -> Result:
         # Sessions ask many TRUTHs of one relation; the bulk evaluator
         # amortises the subsumption sweep across them (it is cached on
-        # the relation and refreshed only when a write moves a version).
-        value = bulk.truth_of(self._relation(stmt.relation), stmt.values)
+        # the relation and refreshed only when a write moves a version),
+        # and the query cache makes an exact repeat a dict lookup.
+        value = self._through_cache(
+            self._statement_cache_key(stmt),
+            lambda: bulk.truth_of(self._relation(stmt.relation), stmt.values),
+        )
         return Result(
             kind="truth",
             payload=value,
@@ -231,23 +346,29 @@ class HQLExecutor:
     def _exec_select(self, stmt: ast.Select) -> Result:
         from repro.core.where import select_where
 
-        relation = self._relation(stmt.relation)
-        if stmt.where is None:
-            result = relation.copy(name="{}_where".format(relation.name))
-        else:
-            result = select_where(relation, self._condition(stmt.where))
-        if stmt.attributes:
-            result = algebra.project(result, list(stmt.attributes))
+        def compute():
+            relation = self._relation(stmt.relation)
+            if stmt.where is None:
+                result = relation.copy(name="{}_where".format(relation.name))
+            else:
+                result = select_where(relation, self._condition(stmt.where))
+            if stmt.attributes:
+                result = algebra.project(result, list(stmt.attributes))
+            return result
+
+        result = self._through_cache(self._statement_cache_key(stmt), compute)
         return self._store(result, stmt.alias)
 
     def _exec_project(self, stmt: ast.Project) -> Result:
-        relation = self._relation(stmt.relation)
-        result = algebra.project(relation, list(stmt.attributes))
+        result = self._through_cache(
+            self._statement_cache_key(stmt),
+            lambda: algebra.project(
+                self._relation(stmt.relation), list(stmt.attributes)
+            ),
+        )
         return self._store(result, stmt.alias)
 
     def _exec_binaryop(self, stmt: ast.BinaryOp) -> Result:
-        left = self._relation(stmt.left)
-        right = self._relation(stmt.right)
         op = {
             "JOIN": algebra.join,
             "UNION": algebra.union,
@@ -257,7 +378,11 @@ class HQLExecutor:
             "SEMIJOIN": algebra.semijoin,
             "ANTIJOIN": algebra.antijoin,
         }[stmt.op]
-        return self._store(op(left, right), stmt.alias)
+        result = self._through_cache(
+            self._statement_cache_key(stmt),
+            lambda: op(self._relation(stmt.left), self._relation(stmt.right)),
+        )
+        return self._store(result, stmt.alias)
 
     def _exec_consolidate(self, stmt: ast.Consolidate) -> Result:
         if stmt.alias:
@@ -316,10 +441,13 @@ class HQLExecutor:
         from repro.core import aggregate
         from repro.core.where import select_where
 
-        relation = self._relation(stmt.relation)
-        if stmt.where is not None:
-            relation = select_where(relation, self._condition(stmt.where))
-        value = aggregate.count(relation)
+        def compute():
+            relation = self._relation(stmt.relation)
+            if stmt.where is not None:
+                relation = select_where(relation, self._condition(stmt.where))
+            return aggregate.count(relation)
+
+        value = self._through_cache(self._statement_cache_key(stmt), compute)
         return Result(
             kind="count",
             payload=value,
@@ -331,8 +459,6 @@ class HQLExecutor:
         return Result(kind="ok", message="saved to {}".format(stmt.path))
 
     def _exec_explain(self, stmt: ast.Explain) -> Result:
-        import time
-
         inner = stmt.inner
         if isinstance(inner, (ast.Select, ast.Count, ast.Project)):
             input_names = [inner.relation]
@@ -396,6 +522,15 @@ class HQLExecutor:
                 else "literal subsumption-graph elimination"
             )
         )
+        # Peek (not get) before executing: the line reports what the
+        # execution below is about to experience without perturbing the
+        # hit/miss counters twice.
+        cache = self._query_cache()
+        inner_key = self._statement_cache_key(inner)
+        if cache is not None and inner_key is not None:
+            lines.append(
+                "  cache: {}".format("hit" if cache.peek(inner_key) else "miss")
+            )
         started = time.perf_counter()
         result = self.execute_statement(inner)
         elapsed = time.perf_counter() - started
@@ -417,6 +552,11 @@ class HQLExecutor:
         self.database.name = loaded.name
         self.database.hierarchies = loaded.hierarchies
         self.database.relations = loaded.relations
+        # Every catalogued object was just replaced wholesale; version
+        # counters restarted, so the whole cache is unsound.
+        cache = self._query_cache()
+        if cache is not None:
+            cache.clear()
         return Result(kind="ok", message="loaded from {}".format(stmt.path))
 
 

@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import HQLSyntaxError
 from repro.engine.hql import ast
 from repro.engine.hql.lexer import Token, tokenize
+from repro.errors import HQLSyntaxError
 
 _BINARY_OPS = {"JOIN", "UNION", "INTERSECT", "DIFFERENCE", "DIVIDE", "SEMIJOIN", "ANTIJOIN"}
 

@@ -12,9 +12,9 @@ from __future__ import annotations
 import sys
 from typing import IO, Optional
 
-from repro.errors import ReproError
 from repro.engine.database import HierarchicalDatabase
 from repro.engine.hql import HQLExecutor
+from repro.errors import ReproError
 
 HELP = """\
 HQL quick reference:

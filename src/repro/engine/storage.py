@@ -13,9 +13,9 @@ import json
 import os
 from typing import Any, Dict
 
+from repro.core.preemption import STRATEGIES
 from repro.errors import StorageError
 from repro.hierarchy.graph import Hierarchy
-from repro.core.preemption import STRATEGIES
 
 FORMAT_NAME = "repro-db"
 FORMAT_VERSION = 1

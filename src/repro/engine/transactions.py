@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.errors import InconsistentRelationError, TransactionError
 from repro.core.conflicts import Conflict, find_conflicts, resolution_tuples
 from repro.core.relation import HRelation
+from repro.errors import InconsistentRelationError, TransactionError
 
 
 class Transaction:

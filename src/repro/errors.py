@@ -99,6 +99,12 @@ class CatalogError(ReproError):
     """A name clash or missing object in the engine catalog."""
 
 
+class ViewError(ReproError):
+    """Misuse of a materialized view — most commonly an attempt to
+    mutate the view's cached relation through the read-only handle
+    (``view.relation().copy()`` yields a mutable private copy)."""
+
+
 class HQLError(ReproError):
     """A problem with an HQL statement."""
 

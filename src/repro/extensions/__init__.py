@@ -12,6 +12,12 @@
   the data model" (section 3.2).
 """
 
+from repro.extensions.discovery import (
+    DiscoveryResult,
+    discover_hierarchy,
+    discover_with_exceptions,
+)
+from repro.extensions.partition import PartitionRegistry, consolidate_with_partitions
 from repro.extensions.threevalued import (
     ThreeValuedRelation,
     TruthValue3,
@@ -23,12 +29,6 @@ from repro.extensions.threevalued import (
     kleene_or,
     union3,
 )
-from repro.extensions.discovery import (
-    DiscoveryResult,
-    discover_hierarchy,
-    discover_with_exceptions,
-)
-from repro.extensions.partition import PartitionRegistry, consolidate_with_partitions
 
 __all__ = [
     "TruthValue3",

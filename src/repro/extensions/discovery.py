@@ -26,8 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
 
-from repro.hierarchy.graph import Hierarchy
 from repro.core.relation import HRelation
+from repro.hierarchy.graph import Hierarchy
 
 
 @dataclass

@@ -26,11 +26,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.errors import HierarchyError
-from repro.hierarchy.graph import Hierarchy
 from repro.core import binding as _binding
 from repro.core.consolidate import consolidate as _consolidate
 from repro.core.relation import HRelation
+from repro.errors import HierarchyError
+from repro.hierarchy.graph import Hierarchy
 
 
 class PartitionRegistry:

@@ -22,11 +22,11 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.relation import HRelation
+from repro.core.schema import RelationSchema
 from repro.errors import AmbiguityError, TupleError
 from repro.hierarchy.graph import Hierarchy
 from repro.hierarchy.product import Item
-from repro.core.relation import HRelation
-from repro.core.schema import RelationSchema
 
 
 class TruthValue3(enum.Enum):

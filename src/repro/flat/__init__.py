@@ -12,10 +12,10 @@ This package serves three roles:
   introduction argues degrades performance.
 """
 
-from repro.flat.relation import FlatRelation, from_hrelation, to_hrelation
 from repro.flat import algebra
 from repro.flat import io
 from repro.flat.membership import MembershipBaseline
+from repro.flat.relation import FlatRelation, from_hrelation, to_hrelation
 
 __all__ = [
     "FlatRelation",

@@ -22,9 +22,9 @@ model can be used as a basis for implementing a frame-based knowledge
 representation system" — is :class:`FrameSystem`.
 """
 
+from repro.frontend.frames import FrameSystem
 from repro.frontend.policies import ExceptionPolicy, GuardedRelation, ExceptionWarning
 from repro.frontend.resolution import PrecedenceFrontend, assert_unique_property
-from repro.frontend.frames import FrameSystem
 from repro.frontend.semantic_net import SemanticNet
 
 __all__ = [

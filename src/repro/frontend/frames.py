@@ -23,10 +23,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import ReproError
-from repro.hierarchy.graph import Hierarchy
 from repro.core.relation import HRelation
+from repro.errors import ReproError
 from repro.frontend.resolution import assert_unique_property
+from repro.hierarchy.graph import Hierarchy
 
 
 class FrameSystem:

@@ -14,9 +14,9 @@ import enum
 import warnings
 from typing import Dict, Sequence
 
-from repro.errors import ReproError
 from repro.core import binding as _binding
 from repro.core.relation import HRelation
+from repro.errors import ReproError
 
 
 class ExceptionWarning(UserWarning):

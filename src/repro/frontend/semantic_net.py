@@ -30,9 +30,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from repro.core.relation import HRelation
 from repro.errors import ReproError
 from repro.hierarchy.graph import Hierarchy
-from repro.core.relation import HRelation
 
 
 class SemanticNet:

@@ -9,14 +9,14 @@ node-elimination procedure) and the lazily-evaluated cartesian *product*
 hierarchy of section 2.2.
 """
 
-from repro.hierarchy.graph import Hierarchy
-from repro.hierarchy.product import ProductHierarchy
+from repro.hierarchy import algorithms
 from repro.hierarchy.builder import (
     HierarchyBuilder,
     hierarchy_from_dict,
     hierarchy_from_edges,
 )
-from repro.hierarchy import algorithms
+from repro.hierarchy.graph import Hierarchy
+from repro.hierarchy.product import ProductHierarchy
 
 __all__ = [
     "Hierarchy",

@@ -1,7 +1,7 @@
 """Rendering: ASCII tables in the paper's figure style, and DOT export."""
 
-from repro.render.table import render_relation, render_rows, render_justification
 from repro.render.dot import hierarchy_to_dot, graph_to_dot
+from repro.render.table import render_relation, render_rows, render_justification
 
 __all__ = [
     "render_relation",

@@ -5,11 +5,11 @@ examples (Figures 1–11); ``generators`` produces synthetic hierarchies
 and relations for the performance experiments.
 """
 
-from repro.workloads.animals import flying_dataset, elephant_dataset
-from repro.workloads.school import school_dataset
-from repro.workloads.loves import loves_dataset
-from repro.workloads.taxonomy import biology_dataset, biology_hierarchy
 from repro.workloads import generators
+from repro.workloads.animals import flying_dataset, elephant_dataset
+from repro.workloads.loves import loves_dataset
+from repro.workloads.school import school_dataset
+from repro.workloads.taxonomy import biology_dataset, biology_hierarchy
 
 __all__ = [
     "flying_dataset",

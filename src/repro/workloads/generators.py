@@ -9,9 +9,9 @@ from __future__ import annotations
 import random
 from typing import List, Tuple
 
-from repro.hierarchy.graph import Hierarchy
 from repro.core.relation import HRelation
 from repro.core.schema import RelationSchema
+from repro.hierarchy.graph import Hierarchy
 
 
 def balanced_tree_hierarchy(

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.hierarchy.graph import Hierarchy
 from repro.core.relation import HRelation
+from repro.hierarchy.graph import Hierarchy
 from repro.workloads.animals import flying_hierarchy
 
 

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.relation import HRelation
 from repro.hierarchy.builder import HierarchyBuilder
 from repro.hierarchy.graph import Hierarchy
-from repro.core.relation import HRelation
 
 
 @dataclass

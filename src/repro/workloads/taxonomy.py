@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.hierarchy.graph import Hierarchy
 from repro.core.relation import HRelation
+from repro.hierarchy.graph import Hierarchy
 
 # class -> (parents, instances)
 _TAXONOMY: Dict[str, tuple] = {

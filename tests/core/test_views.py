@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.core import MaterializedView, ViewRegistry, select
+from repro.core import (
+    HRelation,
+    MaterializedView,
+    ViewPlan,
+    ViewRegistry,
+    select,
+    union,
+)
+from repro.errors import ViewError
 
 
 @pytest.fixture
@@ -61,6 +69,130 @@ class TestMaterializedView:
         assert "stale" in repr(flyers_view)
         flyers_view.relation()
         assert "fresh" in repr(flyers_view)
+
+
+class TestViewRelationHandle:
+    """Regression: ``relation()`` used to hand out the live cached
+    object, so a caller mutating the result corrupted every later read."""
+
+    def test_mutators_refused(self, flying, flyers_view):
+        handle = flyers_view.relation()
+        with pytest.raises(ViewError):
+            handle.assert_item(("paul",))
+        with pytest.raises(ViewError):
+            handle.retract(("peter",))
+        with pytest.raises(ViewError):
+            handle.discard(("peter",))
+        with pytest.raises(ViewError):
+            handle.clear()
+
+    def test_cache_survives_mutation_attempt(self, flyers_view):
+        before = sorted(flyers_view.extension())
+        with pytest.raises(ViewError):
+            flyers_view.relation().clear()
+        assert sorted(flyers_view.extension()) == before
+        assert flyers_view.refresh_count == 1  # still served from cache
+
+    def test_copy_is_private_and_mutable(self, flyers_view):
+        copy = flyers_view.relation().copy()
+        assert type(copy) is HRelation
+        copy.clear()  # must not raise ...
+        assert len(list(flyers_view.extension())) > 0  # ... nor leak back
+
+
+class TestViewPlan:
+    def test_select_requires_conditions(self, flying):
+        with pytest.raises(ValueError):
+            ViewPlan("select", [flying.flies])
+
+    def test_select_takes_one_source(self, flying):
+        with pytest.raises(ValueError):
+            ViewPlan("select", [flying.flies, flying.flies], {"creature": "bird"})
+
+    def test_binary_takes_two_sources(self, flying):
+        with pytest.raises(ValueError):
+            ViewPlan("union", [flying.flies])
+
+    def test_unknown_operator(self, flying):
+        with pytest.raises(ValueError):
+            ViewPlan("teleport", [flying.flies, flying.flies])
+
+    def test_join_not_delta_capable(self, flying):
+        assert not ViewPlan("join", [flying.flies, flying.flies]).delta_capable
+        assert ViewPlan("select", [flying.flies], {"creature": "bird"}).delta_capable
+
+
+class TestDeltaRefresh:
+    @pytest.fixture
+    def plan_view(self, flying):
+        return MaterializedView(
+            "penguin_flyers",
+            plan=ViewPlan("select", [flying.flies], {"creature": "penguin"}),
+        )
+
+    def test_plan_matches_direct_compute(self, flying, plan_view):
+        direct = select(flying.flies, {"creature": "penguin"})
+        assert sorted(plan_view.extension()) == sorted(direct.extension())
+
+    def test_single_tuple_churn_patches_in_place(self, flying, plan_view):
+        plan_view.relation()
+        flying.flies.retract(("peter",))
+        assert sorted(x[0] for x in plan_view.extension()) == ["pamela", "patricia"]
+        assert plan_view.delta_refresh_count == 1
+        assert plan_view.refresh_count == 1  # no second full recompute
+
+    def test_delta_matches_full_recompute(self, flying, plan_view):
+        plan_view.relation()
+        flying.flies.assert_item(("paul",), truth=True)
+        flying.flies.retract(("amazing_flying_penguin",))
+        patched = sorted(plan_view.extension())
+        fresh = sorted(select(flying.flies, {"creature": "penguin"}).extension())
+        assert patched == fresh
+        assert plan_view.delta_refresh_count == 1
+
+    def test_hierarchy_mutation_forces_full_recompute(self, flying, plan_view):
+        """A class added under a cached cone is invisible to the delta
+        log (it is a product mutation), so the view must fully refresh."""
+        plan_view.relation()
+        flying.animal.add_instance("percy", parents=["amazing_flying_penguin"])
+        assert plan_view.is_stale()
+        assert ("percy",) in set(plan_view.extension())
+        assert plan_view.delta_refresh_count == 0
+        assert plan_view.refresh_count == 2
+
+    def test_join_plan_always_full(self, school):
+        view = MaterializedView(
+            "pairs", plan=ViewPlan("join", [school.respects, school.respects])
+        )
+        view.relation()
+        school.respects.assert_item(("john", "bill"), truth=True)
+        view.relation()
+        assert view.delta_refresh_count == 0
+        assert view.refresh_count == 2
+
+    def test_union_plan_delta(self, loves):
+        view = MaterializedView(
+            "either", plan=ViewPlan("union", [loves.jack_loves, loves.jill_loves])
+        )
+        view.relation()
+        loves.jill_loves.assert_item(("tweety",), truth=True)
+        patched = sorted(view.extension())
+        assert patched == sorted(
+            union(loves.jack_loves, loves.jill_loves).extension()
+        )
+        assert view.delta_refresh_count == 1
+
+    def test_compute_and_plan_mutually_exclusive(self, flying):
+        plan = ViewPlan("select", [flying.flies], {"creature": "bird"})
+        with pytest.raises(ValueError):
+            MaterializedView(
+                "both",
+                compute=lambda: flying.flies.copy(),
+                sources=[flying.flies],
+                plan=plan,
+            )
+        with pytest.raises(ValueError):
+            MaterializedView("neither")
 
 
 class TestViewRegistry:

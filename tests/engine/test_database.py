@@ -124,3 +124,39 @@ class TestDML:
             relation.schema.hierarchies[0].is_leaf(t.item[0]) for t in relation.tuples()
         )
         assert delta == len(relation) - 1
+
+
+class TestDatabaseViews:
+    def test_define_and_query(self, db):
+        db.insert("flies", ("bird",))
+        view = db.define_view(
+            "birds_that_fly", "select", ["flies"], {"creature": "bird"}
+        )
+        assert db.view("birds_that_fly") is view
+        assert ("tweety",) in set(view.extension())
+
+    def test_view_tracks_drop_and_recreate(self, db):
+        db.insert("flies", ("bird",))
+        view = db.define_view(
+            "birds_that_fly", "select", ["flies"], {"creature": "bird"}
+        )
+        assert len(list(view.extension())) > 0
+        db.drop_relation("flies")
+        db.create_relation("flies", [("creature", "animal")])
+        assert list(view.extension()) == []  # resolved by name, not object
+
+    def test_define_requires_existing_sources(self, db):
+        with pytest.raises(CatalogError):
+            db.define_view("v", "select", ["nope"], {"creature": "bird"})
+
+    def test_unknown_view(self, db):
+        with pytest.raises(CatalogError):
+            db.view("nope")
+        with pytest.raises(CatalogError):
+            db.drop_view("nope")
+
+    def test_drop_view(self, db):
+        db.define_view("v", "select", ["flies"], {"creature": "bird"})
+        db.drop_view("v")
+        with pytest.raises(CatalogError):
+            db.view("v")

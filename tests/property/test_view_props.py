@@ -1,0 +1,108 @@
+"""Property: a delta-patched view always equals a from-scratch recompute.
+
+The delta path re-evaluates only candidates inside the changed cones and
+patches the cached relation in place; the claim is extension equality
+with the full operator under every delta-capable op and every preemption
+strategy.  The view may legitimately fall back to a full recompute (the
+fallback matrix in ``core/views.py``) — the property must hold on either
+path, and a deterministic companion test pins the delta path open so the
+suite cannot silently pass by always falling back.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import HRelation, NO_PREEMPTION, OFF_PATH, ON_PATH, select
+from repro.core.views import MaterializedView, ViewPlan
+from repro.errors import AmbiguityError
+from repro.hierarchy import Hierarchy
+from tests.property.strategies import pair_of_relations, repair
+
+OPS = ("select", "union", "intersection", "difference")
+STRATEGIES = (OFF_PATH, ON_PATH, NO_PREEMPTION)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    pair=pair_of_relations(max_tuples=4),
+    op=st.sampled_from(OPS),
+    strategy=st.sampled_from(STRATEGIES),
+    data=st.data(),
+)
+def test_delta_refresh_equals_full_recompute(pair, op, strategy, data):
+    left, right = pair
+    left.strategy = strategy
+    right.strategy = strategy
+    repair(left)
+    repair(right)
+
+    if op == "select":
+        node = data.draw(st.sampled_from(left.schema.hierarchies[0].nodes()))
+        plan = ViewPlan("select", [left], {left.schema.attributes[0]: node})
+        sources = [left]
+    else:
+        plan = ViewPlan(op, [left, right])
+        sources = [left, right]
+    view = MaterializedView("v", plan=plan)
+    try:
+        view.relation()
+    except AmbiguityError:
+        assume(False)
+
+    for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+        target = sources[data.draw(st.integers(0, len(sources) - 1))]
+        item = tuple(
+            data.draw(st.sampled_from(h.nodes()))
+            for h in target.schema.hierarchies
+        )
+        action = data.draw(st.sampled_from(["true", "false", "retract"]))
+        if action == "retract":
+            target.discard(item)
+        else:
+            target.assert_item(item, truth=(action == "true"), replace=True)
+    for source in sources:
+        repair(source)
+
+    try:
+        patched = sorted(view.relation().extension())
+        fresh = sorted(plan.compute(sources, "ref").extension())
+    except AmbiguityError:
+        assume(False)
+    assert patched == fresh
+
+
+def _bird_universe():
+    hierarchy = Hierarchy("things", root="thing")
+    hierarchy.add_class("bird", parents=["thing"])
+    hierarchy.add_class("penguin", parents=["bird"])
+    for i in range(6):
+        hierarchy.add_instance("b{}".format(i), parents=["bird"])
+        hierarchy.add_instance("p{}".format(i), parents=["penguin"])
+    return hierarchy
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.name)
+def test_delta_path_engages_and_matches(strategy):
+    """Single-tuple churn on an own-tuple workload (conflict-free under
+    every strategy) must take the delta path, not the full fallback."""
+    hierarchy = _bird_universe()
+    relation = HRelation(
+        [("creature", hierarchy)], name="r", strategy=strategy
+    )
+    relation.assert_item(("bird",), truth=True)
+    view = MaterializedView(
+        "in_bird", plan=ViewPlan("select", [relation], {"creature": "bird"})
+    )
+    view.relation()
+    for i in range(6):
+        relation.assert_item(("p{}".format(i),), truth=False)
+        assert sorted(view.extension()) == sorted(
+            select(relation, {"creature": "bird"}).extension()
+        )
+        relation.retract(("p{}".format(i),))
+        assert sorted(view.extension()) == sorted(
+            select(relation, {"creature": "bird"}).extension()
+        )
+    assert view.delta_refresh_count == 12
+    assert view.refresh_count == 1
