@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""P10: the observability layer must be free when disabled.
+
+Run:  PYTHONPATH=src python -m benchmarks.bench_obs
+Writes BENCH_obs.json at the repository root.
+
+Every algebra operator now opens a span and bumps a counter on each
+call.  The design claim (docs/OBSERVABILITY.md) is that the disabled
+path — one module-flag check returning the shared noop singleton —
+costs nothing measurable, so tracing can stay compiled into the hot
+paths instead of behind a build flag.  This benchmark quantifies both
+sides on the same workloads ``bench_algebra.py`` uses:
+
+* **before_ms** — the operator with tracing force-enabled (every span
+  allocated, timed, and attached to the tree);
+* **after_ms** — the operator as shipped, tracing disabled;
+* **speedup** — enabled/disabled: the overhead factor tracing costs
+  when you actually turn it on.
+
+A micro row (``span_call``) times the raw per-call cost of the two
+paths in nanoseconds so the operator-level numbers can be sanity
+checked against span counts.  The committed payload also carries a
+``metrics`` snapshot of the process-global registry accumulated during
+the run, which exercises the JSON exporter end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from benchmarks.bench_algebra import binary_workload, cold, timed, unary_workload
+from repro.core import algebra
+from repro.obs import default_registry, trace
+
+CLASS_COUNTS = (25, 100)
+SPAN_CALLS = 100_000
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def span_call_ns(enabled: bool) -> float:
+    """Best-of-three cost of one ``span()`` enter/exit, in nanoseconds."""
+    with trace.force(enabled):
+        def burn():
+            for i in range(SPAN_CALLS):
+                with trace.span("algebra.union", relation="flies", tuples=i & 7):
+                    pass
+
+        best = timed(burn, 3)
+    return best / SPAN_CALLS * 1e9
+
+
+def bench_size(classes: int) -> List[Dict]:
+    relation, other = unary_workload(classes)
+    left, right, _ = binary_workload(classes)
+    rows: List[Dict] = []
+    repeat = 5 if classes < 100 else 3
+
+    def row(op: str, tuples: int, fn: Callable[[], object]) -> None:
+        fn()  # warm the hierarchy-level caches once, as bench_algebra does
+        with trace.force(False):
+            disabled = timed(fn, repeat)
+        with trace.force(True):
+            enabled = timed(fn, repeat)
+        entry = {
+            "tuples": tuples,
+            "classes": classes,
+            "op": op,
+            "before_ms": round(enabled * 1e3, 3),
+            "after_ms": round(disabled * 1e3, 3),
+            "speedup": round(enabled / disabled, 2),
+        }
+        rows.append(entry)
+        print(
+            "T={tuples:5d} {op:13s} enabled={before_ms:9.3f}ms "
+            "disabled={after_ms:9.3f}ms overhead={speedup:5.2f}x".format(**entry)
+        )
+
+    row(
+        "union", len(relation) + len(other),
+        lambda: (cold(relation, other), algebra.union(relation, other))[1],
+    )
+    row(
+        "intersection", len(relation) + len(other),
+        lambda: (cold(relation, other), algebra.intersection(relation, other))[1],
+    )
+    row(
+        "join", len(left) + len(right),
+        lambda: (cold(left, right), algebra.join(left, right))[1],
+    )
+    return rows
+
+
+def main() -> None:
+    rows: List[Dict] = []
+    for classes in CLASS_COUNTS:
+        rows.extend(bench_size(classes))
+
+    disabled_ns = span_call_ns(enabled=False)
+    enabled_ns = span_call_ns(enabled=True)
+    rows.append({
+        "tuples": SPAN_CALLS,
+        "classes": 0,
+        "op": "span_call",
+        "before_ms": round(enabled_ns * SPAN_CALLS / 1e6, 3),
+        "after_ms": round(disabled_ns * SPAN_CALLS / 1e6, 3),
+        "speedup": round(enabled_ns / disabled_ns, 2),
+    })
+    print(
+        "span call: enabled={:.0f}ns disabled={:.0f}ns per enter/exit".format(
+            enabled_ns, disabled_ns
+        )
+    )
+
+    payload = {
+        "workload": {
+            "class_counts": list(CLASS_COUNTS),
+            "span_calls": SPAN_CALLS,
+        },
+        "before": "tracing force-enabled: every span allocated and timed",
+        "after": "tracing disabled (as shipped): flag check + noop singleton",
+        "rows": rows,
+        "metrics": default_registry().snapshot(),
+    }
+    out_path = REPO_ROOT / "BENCH_obs.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print("wrote {}".format(out_path))
+
+
+if __name__ == "__main__":
+    main()

@@ -252,34 +252,87 @@ def figures() -> None:
     perf()
 
 
-def bench_deltas() -> None:
+def _validate(name: str, payload: object) -> list:
+    """Return the problems with one ``BENCH_*.json`` payload.
+
+    The committed benchmark files gate CI (``python -m benchmarks.report``
+    exits nonzero when any is malformed), so a half-written or
+    hand-mangled file fails the build instead of rendering as ``nan``.
+    """
+    problems: list = []
+    if not isinstance(payload, dict):
+        return ["{}: payload is {}, not an object".format(name, type(payload).__name__)]
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("{}: 'rows' must be a non-empty list".format(name))
+        rows = []
+    for i, row in enumerate(rows):
+        where = "{} rows[{}]".format(name, i)
+        if not isinstance(row, dict):
+            problems.append("{}: not an object".format(where))
+            continue
+        if not isinstance(row.get("op"), str) or not row.get("op"):
+            problems.append("{}: 'op' must be a non-empty string".format(where))
+        for key in ("before_ms", "after_ms", "speedup"):
+            value = row.get(key)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                problems.append(
+                    "{}: '{}' must be a number, got {!r}".format(where, key, value)
+                )
+    metrics = payload.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        problems.append("{}: 'metrics' must be an object when present".format(name))
+    return problems
+
+
+def bench_deltas(root: Path) -> int:
     """One line per row of every committed ``BENCH_*.json``: the full
-    before/after trajectory of the perf PRs, in one place."""
-    root = Path(__file__).resolve().parent.parent
+    before/after trajectory of the perf PRs, in one place.  Returns a
+    process exit code — nonzero when any payload is malformed."""
     paths = sorted(root.glob("BENCH_*.json"))
     if not paths:
         print("no BENCH_*.json at {}; run e.g. "
               "`python -m benchmarks.report --run views`".format(root))
-        return
+        return 0
+    problems: list = []
     for path in paths:
-        payload = json.loads(path.read_text())
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            problems.append("{}: invalid JSON ({})".format(path.name, error))
+            continue
+        bad = _validate(path.name, payload)
+        if bad:
+            problems.extend(bad)
+            continue
         header(path.name)
         print("before: {}".format(payload.get("before", "?")))
         print("after:  {}".format(payload.get("after", "?")))
-        for row in payload.get("rows", []):
+        for row in payload["rows"]:
             print(
                 "  {:22s} tuples={:<6} {:>10.3f}ms -> {:>8.3f}ms  "
                 "{:>8.1f}x".format(
                     row.get("op", "?"),
                     row.get("tuples", "?"),
-                    row.get("before_ms", float("nan")),
-                    row.get("after_ms", float("nan")),
-                    row.get("speedup", float("nan")),
+                    row["before_ms"],
+                    row["after_ms"],
+                    row["speedup"],
                 )
             )
+        metrics = payload.get("metrics")
+        if metrics:
+            print("metrics recorded during the run:")
+            for metric_name in sorted(metrics):
+                print("  {:40s} {}".format(metric_name, metrics[metric_name]))
+    if problems:
+        print()
+        for problem in problems:
+            print("MALFORMED {}".format(problem))
+        return 1
+    return 0
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--figures", action="store_true",
@@ -289,15 +342,21 @@ def main(argv=None) -> None:
         "--run", metavar="NAME",
         help="run benchmarks/bench_NAME.py and rewrite its BENCH_*.json",
     )
+    parser.add_argument(
+        "--root", metavar="PATH", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="directory holding the BENCH_*.json files (default: repo root)",
+    )
     args = parser.parse_args(argv)
     if args.figures:
         figures()
-    elif args.run:
+        return 0
+    if args.run:
         module = importlib.import_module("benchmarks.bench_{}".format(args.run))
         module.main()
-    else:
-        bench_deltas()
+        return 0
+    return bench_deltas(args.root)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""P10: disabled tracing must stay free on the algebra hot paths.
+
+Two guards, mirroring ``test_perf_algebra.py``'s idiom:
+
+* the instrumented union — spans compiled in, tracing disabled — must
+  still beat the recorded pre-refactor timing in ``BENCH_algebra.json``
+  with the same ample margin the algebra guard uses, so shipping the
+  observability layer cannot silently eat the bitset rewrite's win;
+* the per-call cost of a disabled ``span()`` times the number of spans
+  a workload opens must stay under 2% of the operator's runtime, which
+  pins the "zero overhead when disabled" contract to an actual number
+  rather than a code-review impression.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.bench_algebra import cold, unary_workload
+from repro.core import algebra
+from repro.obs import trace
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_algebra.json"
+CLASSES = 100
+MARGIN = 0.5  # same noise margin as test_perf_algebra.py
+SPAN_CALLS = 50_000
+
+
+def best_of(fn, repeat=3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def test_instrumented_union_still_beats_pre_refactor_timing():
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_algebra.json not generated yet")
+    payload = json.loads(BENCH_PATH.read_text())
+    rows = [
+        r for r in payload["rows"]
+        if r["op"] == "union" and r["classes"] == CLASSES
+    ]
+    if not rows:
+        pytest.skip("no union row at classes={}".format(CLASSES))
+    before_ms = rows[0]["before_ms"]
+
+    relation, other = unary_workload(CLASSES)
+
+    def run():
+        cold(relation, other)
+        return algebra.union(relation, other)
+
+    assert len(run()) > 0
+    assert not trace.enabled()
+    elapsed = best_of(run)
+    assert elapsed < before_ms * MARGIN, (
+        "instrumented union took {:.3f}ms vs recorded pre-refactor "
+        "{:.3f}ms".format(elapsed, before_ms)
+    )
+
+
+def test_disabled_span_cost_is_under_two_percent_of_union():
+    relation, other = unary_workload(CLASSES)
+
+    def run():
+        cold(relation, other)
+        return algebra.union(relation, other)
+
+    run()  # warm hierarchy caches
+    assert not trace.enabled()
+    union_ms = best_of(run)
+
+    def burn():
+        for i in range(SPAN_CALLS):
+            with trace.span("algebra.union", left="r", tuples=i & 7):
+                pass
+
+    per_call_ms = best_of(burn) / SPAN_CALLS
+    # A union opens a handful of spans: the two operator spans plus the
+    # pointwise sweep.  Budget ten to stay conservative.
+    spans_per_union = 10
+    overhead = per_call_ms * spans_per_union / union_ms
+    assert overhead < 0.02, (
+        "disabled spans cost {:.4%} of a union ({:.1f}ns/call on a "
+        "{:.3f}ms op)".format(overhead, per_call_ms * 1e6, union_ms)
+    )
+
+
+def test_enabled_tracing_overhead_is_bounded():
+    """Enabled tracing costs real allocations; it must still stay
+    within an order of magnitude so EXPLAIN ANALYZE remains usable."""
+    relation, other = unary_workload(CLASSES)
+
+    def run():
+        cold(relation, other)
+        return algebra.union(relation, other)
+
+    run()
+    disabled_ms = best_of(run)
+    with trace.force(True):
+        enabled_ms = best_of(run)
+    assert enabled_ms < disabled_ms * 10, (
+        "enabled tracing blew up union: {:.3f}ms vs {:.3f}ms".format(
+            enabled_ms, disabled_ms
+        )
+    )

@@ -1,0 +1,75 @@
+"""The report CLI's BENCH_*.json validation: malformed payloads must
+fail the build (nonzero exit), well-formed ones must render."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks import report
+
+GOOD = {
+    "before": "slow path",
+    "after": "fast path",
+    "rows": [
+        {"op": "union", "tuples": 100, "before_ms": 5.0, "after_ms": 1.0, "speedup": 5.0}
+    ],
+    "metrics": {"algebra.union.calls": 3},
+}
+
+
+def write(tmp_path, name, payload):
+    path = tmp_path / name
+    if isinstance(payload, str):
+        path.write_text(payload)
+    else:
+        path.write_text(json.dumps(payload))
+    return path
+
+
+def test_good_payload_exits_zero(tmp_path, capsys):
+    write(tmp_path, "BENCH_x.json", GOOD)
+    assert report.main(["--root", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "union" in out
+    assert "metrics recorded during the run:" in out
+    assert "algebra.union.calls" in out
+
+
+def test_invalid_json_exits_nonzero(tmp_path, capsys):
+    write(tmp_path, "BENCH_x.json", "{not json")
+    assert report.main(["--root", str(tmp_path)]) != 0
+    assert "MALFORMED" in capsys.readouterr().out
+
+
+def test_missing_rows_exits_nonzero(tmp_path):
+    write(tmp_path, "BENCH_x.json", {"before": "a", "after": "b"})
+    assert report.main(["--root", str(tmp_path)]) != 0
+
+
+def test_non_numeric_timing_exits_nonzero(tmp_path, capsys):
+    bad = {"rows": [{"op": "union", "before_ms": "fast", "after_ms": 1.0, "speedup": 1.0}]}
+    write(tmp_path, "BENCH_x.json", bad)
+    assert report.main(["--root", str(tmp_path)]) != 0
+    assert "before_ms" in capsys.readouterr().out
+
+
+def test_missing_op_exits_nonzero(tmp_path):
+    bad = {"rows": [{"before_ms": 1.0, "after_ms": 1.0, "speedup": 1.0}]}
+    write(tmp_path, "BENCH_x.json", bad)
+    assert report.main(["--root", str(tmp_path)]) != 0
+
+
+def test_one_bad_file_fails_even_with_good_siblings(tmp_path):
+    write(tmp_path, "BENCH_a.json", GOOD)
+    write(tmp_path, "BENCH_b.json", "[]")
+    assert report.main(["--root", str(tmp_path)]) != 0
+
+
+def test_empty_root_exits_zero(tmp_path, capsys):
+    assert report.main(["--root", str(tmp_path)]) == 0
+    assert "no BENCH_*.json" in capsys.readouterr().out
+
+
+def test_committed_bench_files_are_well_formed():
+    """The real repo-root payloads must pass their own gate."""
+    assert report.main([]) == 0

@@ -51,6 +51,14 @@ from repro.core.relation import HRelation
 from repro.core.schema import RelationSchema
 from repro.errors import InconsistentRelationError, SchemaError
 from repro.hierarchy.product import Item, ProductHierarchy
+from repro.obs import default_registry
+from repro.obs import span as _span
+
+
+def _count(op: str) -> None:
+    """Bump the operator's call counter in the process-global registry
+    (core code has no database handle; see docs/OBSERVABILITY.md)."""
+    default_registry().counter("algebra." + op + ".calls").inc()
 
 
 def meet_closure(product: ProductHierarchy, items: Iterable[Item]) -> Set[Item]:
@@ -93,31 +101,37 @@ def _pointwise(
     path of :mod:`repro.core.views` patches incrementally.
     """
     product = schema.product
-    candidates = sorted(meet_closure(product, seeds), key=product.topological_key)
-    truths: List[bool] = []
-    for item in candidates:
-        row: List[bool] = []
-        for evaluator in evaluators:
-            truth = evaluator.truth(item)
-            if truth is None:
-                raise InconsistentRelationError([Conflict(item=item, binders=())])
-            row.append(truth)
-        truths.append(fn(*row))
-    if capture is not None:
-        capture["candidates"] = candidates
-        capture["truths"] = truths
-    out = HRelation(schema, name=name, strategy=strategy)
-    if consolidate and not product.needs_elimination_binding():
-        flags = _redundancy_sweep(schema, candidates, truths)
-        for item, truth, redundant in zip(candidates, truths, flags):
-            if not redundant:
-                out.assert_item(item, truth=truth)
+    fused = consolidate and not product.needs_elimination_binding()
+    with _span("algebra.pointwise", inputs=len(evaluators), fused=fused) as sp:
+        candidates = sorted(meet_closure(product, seeds), key=product.topological_key)
+        sp.annotate(candidates=len(candidates))
+        truths: List[bool] = []
+        for item in candidates:
+            row: List[bool] = []
+            for evaluator in evaluators:
+                truth = evaluator.truth(item)
+                if truth is None:
+                    raise InconsistentRelationError([Conflict(item=item, binders=())])
+                row.append(truth)
+            truths.append(fn(*row))
+        if capture is not None:
+            capture["candidates"] = candidates
+            capture["truths"] = truths
+        out = HRelation(schema, name=name, strategy=strategy)
+        if fused:
+            default_registry().counter("algebra.fused_sweeps").inc()
+            flags = _redundancy_sweep(schema, candidates, truths)
+            for item, truth, redundant in zip(candidates, truths, flags):
+                if not redundant:
+                    out.assert_item(item, truth=truth)
+            sp.annotate(tuples_out=len(out))
+            return out
+        for item, truth in zip(candidates, truths):
+            out.assert_item(item, truth=truth)
+        if consolidate:
+            out = _consolidate(out, name=name)
+        sp.annotate(tuples_out=len(out))
         return out
-    for item, truth in zip(candidates, truths):
-        out.assert_item(item, truth=truth)
-    if consolidate:
-        out = _consolidate(out, name=name)
-    return out
 
 
 def combine(
@@ -148,13 +162,19 @@ def combine(
     seeds: Set[Item] = set(extra_items)
     for relation in relations:
         seeds.update(relation.asserted)
-    # One bulk evaluator per input: the candidate set is evaluated
-    # set-at-a-time instead of re-deriving a binding per (item, input).
-    evaluators = [_bulk.evaluator_for(relation) for relation in relations]
-    return _pointwise(
-        schema, relations[0].strategy, evaluators, fn, name, seeds, consolidate,
-        capture=capture,
-    )
+    _count("combine")
+    with _span(
+        "algebra.combine",
+        inputs=len(relations),
+        tuples_in=sum(len(r) for r in relations),
+    ):
+        # One bulk evaluator per input: the candidate set is evaluated
+        # set-at-a-time instead of re-deriving a binding per (item, input).
+        evaluators = [_bulk.evaluator_for(relation) for relation in relations]
+        return _pointwise(
+            schema, relations[0].strategy, evaluators, fn, name, seeds, consolidate,
+            capture=capture,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -168,13 +188,15 @@ def union(
 ) -> HRelation:
     """Flat semantics: an atom satisfies the union iff it satisfies
     either argument ("Jack and Jill between them love")."""
-    return combine(
-        [left, right],
-        lambda a, b: a or b,
-        name=name or "{}_union_{}".format(left.name, right.name),
-        consolidate=consolidate,
-        capture=capture,
-    )
+    _count("union")
+    with _span("algebra.union", left=left.name, right=right.name):
+        return combine(
+            [left, right],
+            lambda a, b: a or b,
+            name=name or "{}_union_{}".format(left.name, right.name),
+            consolidate=consolidate,
+            capture=capture,
+        )
 
 
 def intersection(
@@ -182,13 +204,15 @@ def intersection(
     consolidate: bool = True, capture: Optional[Dict] = None,
 ) -> HRelation:
     """Flat semantics: both arguments ("Jack and Jill both love")."""
-    return combine(
-        [left, right],
-        lambda a, b: a and b,
-        name=name or "{}_intersect_{}".format(left.name, right.name),
-        consolidate=consolidate,
-        capture=capture,
-    )
+    _count("intersection")
+    with _span("algebra.intersection", left=left.name, right=right.name):
+        return combine(
+            [left, right],
+            lambda a, b: a and b,
+            name=name or "{}_intersect_{}".format(left.name, right.name),
+            consolidate=consolidate,
+            capture=capture,
+        )
 
 
 def difference(
@@ -197,13 +221,15 @@ def difference(
 ) -> HRelation:
     """Flat semantics: the left but not the right ("Jack loves but Jill
     does not")."""
-    return combine(
-        [left, right],
-        lambda a, b: a and not b,
-        name=name or "{}_minus_{}".format(left.name, right.name),
-        consolidate=consolidate,
-        capture=capture,
-    )
+    _count("difference")
+    with _span("algebra.difference", left=left.name, right=right.name):
+        return combine(
+            [left, right],
+            lambda a, b: a and not b,
+            name=name or "{}_minus_{}".format(left.name, right.name),
+            consolidate=consolidate,
+            capture=capture,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -230,25 +256,29 @@ def select(
         return relation.copy(name=name or relation.name)
     schema = relation.schema
     cone_item = schema.item_from_mapping(dict(conditions), default_top=True)
-    # The selection cone is a one-tuple relation whose truth function is
-    # plain subsumption — valid under every strategy — so it is evaluated
-    # directly instead of being materialised and re-bound.
-    evaluators = [
-        _bulk.evaluator_for(relation),
-        _bulk.ConeEvaluator(schema.product, cone_item),
-    ]
-    seeds: Set[Item] = set(relation.asserted)
-    seeds.add(cone_item)
-    return _pointwise(
-        schema,
-        relation.strategy,
-        evaluators,
-        lambda a, b: a and b,
-        name or "{}_where".format(relation.name),
-        seeds,
-        consolidate,
-        capture=capture,
-    )
+    _count("select")
+    with _span(
+        "algebra.select", source=relation.name, tuples_in=len(relation)
+    ):
+        # The selection cone is a one-tuple relation whose truth function is
+        # plain subsumption — valid under every strategy — so it is evaluated
+        # directly instead of being materialised and re-bound.
+        evaluators = [
+            _bulk.evaluator_for(relation),
+            _bulk.ConeEvaluator(schema.product, cone_item),
+        ]
+        seeds: Set[Item] = set(relation.asserted)
+        seeds.add(cone_item)
+        return _pointwise(
+            schema,
+            relation.strategy,
+            evaluators,
+            lambda a, b: a and b,
+            name or "{}_where".format(relation.name),
+            seeds,
+            consolidate,
+            capture=capture,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -278,32 +308,39 @@ def project(
     dropped = [a for a in schema.attributes if a not in set(kept)]
     out_schema = schema.restrict(kept)
     out_name = name or "{}_project".format(relation.name)
-    if not dropped:
-        out = HRelation(out_schema, name=out_name, strategy=relation.strategy)
-        for item, truth in relation.asserted.items():
-            out.assert_item(tuple(item[i] for i in kept_indices), truth=truth)
-        return _consolidate(out, name=out_name) if consolidate else out
+    _count("project")
+    with _span(
+        "algebra.project", source=relation.name, tuples_in=len(relation)
+    ) as sp:
+        if not dropped:
+            out = HRelation(out_schema, name=out_name, strategy=relation.strategy)
+            for item, truth in relation.asserted.items():
+                out.assert_item(tuple(item[i] for i in kept_indices), truth=truth)
+            out = _consolidate(out, name=out_name) if consolidate else out
+            sp.annotate(slices=0, tuples_out=len(out))
+            return out
 
-    partial = _explicate(relation, attributes=dropped, drop_negated=False)
-    dropped_indices = [schema.index_of(a) for a in dropped]
-    slices: Dict[Tuple[str, ...], HRelation] = {}
-    for item, truth in partial.asserted.items():
-        atom_key = tuple(item[i] for i in dropped_indices)
-        kept_item = tuple(item[i] for i in kept_indices)
-        piece = slices.get(atom_key)
-        if piece is None:
-            piece = HRelation(out_schema, name="slice", strategy=relation.strategy)
-            slices[atom_key] = piece
-        piece.assert_item(kept_item, truth=truth)
-    pieces = [slices[key] for key in sorted(slices)]
-    if not pieces:  # empty input: the projection is empty too
-        return HRelation(out_schema, name=out_name, strategy=relation.strategy)
-    return combine(
-        pieces,
-        lambda *truths: any(truths),
-        name=out_name,
-        consolidate=consolidate,
-    )
+        partial = _explicate(relation, attributes=dropped, drop_negated=False)
+        dropped_indices = [schema.index_of(a) for a in dropped]
+        slices: Dict[Tuple[str, ...], HRelation] = {}
+        for item, truth in partial.asserted.items():
+            atom_key = tuple(item[i] for i in dropped_indices)
+            kept_item = tuple(item[i] for i in kept_indices)
+            piece = slices.get(atom_key)
+            if piece is None:
+                piece = HRelation(out_schema, name="slice", strategy=relation.strategy)
+                slices[atom_key] = piece
+            piece.assert_item(kept_item, truth=truth)
+        pieces = [slices[key] for key in sorted(slices)]
+        sp.annotate(slices=len(pieces))
+        if not pieces:  # empty input: the projection is empty too
+            return HRelation(out_schema, name=out_name, strategy=relation.strategy)
+        return combine(
+            pieces,
+            lambda *truths: any(truths),
+            name=out_name,
+            consolidate=consolidate,
+        )
 
 
 def join(
@@ -331,46 +368,55 @@ def join(
         )
     merged_schema = left.schema.join_schema(right.schema)[0]
     out_name = name or "{}_join_{}".format(left.name, right.name)
+    _count("join")
+    with _span(
+        "algebra.join",
+        left=left.name,
+        right=right.name,
+        tuples_in=len(left) + len(right),
+    ) as sp:
+        if left.strategy.name == "off-path":
+            left_eval = _bulk.evaluator_for(left)
+            right_eval = _bulk.evaluator_for(right)
+            if left_eval.sweep_exact and right_eval.sweep_exact:
+                default_registry().counter("algebra.join.zero_copy").inc()
+                sp.annotate(zero_copy=True)
+                left_pos, left_seeds = _padded_seeds(merged_schema, left)
+                right_pos, right_seeds = _padded_seeds(merged_schema, right)
+                return _pointwise(
+                    merged_schema,
+                    left.strategy,
+                    [
+                        _bulk.ProjectedEvaluator(left_eval, left_pos),
+                        _bulk.ProjectedEvaluator(right_eval, right_pos),
+                    ],
+                    lambda a, b: a and b,
+                    out_name,
+                    left_seeds | right_seeds,
+                    consolidate,
+                )
 
-    if left.strategy.name == "off-path":
-        left_eval = _bulk.evaluator_for(left)
-        right_eval = _bulk.evaluator_for(right)
-        if left_eval.sweep_exact and right_eval.sweep_exact:
-            left_pos, left_seeds = _padded_seeds(merged_schema, left)
-            right_pos, right_seeds = _padded_seeds(merged_schema, right)
-            return _pointwise(
-                merged_schema,
-                left.strategy,
-                [
-                    _bulk.ProjectedEvaluator(left_eval, left_pos),
-                    _bulk.ProjectedEvaluator(right_eval, right_pos),
-                ],
-                lambda a, b: a and b,
-                out_name,
-                left_seeds | right_seeds,
-                consolidate,
-            )
+        sp.annotate(zero_copy=False)
+        left_cyl = HRelation(merged_schema, name="cyl_left", strategy=left.strategy)
+        for item, truth in left.asserted.items():
+            padded = list(merged_schema.product.top)
+            for value, attribute in zip(item, left.schema.attributes):
+                padded[merged_schema.index_of(attribute)] = value
+            left_cyl.assert_item(tuple(padded), truth=truth)
 
-    left_cyl = HRelation(merged_schema, name="cyl_left", strategy=left.strategy)
-    for item, truth in left.asserted.items():
-        padded = list(merged_schema.product.top)
-        for value, attribute in zip(item, left.schema.attributes):
-            padded[merged_schema.index_of(attribute)] = value
-        left_cyl.assert_item(tuple(padded), truth=truth)
+        right_cyl = HRelation(merged_schema, name="cyl_right", strategy=right.strategy)
+        for item, truth in right.asserted.items():
+            padded = list(merged_schema.product.top)
+            for value, attribute in zip(item, right.schema.attributes):
+                padded[merged_schema.index_of(attribute)] = value
+            right_cyl.assert_item(tuple(padded), truth=truth)
 
-    right_cyl = HRelation(merged_schema, name="cyl_right", strategy=right.strategy)
-    for item, truth in right.asserted.items():
-        padded = list(merged_schema.product.top)
-        for value, attribute in zip(item, right.schema.attributes):
-            padded[merged_schema.index_of(attribute)] = value
-        right_cyl.assert_item(tuple(padded), truth=truth)
-
-    return combine(
-        [left_cyl, right_cyl],
-        lambda a, b: a and b,
-        name=out_name,
-        consolidate=consolidate,
-    )
+        return combine(
+            [left_cyl, right_cyl],
+            lambda a, b: a and b,
+            name=out_name,
+            consolidate=consolidate,
+        )
 
 
 def _padded_seeds(
@@ -417,6 +463,7 @@ def divide(
     if not kept:
         raise SchemaError("division needs at least one surviving attribute")
     out_name = name or "{}_divide_{}".format(dividend.name, divisor.name)
+    _count("divide")
     # The divisor's extension is streamed straight off its bulk
     # evaluator — the atoms are never sorted or collected into a list.
     # AND is symmetric and the candidate set is a union of the slices'
@@ -426,30 +473,37 @@ def divide(
     if first is None:
         return project(dividend, kept, name=out_name, consolidate=consolidate)
 
-    out_schema = dividend.schema.restrict(kept)
-    kept_indices = [dividend.schema.index_of(a) for a in kept]
-    shared_indices = [dividend.schema.index_of(a) for a in shared]
-    partial = _explicate(dividend, attributes=shared, drop_negated=False)
-    slices: Dict[Tuple[str, ...], HRelation] = {}
-    for item, truth in partial.asserted.items():
-        atom_key = tuple(item[i] for i in shared_indices)
-        piece = slices.get(atom_key)
-        if piece is None:
-            piece = HRelation(out_schema, name="slice", strategy=dividend.strategy)
-            slices[atom_key] = piece
-        piece.assert_item(tuple(item[i] for i in kept_indices), truth=truth)
-    empty = HRelation(out_schema, name="empty", strategy=dividend.strategy)
-    pieces: List[HRelation] = []
-    atom = first
-    while atom is not None:
-        pieces.append(slices.get(atom, empty))
-        atom = next(atoms, None)
-    return combine(
-        pieces,
-        lambda *truths: all(truths),
-        name=out_name,
-        consolidate=consolidate,
-    )
+    with _span(
+        "algebra.divide",
+        dividend=dividend.name,
+        divisor=divisor.name,
+        tuples_in=len(dividend),
+    ) as sp:
+        out_schema = dividend.schema.restrict(kept)
+        kept_indices = [dividend.schema.index_of(a) for a in kept]
+        shared_indices = [dividend.schema.index_of(a) for a in shared]
+        partial = _explicate(dividend, attributes=shared, drop_negated=False)
+        slices: Dict[Tuple[str, ...], HRelation] = {}
+        for item, truth in partial.asserted.items():
+            atom_key = tuple(item[i] for i in shared_indices)
+            piece = slices.get(atom_key)
+            if piece is None:
+                piece = HRelation(out_schema, name="slice", strategy=dividend.strategy)
+                slices[atom_key] = piece
+            piece.assert_item(tuple(item[i] for i in kept_indices), truth=truth)
+        empty = HRelation(out_schema, name="empty", strategy=dividend.strategy)
+        pieces: List[HRelation] = []
+        atom = first
+        while atom is not None:
+            pieces.append(slices.get(atom, empty))
+            atom = next(atoms, None)
+        sp.annotate(divisor_atoms=len(pieces))
+        return combine(
+            pieces,
+            lambda *truths: all(truths),
+            name=out_name,
+            consolidate=consolidate,
+        )
 
 
 def semijoin(
@@ -462,9 +516,11 @@ def semijoin(
     it inherits their flat-equivalence guarantee.
     """
     out_name = name or "{}_semijoin_{}".format(left.name, right.name)
-    joined = join(left, right, consolidate=False)
-    back = project(joined, list(left.schema.attributes), consolidate=False)
-    return intersection(left, back, name=out_name, consolidate=consolidate)
+    _count("semijoin")
+    with _span("algebra.semijoin", left=left.name, right=right.name):
+        joined = join(left, right, consolidate=False)
+        back = project(joined, list(left.schema.attributes), consolidate=False)
+        return intersection(left, back, name=out_name, consolidate=consolidate)
 
 
 def antijoin(
@@ -472,8 +528,10 @@ def antijoin(
 ) -> HRelation:
     """``left ▷ right``: the left atoms with *no* join partner."""
     out_name = name or "{}_antijoin_{}".format(left.name, right.name)
-    matched = semijoin(left, right, consolidate=False)
-    return difference(left, matched, name=out_name, consolidate=consolidate)
+    _count("antijoin")
+    with _span("algebra.antijoin", left=left.name, right=right.name):
+        matched = semijoin(left, right, consolidate=False)
+        return difference(left, matched, name=out_name, consolidate=consolidate)
 
 
 def rename(

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.core import binding as _binding
 from repro.core.htuple import HTuple
 from repro.errors import AmbiguityError
@@ -392,8 +393,16 @@ def evaluator_for(relation, strategy=None) -> BulkEvaluator:
     key = (chosen.name, relation.version, relation.schema.product.version)
     cached = getattr(relation, "_bulk_eval", None)
     if cached is not None and cached.key == key:
+        _obs.default_registry().counter("bulk.evaluator.reuses").inc()
         return cached
-    evaluator = BulkEvaluator(relation, chosen)
+    _obs.default_registry().counter("bulk.evaluator.builds").inc()
+    with _obs.span(
+        "bulk.build_evaluator",
+        relation=relation.name,
+        tuples=len(relation.asserted),
+        strategy=chosen.name,
+    ):
+        evaluator = BulkEvaluator(relation, chosen)
     try:
         relation._bulk_eval = evaluator
     except AttributeError:

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
+from repro import obs as _obs
 from repro.core import algebra as _algebra
 from repro.core import binding as _binding
 from repro.core import bulk as _bulk
@@ -340,10 +341,16 @@ class MaterializedView:
         sources = self._resolve_sources()
         stamp = _stamp(sources)
         if self._cached is not None and stamp == self._stamp:
+            _obs.default_registry().counter("views.serve.fresh").inc()
             return self._cached
-        if self._try_delta(sources, stamp):
-            return self._cached
-        self._full_refresh(sources, stamp)
+        with _obs.span("view.refresh", view=self.name) as sp:
+            if self._try_delta(sources, stamp):
+                _obs.default_registry().counter("views.refresh.delta").inc()
+                sp.annotate(mode="delta", tuples=len(self._cached))
+                return self._cached
+            self._full_refresh(sources, stamp)
+            _obs.default_registry().counter("views.refresh.full").inc()
+            sp.annotate(mode="full", tuples=len(self._cached))
         return self._cached
 
     def invalidate(self) -> None:

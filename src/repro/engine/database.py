@@ -12,6 +12,7 @@ from repro.core.views import MaterializedView, ViewPlan, ViewRegistry
 from repro.engine.querycache import QueryCache
 from repro.errors import CatalogError
 from repro.hierarchy.graph import Hierarchy
+from repro.obs import MetricsRegistry, SlowQueryLog
 
 
 class HierarchicalDatabase:
@@ -39,12 +40,39 @@ class HierarchicalDatabase:
         self.relations: Dict[str, HRelation] = {}
         self.checker = IntegrityChecker()
         self._relation_checkers: Dict[str, IntegrityChecker] = {}
+        #: Per-database metrics registry (``querycache.*``, ``txn.*``,
+        #: ``hql.*``); core-layer metrics live in the process-global
+        #: :func:`repro.obs.default_registry` instead.  ``STATS;``
+        #: renders both.
+        self.metrics = MetricsRegistry()
         #: Engine-level result cache for read-only HQL statements.
         #: Version stamps in the keys make DML invalidation implicit;
         #: the DDL paths below call :meth:`QueryCache.invalidate_relation`
         #: whenever an *object* is replaced under an existing name.
-        self.query_cache = QueryCache()
+        self.query_cache = QueryCache(registry=self.metrics)
         self.views = ViewRegistry()
+        #: Attached by :meth:`enable_slow_query_log`; while present the
+        #: HQL executor traces every statement and offers it to the log.
+        self.slow_query_log: Optional[SlowQueryLog] = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def enable_slow_query_log(
+        self, threshold_ms: float = 100.0, maxlen: int = 128
+    ) -> SlowQueryLog:
+        """Start recording statements slower than ``threshold_ms``.
+        Each entry keeps the statement text, elapsed time, and span
+        tree (tracing is forced on per statement while the log is
+        attached).  Returns the log; reconfigure by calling again."""
+        self.slow_query_log = SlowQueryLog(threshold_ms, maxlen)
+        self.metrics.gauge("slowlog.threshold_ms").set(threshold_ms)
+        return self.slow_query_log
+
+    def disable_slow_query_log(self) -> None:
+        self.slow_query_log = None
+        self.metrics.gauge("slowlog.threshold_ms").set(0)
 
     # ------------------------------------------------------------------
     # DDL

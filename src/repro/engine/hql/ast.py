@@ -205,9 +205,20 @@ class Load(Statement):
 @dataclass(frozen=True)
 class Explain(Statement):
     """EXPLAIN <query>: run the query and report how — inputs, binding
-    strategy and path, meet-closure candidate count, result size."""
+    strategy and path, meet-closure candidate count, result size.
+
+    ``EXPLAIN ANALYZE`` additionally executes the query with tracing
+    forced on and appends the per-operator span tree (wall time, tuple
+    counts, cache / zero-copy / fused status)."""
 
     inner: Statement
+    analyze: bool = False
+
+
+@dataclass(frozen=True)
+class Stats(Statement):
+    """STATS; — render the live metrics registries (the database's
+    engine metrics plus the process-global core-layer registry)."""
 
 
 def _quote(name: str) -> str:
@@ -343,7 +354,11 @@ def to_hql(statement: Statement) -> str:
     if isinstance(statement, Load):
         return "LOAD '{}';".format(statement.path)
     if isinstance(statement, Explain):
-        return "EXPLAIN " + to_hql(statement.inner)
+        return (
+            "EXPLAIN ANALYZE " if statement.analyze else "EXPLAIN "
+        ) + to_hql(statement.inner)
+    if isinstance(statement, Stats):
+        return "STATS;"
     raise TypeError("no HQL rendering for {}".format(type(statement).__name__))
 
 

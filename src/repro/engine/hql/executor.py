@@ -22,6 +22,8 @@ from repro.engine.hql import ast
 from repro.engine.hql.parser import parse
 from repro.engine.querycache import MISS, cache_key, key_source_names
 from repro.errors import HQLError
+from repro.obs import Span, default_registry, render_span_tree
+from repro.obs import trace as _trace
 from repro.render.table import render_justification, render_relation, render_rows
 
 
@@ -46,6 +48,10 @@ class Result:
         self.payload = payload
         self._message = message
         self._render = render
+        #: Wall time of the statement that produced this result, stamped
+        #: by the executor's timing span — the same number EXPLAIN and
+        #: the slow-query log see (``None`` for results built by hand).
+        self.elapsed_ms: Optional[float] = None
 
     @property
     def message(self) -> str:
@@ -83,12 +89,63 @@ class HQLExecutor:
         return [self.execute_statement(stmt) for stmt in parse(text)]
 
     def execute_statement(self, statement: ast.Statement) -> Result:
+        result, _elapsed_ms, _root = self._timed_execute(statement)
+        return result
+
+    def _dispatch(self, statement: ast.Statement) -> Result:
         handler = getattr(self, "_exec_{}".format(type(statement).__name__.lower()), None)
         if handler is None:
             raise HQLError("no executor for {}".format(type(statement).__name__))
         result = handler(statement)
         self._record(statement)
         return result
+
+    def _timed_execute(
+        self,
+        statement: ast.Statement,
+        record: bool = True,
+        force_trace: bool = False,
+    ) -> Tuple[Result, float, Optional[Span]]:
+        """Execute one statement inside the single ``hql.statement``
+        timing span.
+
+        Every consumer of a statement's wall time — the REPL's
+        ``\\timing``, ``EXPLAIN [ANALYZE]``, the slow-query log, the
+        ``hql.statement.ms`` histogram — reads the number produced
+        here, so they can never disagree.  Tracing is forced on when
+        the caller asks (EXPLAIN ANALYZE) or when a slow-query log is
+        attached (its entries carry the span tree); otherwise the span
+        is the zero-cost noop unless tracing is globally enabled.
+
+        ``record=False`` (EXPLAIN timing its inner query) skips the
+        slow-query log and metrics so the wrapped run is not counted
+        twice.
+        """
+        slowlog = getattr(self.database, "slow_query_log", None) if record else None
+        kind = type(statement).__name__.lower()
+        need_trace = force_trace or slowlog is not None
+        started = time.perf_counter()
+        if need_trace:
+            with _trace.force(True):
+                with _trace.span("hql.statement", kind=kind) as root:
+                    result = self._dispatch(statement)
+        else:
+            with _trace.span("hql.statement", kind=kind) as root:
+                result = self._dispatch(statement)
+        if isinstance(root, Span):
+            elapsed_ms = root.elapsed_ms
+        else:
+            root = None
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+        result.elapsed_ms = elapsed_ms
+        if record:
+            metrics = getattr(self.database, "metrics", None)
+            if metrics is not None:
+                metrics.counter("hql.statements").inc()
+                metrics.histogram("hql.statement.ms").observe(elapsed_ms)
+        if slowlog is not None:
+            slowlog.record(ast.to_hql(statement), elapsed_ms, root)
+        return result, elapsed_ms, root
 
     def _record(self, statement: ast.Statement) -> None:
         if self.log is None or not isinstance(statement, ast.MUTATING):
@@ -199,7 +256,9 @@ class HQLExecutor:
             return compute()
         hit = cache.get(key)
         if hit is not MISS:
+            _trace.annotate(cache="hit")
             return hit.copy(name=hit.name) if isinstance(hit, HRelation) else hit
+        _trace.annotate(cache="miss")
         result = compute()
         payload = result.copy(name=result.name) if isinstance(result, HRelation) else result
         cache.put(key, payload, source_names=key_source_names(key))
@@ -531,17 +590,42 @@ class HQLExecutor:
             lines.append(
                 "  cache: {}".format("hit" if cache.peek(inner_key) else "miss")
             )
-        started = time.perf_counter()
-        result = self.execute_statement(inner)
-        elapsed = time.perf_counter() - started
+        result, elapsed_ms, root = self._timed_execute(
+            inner, record=False, force_trace=stmt.analyze
+        )
         if result.kind == "relation":
             lines.append(
                 "  result: {} tuple(s), consolidated".format(len(result.payload))
             )
         else:
             lines.append("  result: {}".format(result.payload))
-        lines.append("  wall time: {:.3f} ms".format(elapsed * 1000))
-        return Result(kind="plan", payload=result, message="\n".join(lines))
+        lines.append("  wall time: {:.3f} ms".format(elapsed_ms))
+        if stmt.analyze and root is not None:
+            lines.append("  analyze:")
+            lines.extend(render_span_tree(root, indent="    "))
+        plan = Result(kind="plan", payload=result, message="\n".join(lines))
+        plan.elapsed_ms = elapsed_ms
+        return plan
+
+    def _exec_stats(self, stmt: ast.Stats) -> Result:
+        """STATS; — one table over both registries: the database's
+        engine metrics and the process-global core-layer metrics, plus
+        the derived query-cache hit rate."""
+        rows = []
+        metrics = getattr(self.database, "metrics", None)
+        if metrics is not None:
+            rows.extend(metrics.rows())
+        rows.extend(default_registry().rows())
+        cache = self._query_cache()
+        if cache is not None:
+            rows.append(("querycache.hit_rate", "{:.3f}".format(cache.hit_rate)))
+        rows.sort()
+        payload = {
+            "engine": metrics.snapshot() if metrics is not None else {},
+            "core": default_registry().snapshot(),
+        }
+        table = render_rows(["metric", "value"], rows)
+        return Result(kind="stats", payload=payload, message=table)
 
     def _exec_load(self, stmt: ast.Load) -> Result:
         from repro.engine.storage import load_database

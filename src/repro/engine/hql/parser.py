@@ -127,6 +127,7 @@ class _Parser:
             "COUNT": self._count,
             "LOAD": self._load,
             "EXPLAIN": self._explain,
+            "STATS": self._stats,
             "SHOW": self._show,
             "BEGIN": self._begin,
             "COMMIT": self._commit,
@@ -341,6 +342,7 @@ class _Parser:
 
     def _explain(self) -> ast.Statement:
         self._expect_keyword("EXPLAIN")
+        analyze = self._accept_keyword("ANALYZE")
         inner = self._statement()
         if not isinstance(
             inner, (ast.Select, ast.Count, ast.Project, ast.BinaryOp)
@@ -348,7 +350,11 @@ class _Parser:
             raise self._error(
                 "EXPLAIN supports SELECT, COUNT, PROJECT, and the binary operators"
             )
-        return ast.Explain(inner=inner)
+        return ast.Explain(inner=inner, analyze=analyze)
+
+    def _stats(self) -> ast.Statement:
+        self._expect_keyword("STATS")
+        return ast.Stats()
 
 
 def parse(text: str) -> List[ast.Statement]:

@@ -32,6 +32,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs import MetricsRegistry
+
 MISS = object()
 """Sentinel distinguishing "no entry" from a cached falsy payload."""
 
@@ -72,17 +74,48 @@ class QueryCache:
     42
     >>> cache.hits, cache.misses
     (1, 0)
+
+    Counters live in a :class:`~repro.obs.MetricsRegistry` under
+    ``querycache.*`` — pass the owning database's registry so ``STATS;``
+    and the Prometheus exporter see them; a standalone cache gets a
+    private one.  ``hits``/``misses``/… remain readable as properties.
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, registry: Optional[MetricsRegistry] = None) -> None:
         self.maxsize = maxsize
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         #: relation name -> keys of entries that read it (invalidation index)
         self._by_source: Dict[str, set] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter("querycache.hits")
+        self._misses = self.registry.counter("querycache.misses")
+        self._evictions = self.registry.counter("querycache.evictions")
+        self._invalidations = self.registry.counter("querycache.invalidations")
+        self._size = self.registry.gauge("querycache.entries")
+
+    # counter views -- the registry owns the numbers
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 before the first lookup."""
+        lookups = self._hits.value + self._misses.value
+        return self._hits.value / lookups if lookups else 0.0
 
     # ------------------------------------------------------------------
 
@@ -90,10 +123,10 @@ class QueryCache:
         """The cached payload, or :data:`MISS`; counts and touches LRU."""
         entry = self._entries.get(key, MISS)
         if entry is MISS:
-            self.misses += 1
+            self._misses.inc()
             return MISS
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._hits.inc()
         return entry
 
     def peek(self, key: Tuple) -> bool:
@@ -113,8 +146,9 @@ class QueryCache:
         while len(self._entries) >= self.maxsize:
             evicted_key, _ = self._entries.popitem(last=False)
             self._unindex(evicted_key)
-            self.evictions += 1
+            self._evictions.inc()
         self._entries[key] = payload
+        self._size.set(len(self._entries))
         for name in source_names:
             self._by_source.setdefault(name, set()).add(key)
 
@@ -135,13 +169,15 @@ class QueryCache:
             if self._entries.pop(key, MISS) is not MISS:
                 dropped += 1
             self._unindex(key, skip=name)
-        self.invalidations += dropped
+        self._invalidations.inc(dropped)
+        self._size.set(len(self._entries))
         return dropped
 
     def clear(self) -> None:
-        self.invalidations += len(self._entries)
+        self._invalidations.inc(len(self._entries))
         self._entries.clear()
         self._by_source.clear()
+        self._size.set(0)
 
     def _unindex(self, key: Tuple, skip: Optional[str] = None) -> None:
         for name, keys in list(self._by_source.items()):
@@ -156,13 +192,14 @@ class QueryCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         return {
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
         }
 
     def __repr__(self) -> str:

@@ -26,8 +26,10 @@ HQL quick reference:
   PROJECT r ON a, b AS out;        JOIN/UNION/INTERSECT/DIFFERENCE x WITH y AS out;
   CONSOLIDATE r;  EXPLICATE r;     CONFLICTS r;  EXTENSION r;  COUNT r;
   SHOW RELATIONS; SHOW HIERARCHIES;
+  EXPLAIN [ANALYZE] <query>;       STATS;
   BEGIN; COMMIT; ROLLBACK;         SAVE 'file'; LOAD 'file';
-Meta: \\h help, \\q quit."""
+Meta: \\h help, \\q quit, \\stats (or .stats) metrics, \\slowlog (or
+      .slowlog) the slow-query log, \\timing toggle per-statement times."""
 
 
 class HQLRepl:
@@ -47,6 +49,9 @@ class HQLRepl:
         self.stdout = stdout if stdout is not None else sys.stdout
         self.prompt = prompt
         self.continuation = continuation
+        #: When on, every printed result is followed by its wall time —
+        #: the same ``hql.statement`` span number EXPLAIN reports.
+        self.timing = False
 
     # ------------------------------------------------------------------
 
@@ -71,6 +76,21 @@ class HQLRepl:
             if not buffered and stripped in ("\\h", "\\help", "help"):
                 self._write(HELP)
                 continue
+            if not buffered and stripped in ("\\stats", ".stats"):
+                self.execute("STATS;")
+                continue
+            if not buffered and stripped in ("\\slowlog", ".slowlog"):
+                log = self.database.slow_query_log
+                self._write(
+                    log.render() if log is not None
+                    else "slow-query log: not enabled "
+                    "(db.enable_slow_query_log(threshold_ms))"
+                )
+                continue
+            if not buffered and stripped in ("\\timing", ".timing"):
+                self.timing = not self.timing
+                self._write("timing {}".format("on" if self.timing else "off"))
+                continue
             if not stripped:
                 continue
             buffered = (buffered + "\n" + line) if buffered else line
@@ -85,6 +105,8 @@ class HQLRepl:
         try:
             for result in self.session.run(script):
                 self._write(str(result))
+                if self.timing and result.elapsed_ms is not None:
+                    self._write("time: {:.3f} ms".format(result.elapsed_ms))
         except ReproError as exc:
             self._write("error: {}".format(exc))
 

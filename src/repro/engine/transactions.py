@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence
 from repro.core.conflicts import Conflict, find_conflicts, resolution_tuples
 from repro.core.relation import HRelation
 from repro.errors import InconsistentRelationError, TransactionError
+from repro.obs import span as _span
 
 
 class Transaction:
@@ -99,26 +100,35 @@ class Transaction:
         """Install all staged relations, or raise and change nothing."""
         if self._finished:
             raise TransactionError("transaction already committed or rolled back")
-        all_conflicts: List[Conflict] = []
-        for name, relation in self._staged.items():
-            all_conflicts.extend(find_conflicts(relation))
-            checker = getattr(self._database, "checker_for", lambda _n: None)(name)
-            if checker is not None:
-                all_conflicts.extend(
-                    Conflict(item=("constraint", failed), binders=())
-                    for failed in checker.violations(relation)
-                )
-        if all_conflicts:
-            raise InconsistentRelationError(all_conflicts)
-        for name, relation in self._staged.items():
-            self._database.relations[name] = relation
-        self._finished = True
+        metrics = getattr(self._database, "metrics", None)
+        with _span("txn.commit", staged=len(self._staged)):
+            all_conflicts: List[Conflict] = []
+            for name, relation in self._staged.items():
+                all_conflicts.extend(find_conflicts(relation))
+                checker = getattr(self._database, "checker_for", lambda _n: None)(name)
+                if checker is not None:
+                    all_conflicts.extend(
+                        Conflict(item=("constraint", failed), binders=())
+                        for failed in checker.violations(relation)
+                    )
+            if all_conflicts:
+                if metrics is not None:
+                    metrics.counter("txn.conflicts_rejected").inc()
+                raise InconsistentRelationError(all_conflicts)
+            for name, relation in self._staged.items():
+                self._database.relations[name] = relation
+            self._finished = True
+        if metrics is not None:
+            metrics.counter("txn.commits").inc()
 
     def rollback(self) -> None:
         if self._finished:
             raise TransactionError("transaction already committed or rolled back")
         self._staged.clear()
         self._finished = True
+        metrics = getattr(self._database, "metrics", None)
+        if metrics is not None:
+            metrics.counter("txn.rollbacks").inc()
 
     # ------------------------------------------------------------------
 

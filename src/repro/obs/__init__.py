@@ -1,0 +1,49 @@
+"""Observability: tracing spans, a metrics registry, a slow-query log.
+
+A leaf-level package (stdlib only — no repro imports except within
+itself) so every other layer can instrument itself without cycles.
+See docs/OBSERVABILITY.md for conventions and exporter formats.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    annotate,
+    collect,
+    current,
+    disable,
+    enable,
+    enabled,
+    force,
+    render_span_tree,
+    span,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "Span",
+    "annotate",
+    "collect",
+    "current",
+    "default_registry",
+    "disable",
+    "enable",
+    "enabled",
+    "force",
+    "render_span_tree",
+    "span",
+]

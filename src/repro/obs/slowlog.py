@@ -1,0 +1,88 @@
+"""The slow-query log: a bounded ring of statements that ran long.
+
+Attached per database via ``db.enable_slow_query_log(threshold_ms)``;
+the HQL executor offers every timed statement through
+:meth:`SlowQueryLog.record` and entries past the threshold are kept —
+statement text, elapsed milliseconds, and the statement's span tree
+(captured because the executor forces tracing on while a slow-query
+log is attached, so the "why was it slow" evidence is already there).
+
+The log is a ``deque(maxlen=…)``: old entries fall off, memory stays
+bounded, and reading it (``entries()``, ``render()``, the REPL's
+``.slowlog``) never mutates it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.obs.trace import Span, render_span_tree
+
+__all__ = ["SlowQueryEntry", "SlowQueryLog"]
+
+
+class SlowQueryEntry:
+    """One over-threshold statement: text, elapsed time, span tree."""
+
+    __slots__ = ("statement", "elapsed_ms", "span")
+
+    def __init__(
+        self, statement: str, elapsed_ms: float, span: Optional[Span] = None
+    ) -> None:
+        self.statement = statement
+        self.elapsed_ms = elapsed_ms
+        self.span = span
+
+    def render(self) -> str:
+        lines = ["{:.3f} ms  {}".format(self.elapsed_ms, self.statement)]
+        if self.span is not None:
+            lines.extend(render_span_tree(self.span, indent="    "))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "SlowQueryEntry({!r}, {:.3f} ms)".format(
+            self.statement, self.elapsed_ms
+        )
+
+
+class SlowQueryLog:
+    """Keep the most recent statements slower than ``threshold_ms``."""
+
+    def __init__(self, threshold_ms: float = 100.0, maxlen: int = 128) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        self.threshold_ms = float(threshold_ms)
+        self._entries: deque = deque(maxlen=maxlen)
+
+    def record(
+        self, statement: str, elapsed_ms: float, span: Optional[Span] = None
+    ) -> bool:
+        """Offer a timed statement; keep it iff it crossed the threshold.
+        Returns whether it was kept."""
+        if elapsed_ms < self.threshold_ms:
+            return False
+        self._entries.append(SlowQueryEntry(statement, elapsed_ms, span))
+        return True
+
+    def entries(self) -> List[SlowQueryEntry]:
+        """Oldest first; a copy, safe to hold."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def render(self) -> str:
+        if not self._entries:
+            return "slow-query log: empty (threshold {:.1f} ms)".format(
+                self.threshold_ms
+            )
+        head = "slow-query log: {} entr{} over {:.1f} ms".format(
+            len(self._entries),
+            "y" if len(self._entries) == 1 else "ies",
+            self.threshold_ms,
+        )
+        return "\n".join([head] + [e.render() for e in self._entries])

@@ -60,6 +60,10 @@ STATEMENTS = [
     ast.Drop("HIERARCHY", "h"),
     ast.Save("db.json"),
     ast.Load("db.json"),
+    ast.Explain(ast.Select("r", ast.WhereTest("a", "x"))),
+    ast.Explain(ast.BinaryOp("UNION", "r1", "r2"), analyze=True),
+    ast.Explain(ast.Count("r"), analyze=True),
+    ast.Stats(),
 ]
 
 

@@ -1,0 +1,125 @@
+"""The metrics registry: instrument semantics, get-or-create, reset in
+place, and the three exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, default_registry
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("g")
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8
+
+    def test_histogram_buckets_and_mean(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == 55.5
+        assert h.mean == pytest.approx(18.5)
+        assert h.counts == [1, 1, 1]  # <=1, <=10, +Inf
+
+    def test_histogram_default_buckets_are_log_scaled(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert DEFAULT_BUCKETS[0] < 1.0 < DEFAULT_BUCKETS[-1]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.gauge("y") is r.gauge("y")
+        assert r.histogram("z") is r.histogram("z")
+
+    def test_kind_collision_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+        with pytest.raises(TypeError):
+            r.histogram("x")
+
+    def test_reset_zeroes_in_place(self):
+        """Module-level cached handles must stay live across reset()."""
+        r = MetricsRegistry()
+        handle = r.counter("kept")
+        handle.inc(5)
+        r.histogram("h").observe(3.0)
+        r.reset()
+        assert handle.value == 0
+        assert handle is r.counter("kept")
+        assert r.histogram("h").count == 0
+        handle.inc()
+        assert r.counter("kept").value == 1
+
+    def test_iteration_is_name_sorted(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.counter("a")
+        r.gauge("c")
+        assert [m.name for m in r] == ["a", "b", "c"]
+        assert len(r) == 3
+        assert "a" in r and "missing" not in r
+
+    def test_default_registry_is_process_global(self):
+        assert default_registry() is default_registry()
+
+
+class TestExporters:
+    @pytest.fixture
+    def registry(self):
+        r = MetricsRegistry()
+        r.counter("cache.hits").inc(3)
+        r.gauge("pool.size").set(7)
+        h = r.histogram("op.ms", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(20.0)
+        return r
+
+    def test_snapshot_is_json_safe(self, registry):
+        snap = registry.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["cache.hits"] == 3
+        assert snap["pool.size"] == 7
+        assert snap["op.ms"]["count"] == 2
+        assert snap["op.ms"]["sum"] == 20.5
+
+    def test_rows_render_every_instrument(self, registry):
+        rows = dict(registry.rows())
+        assert rows["cache.hits"] == "3"
+        assert rows["pool.size"] == "7"
+        assert rows["op.ms"].startswith("n=2 ")
+
+    def test_prometheus_format(self, registry):
+        text = registry.to_prometheus()
+        assert "# TYPE repro_cache_hits counter" in text
+        assert "repro_cache_hits 3" in text
+        assert "# TYPE repro_pool_size gauge" in text
+        assert "# TYPE repro_op_ms histogram" in text
+        # Histogram buckets are cumulative in the exposition format.
+        assert 'repro_op_ms_bucket{le="1.0"} 1' in text
+        assert 'repro_op_ms_bucket{le="10.0"} 1' in text
+        assert 'repro_op_ms_bucket{le="+Inf"} 2' in text
+        assert "repro_op_ms_count 2" in text
+
+    def test_prometheus_empty_registry(self):
+        assert MetricsRegistry().to_prometheus() == ""

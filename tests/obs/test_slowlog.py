@@ -1,0 +1,63 @@
+"""The slow-query log: thresholding, the bounded ring, rendering."""
+
+import pytest
+
+from repro.obs import SlowQueryLog, collect
+
+
+class TestThreshold:
+    def test_below_threshold_dropped(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert log.record("fast;", 9.99) is False
+        assert len(log) == 0
+
+    def test_at_and_above_threshold_kept(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert log.record("exact;", 10.0) is True
+        assert log.record("slow;", 100.0) is True
+        assert [e.statement for e in log.entries()] == ["exact;", "slow;"]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+
+
+class TestRing:
+    def test_maxlen_drops_oldest(self):
+        log = SlowQueryLog(threshold_ms=0.0, maxlen=2)
+        for i in range(4):
+            log.record("q{};".format(i), 1.0)
+        assert [e.statement for e in log.entries()] == ["q2;", "q3;"]
+
+    def test_entries_is_a_copy(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("q;", 1.0)
+        entries = log.entries()
+        entries.clear()
+        assert len(log) == 1
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("q;", 1.0)
+        log.clear()
+        assert len(log) == 0
+
+
+class TestRendering:
+    def test_empty_render_mentions_threshold(self):
+        text = SlowQueryLog(threshold_ms=25.0).render()
+        assert "empty" in text and "25.0" in text
+
+    def test_entry_render_includes_span_tree(self):
+        with collect("hql.statement", kind="select") as root:
+            pass
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("SELECT FROM flies;", 12.5, root)
+        text = log.render()
+        assert "12.500 ms  SELECT FROM flies;" in text
+        assert "hql.statement" in text and "kind=select" in text
+
+    def test_entry_without_span(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("COUNT flies;", 3.0)
+        assert "COUNT flies;" in log.render()

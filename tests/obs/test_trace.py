@@ -1,0 +1,143 @@
+"""The tracing layer: span nesting, the disabled-mode noop path, the
+force/collect context managers, and tree rendering."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    collect,
+    force,
+    render_span_tree,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def tracing_off():
+    """Every test starts and ends with tracing disabled (the module
+    default) regardless of what it toggles in between."""
+    trace.disable()
+    yield
+    trace.disable()
+
+
+class TestDisabledMode:
+    def test_span_returns_the_noop_singleton(self):
+        assert span("anything", key="value") is NOOP_SPAN
+        assert span("other") is NOOP_SPAN
+
+    def test_noop_is_inert(self):
+        with span("x") as sp:
+            assert sp is NOOP_SPAN
+            assert sp.annotate(a=1) is sp
+            assert sp.add("n") is sp
+        assert NOOP_SPAN.elapsed_ms == 0.0
+        assert NOOP_SPAN.attrs == {}
+        assert list(NOOP_SPAN.children) == []
+
+    def test_current_and_annotate_are_noops(self):
+        assert trace.current() is None
+        trace.annotate(ignored=True)  # must not raise
+
+    def test_render_of_noop_is_empty(self):
+        assert render_span_tree(NOOP_SPAN) == []
+
+
+class TestEnabledMode:
+    def test_nesting_builds_the_tree(self):
+        trace.enable()
+        with span("root") as root:
+            with span("a") as a:
+                with span("a1"):
+                    pass
+            with span("b"):
+                pass
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in a.children] == ["a1"]
+        assert root.elapsed_ms >= a.elapsed_ms >= 0.0
+
+    def test_attrs_and_counters(self):
+        trace.enable()
+        with span("op", relation="flies") as sp:
+            sp.annotate(tuples=7)
+            sp.add("hits")
+            sp.add("hits", 2)
+        assert sp.attrs == {"relation": "flies", "tuples": 7, "hits": 3}
+
+    def test_current_and_module_annotate(self):
+        trace.enable()
+        with span("outer"):
+            with span("inner") as inner:
+                assert trace.current() is inner
+                trace.annotate(flag=True)
+        assert inner.attrs == {"flag": True}
+
+    def test_exception_unwinds_the_stack(self):
+        trace.enable()
+        with pytest.raises(ValueError):
+            with span("outer"):
+                with span("inner"):
+                    raise ValueError("boom")
+        # Stack fully unwound: a new span is again a root.
+        with span("fresh") as fresh:
+            assert trace.current() is fresh
+        assert fresh._parent is None
+
+    def test_walk_is_depth_first(self):
+        trace.enable()
+        with span("r") as r:
+            with span("a"):
+                with span("a1"):
+                    pass
+            with span("b"):
+                pass
+        assert [s.name for s in r.walk()] == ["r", "a", "a1", "b"]
+
+
+class TestForceAndCollect:
+    def test_force_restores_previous_state(self):
+        assert not trace.enabled()
+        with force(True):
+            assert trace.enabled()
+            with force(False):
+                assert not trace.enabled()
+            assert trace.enabled()
+        assert not trace.enabled()
+
+    def test_force_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with force(True):
+                raise RuntimeError
+        assert not trace.enabled()
+
+    def test_collect_yields_a_real_root(self):
+        with collect("job", kind="test") as root:
+            assert isinstance(root, Span)
+            with span("child"):
+                pass
+        assert not trace.enabled()
+        assert [c.name for c in root.children] == ["child"]
+        assert root.attrs == {"kind": "test"}
+
+
+class TestRendering:
+    def test_tree_shape_and_attrs(self):
+        with collect("root", kind="demo") as root:
+            with span("child", tuples=3, fused=True, zero_copy=False):
+                pass
+        lines = render_span_tree(root)
+        assert len(lines) == 2
+        assert lines[0].startswith("root (")
+        assert "kind=demo" in lines[0]
+        assert lines[1].startswith("  child (")
+        assert "tuples=3" in lines[1]
+        assert "fused=yes" in lines[1]
+        assert "zero_copy=no" in lines[1]
+
+    def test_indent_prefix(self):
+        with collect("root") as root:
+            pass
+        (line,) = render_span_tree(root, indent="    ")
+        assert line.startswith("    root (")
