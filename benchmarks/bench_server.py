@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""P11: concurrent clients must outrun one client on the served engine.
+
+Run:  PYTHONPATH=src python -m benchmarks.bench_server
+Writes BENCH_server.json at the repository root.
+
+The server's claim (docs/SERVER.md) is that the readers-writer lock
+and the asyncio front end deliver real concurrency: while one session
+sits between requests, the event loop serves the others.  The
+benchmark models the standard closed-loop client — issue a request,
+read the answer, *think* for a few milliseconds, repeat — which is how
+interactive and application traffic actually behaves (TPC-style
+residence time).  A server that handled connections one at a time
+would be pinned to the single-client rate no matter how many clients
+queue up; a concurrent server overlaps every think-time gap.
+
+Clients are separate **processes** (``multiprocessing`` spawn), so
+client-side CPU never shares the server's GIL and the numbers measure
+the service, not the harness.  Workloads:
+
+* **read** — every request is a ``TRUTH`` point query (shared lock);
+* **mixed** — every fifth request is an autocommitted ``ASSERT``
+  (exclusive lock), the rest are reads, i.e. 20% DML.
+
+Rows follow the repo convention: ``before_ms`` is the wall time one
+client needs for the whole workload, ``after_ms`` is the wall time N
+clients need for the *same total number of requests*, ``speedup`` the
+ratio.  The acceptance bar for this subsystem is the
+``read_16_clients`` row at >= 2x.  Throughput here is bounded by the
+host's cores — on a single-core container the ceiling is the server's
+aggregate CPU rate, which the 16-client run approaches; on multicore
+hardware the same harness shows additional parallel headroom.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CLIENT_COUNTS = (1, 4, 16)
+TOTAL_OPS = 960
+THINK_S = 0.003
+WRITE_EVERY = 5  # mixed workload: every 5th request is an ASSERT
+
+SCHEMA = (
+    "CREATE HIERARCHY animal;"
+    "CREATE CLASS bird IN animal;"
+    "CREATE INSTANCE tweety IN animal UNDER bird;"
+    + "".join(
+        "CREATE INSTANCE w{} IN animal UNDER bird;".format(i) for i in range(16)
+    )
+    + "CREATE RELATION flies (creature: animal);"
+    "CREATE RELATION visited (creature: animal);"
+    "ASSERT flies (bird);"
+)
+
+
+def _client_worker(port: int, worker: int, ops: int, workload: str,
+                   barrier, queue) -> None:
+    """One closed-loop client: request, read reply, think, repeat."""
+    from repro.client import HQLClient
+
+    read_stmt = "TRUTH flies (tweety);"
+    write_stmt = "ASSERT visited (w{});".format(worker % 16)
+    with HQLClient(port=port, reconnect=False) as client:
+        barrier.wait()
+        start = time.perf_counter()
+        for i in range(ops):
+            if workload == "mixed" and i % WRITE_EVERY == WRITE_EVERY - 1:
+                client.query(write_stmt, render=False)
+            else:
+                client.query(read_stmt, render=False)
+            time.sleep(THINK_S)
+        queue.put(time.perf_counter() - start)
+
+
+def run_once(port: int, clients: int, workload: str,
+             total_ops: int = TOTAL_OPS) -> float:
+    """Wall-clock seconds for ``clients`` processes to issue
+    ``total_ops`` requests between them."""
+    ctx = mp.get_context("spawn")
+    barrier = ctx.Barrier(clients + 1)
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_client_worker,
+            args=(port, i, total_ops // clients, workload, barrier, queue),
+        )
+        for i in range(clients)
+    ]
+    for proc in procs:
+        proc.start()
+    barrier.wait()  # every client is connected; measurement excludes spawn cost
+    start = time.perf_counter()
+    for proc in procs:
+        proc.join()
+    elapsed = time.perf_counter() - start
+    for proc in procs:
+        if proc.exitcode != 0:
+            raise RuntimeError("client process failed (exit {})".format(proc.exitcode))
+    while not queue.empty():
+        queue.get()
+    return elapsed
+
+
+def main() -> None:
+    from repro.engine import HierarchicalDatabase
+    from repro.engine.hql import HQLExecutor
+    from repro.server import HQLServer, ServerThread
+
+    database = HierarchicalDatabase("bench")
+    HQLExecutor(database).run(SCHEMA)
+    runner = ServerThread(HQLServer(database, port=0))
+    _, port = runner.start()
+
+    rows: List[Dict] = []
+    try:
+        for workload in ("read", "mixed"):
+            baseline = run_once(port, 1, workload)
+            print("{:5s} {:2d} client:  {:7.0f} ops/s".format(
+                workload, 1, TOTAL_OPS / baseline), flush=True)
+            for clients in CLIENT_COUNTS[1:]:
+                elapsed = run_once(port, clients, workload)
+                entry = {
+                    "op": "{}_{}_clients".format(workload, clients),
+                    "tuples": TOTAL_OPS,
+                    "clients": clients,
+                    "before_ms": round(baseline * 1e3, 1),
+                    "after_ms": round(elapsed * 1e3, 1),
+                    "speedup": round(baseline / elapsed, 2),
+                    "ops_per_s": round(TOTAL_OPS / elapsed, 1),
+                }
+                rows.append(entry)
+                print(
+                    "{:5s} {:2d} clients: {:7.0f} ops/s  "
+                    "({:.2f}x one client)".format(
+                        workload, clients, entry["ops_per_s"], entry["speedup"]
+                    ),
+                    flush=True,
+                )
+        stats = database.metrics.snapshot() if hasattr(database, "metrics") else {}
+    finally:
+        runner.shutdown()
+
+    payload = {
+        "workload": {
+            "total_ops": TOTAL_OPS,
+            "think_ms": THINK_S * 1e3,
+            "client_counts": list(CLIENT_COUNTS),
+            "mixed_write_every": WRITE_EVERY,
+            "model": "closed-loop clients in separate spawn processes; "
+                     "wall time measured from a post-connect barrier",
+        },
+        "before": "1 client: each request waits out the full think-time gap",
+        "after": "N concurrent clients issuing the same total requests",
+        "rows": rows,
+    }
+    if stats:
+        payload["metrics"] = {
+            k: v for k, v in sorted(stats.items()) if k.startswith("server.")
+        } or None
+        if payload["metrics"] is None:
+            del payload["metrics"]
+    out_path = REPO_ROOT / "BENCH_server.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print("wrote {}".format(out_path))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,13 @@ Commands
 ``run script.hql [--db db.json] [--save out.json]``
     Execute an HQL script file (against a loaded database if ``--db``),
     print each result, optionally save the final state.
+``serve [--data-dir DIR] [--port P] [--admin-port P] ...``
+    Serve a database over the HQL wire protocol (docs/SERVER.md).  With
+    ``--data-dir`` the server recovers from snapshot + oplog on boot,
+    journals every committed write, and checkpoints periodically and at
+    graceful shutdown (SIGINT/SIGTERM drain in-flight statements).
+``connect [--host H] [--port P]``
+    Interactive HQL shell over the wire against a running server.
 ``version``
     Print the package version.
 """
@@ -14,12 +21,18 @@ Commands
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
+import signal
 from typing import List, Optional
 
 from repro import __version__
 from repro.engine.database import HierarchicalDatabase
 from repro.engine.hql import HQLExecutor
 from repro.engine.repl import HQLRepl
+from repro.errors import ReproError
+
+DEFAULT_PORT = 7497
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,8 +53,124 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-statement output"
     )
 
+    serve = commands.add_parser("serve", help="serve HQL over the network")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT, help="port (0 = ephemeral)")
+    serve.add_argument(
+        "--data-dir",
+        help="durable data directory (snapshot + oplog); recovered on boot",
+    )
+    serve.add_argument("--db", help="serve this saved database (no durability)")
+    serve.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=500,
+        help="journalled statements between automatic checkpoints (0 = off)",
+    )
+    serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the oplog on every committed write (power-loss durability)",
+    )
+    serve.add_argument(
+        "--admin-port",
+        type=int,
+        help="also serve HTTP /metrics /stats /slowlog /sessions here",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        help="enable the slow-query log at this threshold (milliseconds)",
+    )
+
+    connect = commands.add_parser("connect", help="HQL shell over the wire")
+    connect.add_argument("--host", default="127.0.0.1")
+    connect.add_argument("--port", type=int, default=DEFAULT_PORT)
+
     commands.add_parser("version", help="print the package version")
     return parser
+
+
+def _cmd_serve(args) -> int:
+    from repro.server import HQLServer
+
+    if args.data_dir and args.db:
+        print("error: --data-dir and --db are mutually exclusive")
+        return 2
+    database = None
+    if args.db:
+        database = HierarchicalDatabase.load(args.db)
+
+    server = HQLServer(
+        database,
+        host=args.host,
+        port=args.port,
+        data_dir=args.data_dir,
+        snapshot_interval=args.snapshot_interval,
+        fsync=args.fsync,
+        admin_port=args.admin_port,
+        slow_query_ms=args.slow_ms,
+    )
+
+    async def main() -> None:
+        host, port = await server.start()
+        recovery = server.recovery
+        if recovery is not None and recovery.last_recovery is not None:
+            info = recovery.last_recovery
+            print(
+                "recovered from {}: snapshot={} checkpoint={} replayed={} "
+                "statement(s){}".format(
+                    recovery.data_dir,
+                    "yes" if info["snapshot"] else "no",
+                    info["checkpoint"],
+                    info["replayed"],
+                    " (stale oplog discarded)" if info["discarded_stale_log"] else "",
+                )
+            )
+        print("repro server listening on {}:{}".format(host, port), flush=True)
+        if server.admin_port is not None:
+            print(
+                "admin endpoint on http://{}:{} (/metrics /stats /slowlog)".format(
+                    host, server.admin_port
+                ),
+                flush=True,
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, stop.set)
+        serve_task = asyncio.create_task(server.serve_forever())
+        await stop.wait()
+        print("shutting down: draining in-flight statements ...", flush=True)
+        await server.shutdown(drain=True)
+        serve_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await serve_task
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    print("server stopped")
+    return 0
+
+
+def _cmd_connect(args) -> int:
+    from repro.client import HQLClient, RemoteRepl
+    from repro.errors import ServerError
+
+    client = HQLClient(host=args.host, port=args.port)
+    try:
+        client.connect()
+    except ServerError as exc:
+        print("error: {}".format(exc))
+        return 1
+    try:
+        RemoteRepl(client).run()
+    finally:
+        client.close()
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -51,7 +180,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "repl":
         if args.database:
-            database = HierarchicalDatabase.load(args.database)
+            try:
+                database = HierarchicalDatabase.load(args.database)
+            except (ReproError, OSError) as exc:
+                print("error: {}".format(exc))
+                return 1
         else:
             database = HierarchicalDatabase("session")
         HQLRepl(database).run()
@@ -70,6 +203,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.save:
             database.save(args.save)
         return 0
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "connect":
+        return _cmd_connect(args)
     _build_parser().print_help()
     return 2
 

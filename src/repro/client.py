@@ -1,0 +1,399 @@
+"""A blocking client for the HQL wire protocol.
+
+:class:`HQLClient` is the programmatic doorway to a running
+``repro serve`` instance: it speaks the length-prefixed JSON protocol
+of :mod:`repro.server.protocol` over a plain TCP socket, transparently
+reconnecting on connection loss (never inside an open transaction —
+the server rolled that state back with the connection, so silently
+replaying would lie), and exposing transactions as a context manager::
+
+    with HQLClient(port=port) as client:
+        client.execute("CREATE HIERARCHY animal;")
+        with client.transaction():
+            client.execute("ASSERT flies (bird);")
+            client.execute("ASSERT NOT flies (penguin);")
+        print(client.truth("flies", ["tweety"]))
+
+Remote errors surface as :class:`~repro.errors.RemoteError` carrying
+the server-side exception type, so ``except RemoteError as e:
+e.remote_type == "AmbiguityError"`` works without importing server
+internals.  :class:`RemoteRepl` is the interactive flavour
+(``repro connect``).
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import time
+from typing import IO, Any, Dict, List, Optional
+
+from repro.errors import ProtocolError, RemoteError, ServerError
+from repro.server import protocol
+
+
+class RemoteResult:
+    """One statement's outcome as reported over the wire."""
+
+    __slots__ = ("kind", "payload", "message", "elapsed_ms")
+
+    def __init__(self, wire: Dict[str, Any]) -> None:
+        self.kind = wire.get("kind", "?")
+        self.payload = wire.get("payload")
+        self.message = wire.get("message", "")
+        self.elapsed_ms = wire.get("elapsed_ms")
+
+    def __str__(self) -> str:
+        return self.message or "{}: {!r}".format(self.kind, self.payload)
+
+    def __repr__(self) -> str:
+        return "RemoteResult(kind={!r}, payload={!r})".format(self.kind, self.payload)
+
+
+class _TransactionGuard:
+    """BEGIN on enter; COMMIT on clean exit, ROLLBACK on exception."""
+
+    def __init__(self, client: "HQLClient") -> None:
+        self._client = client
+
+    def __enter__(self) -> "_TransactionGuard":
+        self._client.execute("BEGIN;")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._client.execute("COMMIT;")
+        else:
+            # Best-effort: the connection may be gone along with the
+            # transaction it carried.
+            try:
+                self._client.execute("ROLLBACK;")
+            except (ServerError, ConnectionError, OSError):
+                pass
+        return False
+
+
+class HQLClient:
+    """A blocking connection to an HQL server.
+
+    ``reconnect`` (default on) retries a request once on a fresh
+    connection after a connection failure — unless a transaction is
+    open, in which case the staged state died with the old connection
+    and the :class:`~repro.errors.ServerError` propagates.  The retry
+    is at-least-once: a *write* whose acknowledgement was lost may be
+    applied twice — wrap writes that must not repeat in
+    :meth:`transaction` (a replayed BEGIN block the server never saw
+    completes harmlessly) or pass ``reconnect=False``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7497,
+        *,
+        timeout: Optional[float] = 30.0,
+        reconnect: bool = True,
+        connect_attempts: int = 3,
+        retry_delay: float = 0.1,
+        render: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.reconnect = reconnect
+        self.connect_attempts = max(1, connect_attempts)
+        self.retry_delay = retry_delay
+        self.render = render
+        self.hello: Optional[Dict[str, Any]] = None
+        self.session_id: Optional[int] = None
+        self._sock: Optional[socket.socket] = None
+        self._request_ids = iter(range(1, sys.maxsize))
+        self._in_transaction = False
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+    def connect(self) -> Dict[str, Any]:
+        """Open the socket and run the hello handshake; retries
+        ``connect_attempts`` times (a just-booting server is normal).
+        Returns the server hello."""
+        last_error: Optional[Exception] = None
+        for attempt in range(self.connect_attempts):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                try:
+                    hello = protocol.recv_frame(sock)
+                    if hello is None:
+                        raise ProtocolError("server closed the connection before hello")
+                    self.hello = protocol.check_hello(hello)
+                except BaseException:
+                    sock.close()
+                    raise
+                self._sock = sock
+                self.session_id = self.hello.get("session")
+                self._in_transaction = False
+                return self.hello
+            except (ConnectionError, OSError, ProtocolError) as exc:
+                last_error = exc
+                if attempt + 1 < self.connect_attempts:
+                    time.sleep(self.retry_delay * (attempt + 1))
+        raise ServerError(
+            "cannot connect to {}:{}: {}".format(self.host, self.port, last_error)
+        )
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._in_transaction = False
+
+    def __enter__(self) -> "HQLClient":
+        if not self.connected:
+            self.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+
+    def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self._sock is None:
+            self.connect()
+        try:
+            protocol.send_frame(self._sock, request)
+            response = protocol.recv_frame(self._sock)
+        except (ConnectionError, OSError, ProtocolError) as exc:
+            was_in_transaction = self._in_transaction  # close() resets it
+            self.close()
+            if not self.reconnect:
+                raise ServerError("connection lost: {}".format(exc)) from exc
+            if was_in_transaction:
+                raise ServerError(
+                    "connection lost inside a transaction; the server rolled it "
+                    "back — reconnect and retry the whole transaction"
+                ) from exc
+            self.connect()
+            protocol.send_frame(self._sock, request)
+            response = protocol.recv_frame(self._sock)
+        if response is None:
+            self.close()
+            raise ServerError("server closed the connection mid-request")
+        return response
+
+    def execute(self, hql: str, render: Optional[bool] = None) -> List[RemoteResult]:
+        """Run an HQL script remotely; one :class:`RemoteResult` per
+        statement.  Raises :class:`~repro.errors.RemoteError` when the
+        server reports a failure (statements before the failing one
+        were still applied, exactly like a local script)."""
+        request = {
+            "id": next(self._request_ids),
+            "op": "query",
+            "hql": hql,
+            "render": self.render if render is None else render,
+        }
+        response = self._roundtrip(request)
+        # The server reports the session's authoritative transaction
+        # state on every query response.
+        if "txn" in response:
+            self._in_transaction = bool(response["txn"])
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RemoteError(
+                error.get("type", "ServerError"), error.get("message", "unknown error")
+            )
+        return [RemoteResult(wire) for wire in response.get("results", ())]
+
+    def query(self, hql: str, render: Optional[bool] = None) -> RemoteResult:
+        """Run exactly one statement and return its single result."""
+        results = self.execute(hql, render=render)
+        if len(results) != 1:
+            raise ServerError(
+                "query() expects exactly one statement, got {} results".format(
+                    len(results)
+                )
+            )
+        return results[0]
+
+    def transaction(self) -> _TransactionGuard:
+        """``with client.transaction(): ...`` — BEGIN/COMMIT around the
+        block, ROLLBACK if it raises."""
+        return _TransactionGuard(self)
+
+    # convenience wrappers -------------------------------------------------
+
+    def truth(self, relation: str, values: List[str]) -> bool:
+        return bool(
+            self.query(
+                "TRUTH {} ({});".format(relation, ", ".join(values)), render=False
+            ).payload
+        )
+
+    def count(self, relation: str) -> int:
+        return int(self.query("COUNT {};".format(relation), render=False).payload)
+
+    # ------------------------------------------------------------------
+    # admin
+    # ------------------------------------------------------------------
+
+    def admin(self, cmd: str) -> Dict[str, Any]:
+        response = self._roundtrip(
+            {"id": next(self._request_ids), "op": "admin", "cmd": cmd}
+        )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise RemoteError(
+                error.get("type", "ServerError"), error.get("message", "unknown error")
+            )
+        return response.get("admin") or {}
+
+    def ping(self) -> bool:
+        return bool(self.admin("ping").get("ok"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.admin("stats").get("stats") or {}
+
+    def metrics_text(self) -> str:
+        return self.admin("metrics").get("text") or ""
+
+    def slowlog(self) -> List[Dict[str, Any]]:
+        return self.admin("slowlog").get("entries") or []
+
+    def sessions(self) -> List[Dict[str, Any]]:
+        return self.admin("sessions").get("sessions") or []
+
+    def __repr__(self) -> str:
+        return "HQLClient({}:{}, {})".format(
+            self.host, self.port, "connected" if self.connected else "disconnected"
+        )
+
+
+class RemoteRepl:
+    """The wire flavour of :class:`~repro.engine.repl.HQLRepl`:
+    ``repro connect`` reads statements locally and executes them on the
+    server, buffering lines until the terminating ``;`` just like the
+    local shell.  Stream-parameterised so tests can drive it."""
+
+    HELP = """\
+Connected to a repro HQL server — statements end with ';'.
+Meta: \\h help, \\q quit, \\stats server stats, \\metrics Prometheus
+      text, \\slowlog slow-query log, \\sessions live sessions,
+      \\ping liveness."""
+
+    def __init__(
+        self,
+        client: HQLClient,
+        stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None,
+        prompt: str = "hql> ",
+        continuation: str = "...> ",
+    ) -> None:
+        self.client = client
+        self.stdin = stdin if stdin is not None else sys.stdin
+        self.stdout = stdout if stdout is not None else sys.stdout
+        self.prompt = prompt
+        self.continuation = continuation
+
+    def _write(self, text: str) -> None:
+        self.stdout.write(text)
+        if not text.endswith("\n"):
+            self.stdout.write("\n")
+
+    _META = {
+        "\\stats": lambda self: self._write(
+            _render_stats(self.client.stats())
+        ),
+        "\\metrics": lambda self: self._write(self.client.metrics_text() or "(empty)"),
+        "\\slowlog": lambda self: self._write(_render_slowlog(self.client.slowlog())),
+        "\\sessions": lambda self: self._write(
+            "\n".join(str(s) for s in self.client.sessions()) or "(none)"
+        ),
+        "\\ping": lambda self: self._write("pong" if self.client.ping() else "no pong"),
+    }
+
+    def run(self) -> None:
+        hello = self.client.hello or {}
+        self._write(
+            "connected to {}:{} — database {!r}, session {} (\\h help, \\q quit)".format(
+                self.client.host,
+                self.client.port,
+                hello.get("database", "?"),
+                hello.get("session", "?"),
+            )
+        )
+        buffered = ""
+        while True:
+            self.stdout.write(self.continuation if buffered else self.prompt)
+            self.stdout.flush()
+            line = self.stdin.readline()
+            if not line:
+                break
+            stripped = line.strip()
+            if not buffered:
+                if stripped in ("\\q", "\\quit", "exit", "quit"):
+                    break
+                if stripped in ("\\h", "\\help", "help"):
+                    self._write(self.HELP)
+                    continue
+                meta = self._META.get(stripped.replace(".", "\\", 1) if stripped.startswith(".") else stripped)
+                if meta is not None:
+                    try:
+                        meta(self)
+                    except ServerError as exc:
+                        self._write("error: {}".format(exc))
+                    continue
+                if not stripped:
+                    continue
+            buffered = (buffered + "\n" + line) if buffered else line
+            if not stripped.endswith(";"):
+                continue
+            script, buffered = buffered, ""
+            self.execute(script)
+        self._write("bye")
+
+    def execute(self, script: str) -> None:
+        try:
+            for result in self.client.execute(script):
+                self._write(str(result))
+        except ServerError as exc:
+            self._write("error: {}".format(exc))
+
+
+def _render_stats(stats: Dict[str, Any]) -> str:
+    lines = ["server stats for database {!r}:".format(stats.get("database", "?"))]
+    server = stats.get("server") or {}
+    for key in sorted(server):
+        lines.append("  server.{:28s} {}".format(key, server[key]))
+    for scope in ("engine", "core"):
+        for name, value in sorted((stats.get(scope) or {}).items()):
+            lines.append("  {:35s} {}".format(name, value))
+    return "\n".join(lines)
+
+
+def _render_slowlog(entries: List[Dict[str, Any]]) -> str:
+    if not entries:
+        return "slow-query log: empty (or not enabled — serve with --slow-ms)"
+    lines = []
+    for entry in entries:
+        lines.append(
+            "{:.3f} ms  {}".format(entry.get("elapsed_ms", 0.0), entry.get("statement"))
+        )
+        for span_line in entry.get("span") or ():
+            lines.append("    " + span_line)
+    return "\n".join(lines)

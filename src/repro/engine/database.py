@@ -51,6 +51,11 @@ class HierarchicalDatabase:
         #: whenever an *object* is replaced under an existing name.
         self.query_cache = QueryCache(registry=self.metrics)
         self.views = ViewRegistry()
+        #: Declarative record of every :meth:`define_view` call
+        #: (``name -> {"op", "sources", "conditions"}``).  A
+        #: :class:`~repro.core.views.ViewPlan` holds opaque resolver
+        #: callables, so this is what snapshots persist and restore.
+        self.view_definitions: Dict[str, Dict[str, object]] = {}
         #: Attached by :meth:`enable_slow_query_log`; while present the
         #: HQL executor traces every statement and offers it to the log.
         self.slow_query_log: Optional[SlowQueryLog] = None
@@ -187,7 +192,13 @@ class HierarchicalDatabase:
             (lambda n=source: self.relation(n)) for source in sources
         ]
         plan = ViewPlan(op, resolvers, conditions)
-        return self.views.define(name, plan=plan)
+        view = self.views.define(name, plan=plan)
+        self.view_definitions[name] = {
+            "op": op,
+            "sources": list(sources),
+            "conditions": dict(conditions or {}),
+        }
+        return view
 
     def view(self, name: str) -> MaterializedView:
         try:
@@ -200,6 +211,7 @@ class HierarchicalDatabase:
             self.views.drop(name)
         except KeyError:
             raise CatalogError("unknown view {!r}".format(name)) from None
+        self.view_definitions.pop(name, None)
 
     # ------------------------------------------------------------------
     # application-level constraints (section 3.1's "catalog" constraints)

@@ -76,13 +76,32 @@ class HQLExecutor:
     COMMIT), so replaying the log rebuilds the database.
     """
 
-    def __init__(self, database, log=None) -> None:
+    def __init__(self, database, log=None, on_journal=None) -> None:
         self.database = database
         self.log = log
+        #: Called with each statement right after it is journalled (the
+        #: server's recovery manager counts these to pace snapshots).
+        self.on_journal = on_journal
         self._transaction = None
         self._pending_log: List[ast.Statement] = []
 
     # ------------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a ``BEGIN`` block is open on this session."""
+        return self._transaction is not None
+
+    def close(self) -> None:
+        """End the session: roll back any open transaction and discard
+        its pending journal entries (a network session that disconnects
+        mid-transaction must leave no trace)."""
+        if self._transaction is not None:
+            try:
+                self._transaction.rollback()
+            finally:
+                self._transaction = None
+                self._pending_log = []
 
     def run(self, text: str) -> List[Result]:
         """Parse and execute a script; one :class:`Result` per statement."""
@@ -154,6 +173,8 @@ class HQLExecutor:
             self._pending_log.append(statement)
         else:
             self.log.append(statement)
+            if self.on_journal is not None:
+                self.on_journal(statement)
 
     # ------------------------------------------------------------------
     # helpers
@@ -346,11 +367,16 @@ class HQLExecutor:
         try:
             self._transaction.commit()
         finally:
+            # Win or lose, this transaction is over: a failed commit
+            # must not leave its statements behind to be journalled by
+            # a later, unrelated commit.
             self._transaction = None
+            pending, self._pending_log = self._pending_log, []
         if self.log is not None:
-            for pending in self._pending_log:
-                self.log.append(pending)
-        self._pending_log = []
+            for statement in pending:
+                self.log.append(statement)
+                if self.on_journal is not None:
+                    self.on_journal(statement)
         return Result(kind="ok", message="committed")
 
     def _exec_rollback(self, stmt: ast.Rollback) -> Result:
@@ -636,6 +662,16 @@ class HQLExecutor:
         self.database.name = loaded.name
         self.database.hierarchies = loaded.hierarchies
         self.database.relations = loaded.relations
+        # Views must be re-planned against *this* database so their
+        # resolvers track future DROP/CREATE in its catalog (the loaded
+        # object's plans are bound to the loaded object).
+        if hasattr(self.database, "define_view"):
+            for name in list(getattr(self.database, "view_definitions", {})):
+                self.database.drop_view(name)
+            for name, spec in getattr(loaded, "view_definitions", {}).items():
+                self.database.define_view(
+                    name, spec["op"], spec["sources"], spec["conditions"] or None
+                )
         # Every catalogued object was just replaced wholesale; version
         # counters restarted, so the whole cache is unsound.
         cache = self._query_cache()

@@ -10,25 +10,56 @@ a replayed log never reproduces a rolled-back write.
 
 The format is deliberately trivial — one statement per line, ``--``
 comments allowed — so a log is also a human-readable audit trail and a
-valid HQL script.
+valid HQL script.  A single reserved comment, ``-- checkpoint <n>``
+as the first line, marks which snapshot generation the log continues
+(see :meth:`reset` and :mod:`repro.server.recovery`).
+
+Durability trade-off
+--------------------
+``append`` always *flushes* to the OS, so a journalled statement
+survives the **process** dying at any later point.  Surviving the
+**machine** dying additionally requires ``fsync``, which forces the
+OS page cache to stable storage at a cost of roughly one disk flush
+per statement (often the dominant cost of a small write).  The flag
+defaults to **off** — process-crash durability with snapshot-bounded
+loss on power failure — and can be set per log
+(``OperationLog(path, fsync=True)``) or per call
+(``log.append(stmt, fsync=True)``); the server exposes it as
+``repro serve --fsync``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.engine.hql import ast as hql_ast
 
+CHECKPOINT_PREFIX = "-- checkpoint "
+
 
 class OperationLog:
-    """Append-only journal of mutating HQL statements."""
+    """Append-only journal of mutating HQL statements.
 
-    def __init__(self, path: str) -> None:
+    ``fsync`` sets the instance-wide default for :meth:`append` (see
+    the module docstring for the trade-off).
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
         self.path = path
+        self.fsync = fsync
 
-    def append(self, statement: Union[hql_ast.Statement, str]) -> None:
-        """Append one statement (AST node or raw HQL text) durably."""
+    def append(
+        self,
+        statement: Union[hql_ast.Statement, str],
+        fsync: Optional[bool] = None,
+    ) -> None:
+        """Append one statement (AST node or raw HQL text).
+
+        The write is flushed to the OS always; it is additionally
+        fsynced to stable storage when ``fsync`` (or the instance
+        default) is true.
+        """
         if isinstance(statement, hql_ast.Statement):
             line = hql_ast.to_hql(statement)
         else:
@@ -38,14 +69,20 @@ class OperationLog:
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
-            os.fsync(handle.fileno())
+            if self.fsync if fsync is None else fsync:
+                os.fsync(handle.fileno())
 
     def entries(self) -> List[str]:
-        """Every journalled statement, in append order."""
+        """Every journalled statement, in append order (comment lines,
+        including the checkpoint marker, are skipped)."""
         if not os.path.exists(self.path):
             return []
         with open(self.path, "r", encoding="utf-8") as handle:
-            return [line.strip() for line in handle if line.strip()]
+            return [
+                line.strip()
+                for line in handle
+                if line.strip() and not line.strip().startswith("--")
+            ]
 
     def replay(self, database) -> int:
         """Re-execute the journal against ``database``; returns the
@@ -59,6 +96,35 @@ class OperationLog:
         """Discard the journal (e.g. after folding it into a snapshot)."""
         if os.path.exists(self.path):
             os.unlink(self.path)
+
+    # ------------------------------------------------------------------
+    # checkpoint markers (snapshot/log rotation handshake)
+    # ------------------------------------------------------------------
+
+    def reset(self, checkpoint: Optional[int] = None) -> None:
+        """Start a fresh journal, optionally stamped with a checkpoint
+        marker naming the snapshot generation it continues.  The reset
+        is always fsynced — it is the rare, correctness-critical half
+        of log rotation."""
+        with open(self.path, "w", encoding="utf-8") as handle:
+            if checkpoint is not None:
+                handle.write("{}{}\n".format(CHECKPOINT_PREFIX, int(checkpoint)))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def checkpoint_marker(self) -> Optional[int]:
+        """The checkpoint generation this log continues, or ``None``
+        for an unmarked (or missing) log."""
+        if not os.path.exists(self.path):
+            return None
+        with open(self.path, "r", encoding="utf-8") as handle:
+            first = handle.readline().strip()
+        if first.startswith(CHECKPOINT_PREFIX):
+            try:
+                return int(first[len(CHECKPOINT_PREFIX):])
+            except ValueError:
+                return None
+        return None
 
     def __len__(self) -> int:
         return len(self.entries())

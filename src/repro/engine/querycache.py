@@ -29,6 +29,7 @@ counters; EXPLAIN surfaces the per-statement ``cache: hit|miss`` status.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -86,6 +87,11 @@ class QueryCache:
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
         #: relation name -> keys of entries that read it (invalidation index)
         self._by_source: Dict[str, set] = {}
+        #: The server runs read statements on a thread pool under a
+        #: shared read lock, so concurrent lookups race each other (and
+        #: the LRU reorder is a compound mutation); one short critical
+        #: section per operation keeps the store coherent.
+        self._lock = threading.RLock()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._hits = self.registry.counter("querycache.hits")
         self._misses = self.registry.counter("querycache.misses")
@@ -121,13 +127,14 @@ class QueryCache:
 
     def get(self, key: Tuple) -> object:
         """The cached payload, or :data:`MISS`; counts and touches LRU."""
-        entry = self._entries.get(key, MISS)
-        if entry is MISS:
-            self._misses.inc()
-            return MISS
-        self._entries.move_to_end(key)
-        self._hits.inc()
-        return entry
+        with self._lock:
+            entry = self._entries.get(key, MISS)
+            if entry is MISS:
+                self._misses.inc()
+                return MISS
+            self._entries.move_to_end(key)
+            self._hits.inc()
+            return entry
 
     def peek(self, key: Tuple) -> bool:
         """True iff ``key`` is present — no counters, no LRU touch
@@ -139,18 +146,19 @@ class QueryCache:
         full.  ``source_names`` feed the invalidation index."""
         if self.maxsize <= 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = payload
+                return
+            while len(self._entries) >= self.maxsize:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._unindex(evicted_key)
+                self._evictions.inc()
             self._entries[key] = payload
-            return
-        while len(self._entries) >= self.maxsize:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self._unindex(evicted_key)
-            self._evictions.inc()
-        self._entries[key] = payload
-        self._size.set(len(self._entries))
-        for name in source_names:
-            self._by_source.setdefault(name, set()).add(key)
+            self._size.set(len(self._entries))
+            for name in source_names:
+                self._by_source.setdefault(name, set()).add(key)
 
     # ------------------------------------------------------------------
     # invalidation
@@ -161,23 +169,25 @@ class QueryCache:
         many.  Needed only when an object is *replaced* under an
         existing name (version counters restart there); ordinary DML is
         handled by the version stamps."""
-        keys = self._by_source.pop(name, None)
-        if not keys:
-            return 0
-        dropped = 0
-        for key in keys:
-            if self._entries.pop(key, MISS) is not MISS:
-                dropped += 1
-            self._unindex(key, skip=name)
-        self._invalidations.inc(dropped)
-        self._size.set(len(self._entries))
-        return dropped
+        with self._lock:
+            keys = self._by_source.pop(name, None)
+            if not keys:
+                return 0
+            dropped = 0
+            for key in keys:
+                if self._entries.pop(key, MISS) is not MISS:
+                    dropped += 1
+                self._unindex(key, skip=name)
+            self._invalidations.inc(dropped)
+            self._size.set(len(self._entries))
+            return dropped
 
     def clear(self) -> None:
-        self._invalidations.inc(len(self._entries))
-        self._entries.clear()
-        self._by_source.clear()
-        self._size.set(0)
+        with self._lock:
+            self._invalidations.inc(len(self._entries))
+            self._entries.clear()
+            self._by_source.clear()
+            self._size.set(0)
 
     def _unindex(self, key: Tuple, skip: Optional[str] = None) -> None:
         for name, keys in list(self._by_source.items()):

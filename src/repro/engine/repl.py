@@ -29,7 +29,9 @@ HQL quick reference:
   EXPLAIN [ANALYZE] <query>;       STATS;
   BEGIN; COMMIT; ROLLBACK;         SAVE 'file'; LOAD 'file';
 Meta: \\h help, \\q quit, \\stats (or .stats) metrics, \\slowlog (or
-      .slowlog) the slow-query log, \\timing toggle per-statement times."""
+      .slowlog) the slow-query log, \\timing toggle per-statement times,
+      \\save <file> / \\load <file> (or .save/.load) persistence without
+      HQL quoting."""
 
 
 class HQLRepl:
@@ -91,6 +93,10 @@ class HQLRepl:
                 self.timing = not self.timing
                 self._write("timing {}".format("on" if self.timing else "off"))
                 continue
+            first_word = stripped.split(None, 1)[0] if stripped else ""
+            if not buffered and first_word in ("\\save", ".save", "\\load", ".load"):
+                self._meta_persist(stripped)
+                continue
             if not stripped:
                 continue
             buffered = (buffered + "\n" + line) if buffered else line
@@ -100,14 +106,38 @@ class HQLRepl:
             self.execute(script)
         self._write("bye")
 
+    def _meta_persist(self, stripped: str) -> None:
+        """``\\save <file>`` / ``\\load <file>`` — persistence meta
+        commands that bypass HQL string quoting.  Storage problems
+        (:class:`~repro.errors.StorageError`, raw ``OSError``) surface
+        as one-line user messages, never tracebacks."""
+        from repro.engine.hql import ast as hql_ast
+
+        parts = stripped.split(None, 1)
+        command = parts[0].lstrip("\\.")
+        path = parts[1].strip() if len(parts) > 1 else ""
+        if not path:
+            self._write("usage: \\{} <file>".format(command))
+            return
+        statement = (
+            hql_ast.Save(path=path) if command == "save" else hql_ast.Load(path=path)
+        )
+        try:
+            self._write(str(self.session.execute_statement(statement)))
+        except (ReproError, OSError) as exc:
+            self._write("error: {}".format(exc))
+
     def execute(self, script: str) -> None:
-        """Run one buffered script, printing results or the error."""
+        """Run one buffered script, printing results or the error.
+        ``OSError`` is included for the persistence statements — a
+        full-disk or permission failure during ``SAVE``/``LOAD`` is a
+        user message, not a traceback."""
         try:
             for result in self.session.run(script):
                 self._write(str(result))
                 if self.timing and result.elapsed_ms is not None:
                     self._write("time: {:.3f} ms".format(result.elapsed_ms))
-        except ReproError as exc:
+        except (ReproError, OSError) as exc:
             self._write("error: {}".format(exc))
 
 

@@ -11,14 +11,17 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict
+import tempfile
+from typing import Any, Dict, Optional
 
 from repro.core.preemption import STRATEGIES
 from repro.errors import StorageError
 from repro.hierarchy.graph import Hierarchy
 
 FORMAT_NAME = "repro-db"
-FORMAT_VERSION = 1
+#: Version 2 added the ``views`` list; version-1 files still load.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def database_to_dict(database) -> Dict[str, Any]:
@@ -61,12 +64,24 @@ def database_to_dict(database) -> Dict[str, Any]:
                 "tuples": [[list(t.item), t.truth] for t in relation.tuples()],
             }
         )
+    views = [
+        {
+            "name": name,
+            "op": spec["op"],
+            "sources": list(spec["sources"]),
+            "conditions": dict(spec["conditions"]),
+        }
+        for name, spec in sorted(
+            getattr(database, "view_definitions", {}).items()
+        )
+    ]
     return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "name": database.name,
         "hierarchies": hierarchies,
         "relations": relations,
+        "views": views,
     }
 
 
@@ -78,10 +93,10 @@ def database_from_dict(payload: Dict[str, Any]):
         raise StorageError(
             "not a {} file (format={!r})".format(FORMAT_NAME, payload.get("format"))
         )
-    if payload.get("version") != FORMAT_VERSION:
+    if payload.get("version") not in SUPPORTED_VERSIONS:
         raise StorageError(
             "unsupported format version {!r} (supported: {})".format(
-                payload.get("version"), FORMAT_VERSION
+                payload.get("version"), ", ".join(map(str, SUPPORTED_VERSIONS))
             )
         )
     database = HierarchicalDatabase(payload.get("name", "db"))
@@ -111,25 +126,71 @@ def database_from_dict(payload: Dict[str, Any]):
         )
         for item, truth in spec.get("tuples", ()):
             relation.assert_item(tuple(item), truth=bool(truth))
+    for spec in payload.get("views", ()):
+        database.define_view(
+            spec["name"],
+            spec["op"],
+            list(spec.get("sources", ())),
+            spec.get("conditions") or None,
+        )
     return database
 
 
-def save_database(database, path: str) -> None:
-    """Write the database to ``path`` atomically (write + rename)."""
+def write_json_atomic(path: str, payload: Dict[str, Any]) -> None:
+    """Crash-safely write ``payload`` as JSON to ``path``.
+
+    The bytes go to an anonymous temp file *in the same directory*
+    (``os.replace`` must not cross filesystems), are fsynced, and only
+    then renamed into place — a crash at any point leaves either the
+    old complete file or the new complete file, never a torn one.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def save_database(database, path: str, extra: Optional[Dict[str, Any]] = None) -> None:
+    """Write the database to ``path`` crash-safely (temp file in the
+    same directory + fsync + ``os.replace``).  ``extra`` keys are merged
+    into the payload top level — the server's recovery manager stamps
+    its checkpoint generation this way; :func:`database_from_dict`
+    ignores keys it does not know."""
     payload = database_to_dict(database)
-    tmp_path = path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    os.replace(tmp_path, path)
+    if extra:
+        payload.update(extra)
+    try:
+        write_json_atomic(path, payload)
+    except OSError as exc:
+        raise StorageError("cannot write {}: {}".format(path, exc)) from exc
 
 
 def load_database(path: str):
+    return database_from_dict(read_payload(path))
+
+
+def read_payload(path: str) -> Dict[str, Any]:
+    """The raw JSON payload of a saved database (recovery reads this
+    directly to see checkpoint stamps before rebuilding objects)."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+            return json.load(handle)
     except FileNotFoundError:
         raise StorageError("no such database file: {}".format(path)) from None
     except json.JSONDecodeError as exc:
         raise StorageError("corrupt database file {}: {}".format(path, exc)) from None
-    return database_from_dict(payload)
+    except OSError as exc:
+        raise StorageError("cannot read {}: {}".format(path, exc)) from None

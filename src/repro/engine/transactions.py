@@ -40,6 +40,11 @@ class Transaction:
     def __init__(self, database) -> None:
         self._database = database
         self._staged: Dict[str, HRelation] = {}
+        #: The live relation each staged copy was forked from — compared
+        #: by identity at commit to detect a concurrent commit.
+        self._bases: Dict[str, HRelation] = {}
+        #: Every mutation in call order, for replay during a rebase.
+        self._ops: List[tuple] = []
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -48,7 +53,9 @@ class Transaction:
         if self._finished:
             raise TransactionError("transaction already committed or rolled back")
         if relation_name not in self._staged:
-            self._staged[relation_name] = self._database.relation(relation_name).copy()
+            base = self._database.relation(relation_name)
+            self._staged[relation_name] = base.copy()
+            self._bases[relation_name] = base
         return self._staged[relation_name]
 
     def assert_item(
@@ -59,9 +66,11 @@ class Transaction:
         replace: bool = False,
     ) -> None:
         self._working(relation_name).assert_item(item, truth=truth, replace=replace)
+        self._ops.append(("assert", relation_name, tuple(item), truth, replace))
 
     def retract(self, relation_name: str, item: Sequence[str]) -> None:
         self._working(relation_name).retract(item)
+        self._ops.append(("retract", relation_name, tuple(item)))
 
     def relation(self, relation_name: str) -> HRelation:
         """The staged view of a relation (reads-your-writes)."""
@@ -79,6 +88,7 @@ class Transaction:
         for _ in range(100):  # resolution can cascade; bound it
             conflicts = find_conflicts(working)
             if not conflicts:
+                self._ops.append(("resolve", relation_name, truth))
                 return resolved
             for conflict in conflicts:
                 for t in resolution_tuples(working, conflict, truth):
@@ -96,11 +106,43 @@ class Transaction:
             if find_conflicts(relation)
         }
 
+    def _rebase(self) -> None:
+        """Re-fork from the live catalog and replay this transaction's
+        operations.  Called when another transaction committed one of
+        our relations after we forked it: installing the stale copy
+        would silently discard the other commit, so the operations are
+        merged onto the current state instead — the same semantics the
+        operation log produces when it is replayed at recovery."""
+        self._staged.clear()
+        self._bases.clear()
+        ops, self._ops = list(self._ops), []
+        for op in ops:
+            if op[0] == "assert":
+                _, name, item, truth, replace = op
+                self.assert_item(name, item, truth=truth, replace=replace)
+            elif op[0] == "retract":
+                self.retract(op[1], op[2])
+            else:
+                self.resolve_conflicts(op[1], op[2])
+
     def commit(self) -> None:
-        """Install all staged relations, or raise and change nothing."""
+        """Install all staged relations, or raise and change nothing.
+
+        If a concurrent transaction committed one of the staged
+        relations in the meantime, the operations are replayed against
+        the current state first (see :meth:`_rebase`), so concurrent
+        commits merge rather than overwrite each other.
+        """
         if self._finished:
             raise TransactionError("transaction already committed or rolled back")
         metrics = getattr(self._database, "metrics", None)
+        if any(
+            self._database.relations.get(name) is not base
+            for name, base in self._bases.items()
+        ):
+            self._rebase()
+            if metrics is not None:
+                metrics.counter("txn.rebases").inc()
         with _span("txn.commit", staged=len(self._staged)):
             all_conflicts: List[Conflict] = []
             for name, relation in self._staged.items():

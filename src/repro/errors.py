@@ -126,3 +126,27 @@ class HQLSyntaxError(HQLError):
 
 class StorageError(ReproError):
     """A persistence problem: unreadable file or unsupported format version."""
+
+
+class ServerError(ReproError):
+    """A problem in the network server or client layer."""
+
+
+class ProtocolError(ServerError):
+    """A malformed, oversized, or version-incompatible wire frame."""
+
+
+class RemoteError(ServerError):
+    """An error reported by the server for a remotely executed statement.
+
+    Attributes
+    ----------
+    remote_type:
+        The class name of the exception raised server-side (e.g.
+        ``"HQLSyntaxError"``), so clients can branch without depending
+        on the server's exception objects.
+    """
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        self.remote_type = remote_type
+        super().__init__("{}: {}".format(remote_type, message))

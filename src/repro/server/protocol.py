@@ -1,0 +1,248 @@
+"""The HQL wire protocol: versioned, length-prefixed JSON frames.
+
+Framing
+-------
+Every message — in both directions — is one *frame*: a 4-byte unsigned
+big-endian length followed by that many bytes of UTF-8 JSON.  Frames
+larger than the negotiated maximum (default 32 MiB) are rejected with
+:class:`~repro.errors.ProtocolError` before any allocation.
+
+Handshake
+---------
+On connect the server speaks first, sending a hello frame::
+
+    {"server": "repro", "protocol": 1, "version": "1.0.0",
+     "database": "zoo", "session": 7, "max_frame": 33554432}
+
+Clients must check ``server`` and ``protocol`` and disconnect on
+mismatch; everything after the hello is request/response.
+
+Requests
+--------
+``{"id": n, "op": "query", "hql": "...", "render": true}``
+    Execute an HQL script (one or more statements).  ``render`` (default
+    true) controls whether relation-valued results include the rendered
+    ASCII table in ``message`` — programmatic clients turn it off and
+    read ``payload`` instead.
+``{"id": n, "op": "admin", "cmd": "ping" | "stats" | "metrics" |
+  "slowlog" | "sessions"}``
+    Observability without HQL: see :mod:`repro.server.admin`.
+
+Responses
+---------
+``{"id": n, "ok": true, "results": [...]}`` — one serialised
+:class:`~repro.engine.hql.executor.Result` per executed statement, or
+``{"id": n, "ok": true, "admin": {...}}`` for admin commands.
+``{"id": n, "ok": false, "error": {"type": "...", "message": "..."},
+"results": [...]}`` — the statements before the failing one still
+report their results (HQL scripts execute left to right).
+
+Both an asyncio flavour (:func:`read_frame`) and a blocking-socket
+flavour (:func:`recv_frame`/:func:`send_frame`) live here so the server
+and the :class:`~repro.client.HQLClient` cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProtocolError
+
+PROTOCOL_NAME = "repro"
+PROTOCOL_VERSION = 1
+DEFAULT_MAX_FRAME = 32 * 1024 * 1024
+_HEADER = struct.Struct("!I")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One wire frame: length header + JSON body."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > 0xFFFFFFFF:
+        raise ProtocolError("frame too large to encode ({} bytes)".format(len(body)))
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("undecodable frame body: {}".format(exc)) from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "frame body must be a JSON object, got {}".format(type(message).__name__)
+        )
+    return message
+
+
+async def read_frame(reader, max_frame: int = DEFAULT_MAX_FRAME) -> Optional[Dict[str, Any]]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on a truncated or oversized frame.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            "frame of {} bytes exceeds the {}-byte limit".format(length, max_frame)
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_body(body)
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    """Blocking-socket counterpart of writing one frame."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(
+    sock: socket.socket, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[Dict[str, Any]]:
+    """Blocking-socket counterpart of :func:`read_frame` (``None`` on
+    clean EOF at a frame boundary)."""
+    header = _recv_exactly(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise ProtocolError(
+            "frame of {} bytes exceeds the {}-byte limit".format(length, max_frame)
+        )
+    body = _recv_exactly(sock, length, allow_eof=False)
+    return decode_body(body)
+
+
+def _recv_exactly(sock: socket.socket, count: int, allow_eof: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# messages
+# ----------------------------------------------------------------------
+
+
+def hello(database_name: str, session_id: int, version: str, max_frame: int) -> Dict[str, Any]:
+    return {
+        "server": PROTOCOL_NAME,
+        "protocol": PROTOCOL_VERSION,
+        "version": version,
+        "database": database_name,
+        "session": session_id,
+        "max_frame": max_frame,
+    }
+
+
+def check_hello(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a server hello client-side; returns it unchanged."""
+    if message.get("server") != PROTOCOL_NAME:
+        raise ProtocolError(
+            "not a repro server (hello says server={!r})".format(message.get("server"))
+        )
+    if message.get("protocol") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "protocol version mismatch: server speaks {!r}, client speaks {}".format(
+                message.get("protocol"), PROTOCOL_VERSION
+            )
+        )
+    return message
+
+
+def ok_response(request_id: Any, results: List[Dict[str, Any]]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "results": results}
+
+
+def admin_response(request_id: Any, payload: Dict[str, Any]) -> Dict[str, Any]:
+    return {"id": request_id, "ok": True, "admin": payload}
+
+
+def error_response(
+    request_id: Any,
+    error: BaseException,
+    results: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(error).__name__, "message": str(error)},
+        "results": results or [],
+    }
+
+
+# ----------------------------------------------------------------------
+# result serialisation
+# ----------------------------------------------------------------------
+
+
+def _relation_to_json(relation) -> Dict[str, Any]:
+    return {
+        "name": relation.name,
+        "attributes": list(relation.schema.attributes),
+        "hierarchies": [h.name for h in relation.schema.hierarchies],
+        "strategy": relation.strategy.name,
+        "tuples": [[list(t.item), bool(t.truth)] for t in relation.tuples()],
+    }
+
+
+def payload_to_json(result) -> Any:
+    """The JSON-safe projection of a Result payload, or ``None`` when
+    the ``message`` rendering is the whole story (ok/plan/justify)."""
+    kind, payload = result.kind, result.payload
+    if kind == "truth":
+        return bool(payload)
+    if kind == "count":
+        return int(payload)
+    if kind == "extension":
+        return [list(row) for row in payload]
+    if kind == "relation":
+        return _relation_to_json(payload)
+    if kind == "conflicts":
+        return [str(conflict) for conflict in payload]
+    if kind == "show":
+        return [list(row) for row in payload]
+    if kind == "stats":
+        return payload
+    if kind == "ok" and isinstance(payload, (int, float, str)):
+        return payload
+    return None
+
+
+def serialize_result(result, render: bool = True) -> Dict[str, Any]:
+    """One Result as a wire dict.  ``render=False`` skips the ASCII
+    table for relation/extension payloads (lazy in the executor, so the
+    cost is genuinely never paid)."""
+    wire: Dict[str, Any] = {
+        "kind": result.kind,
+        "payload": payload_to_json(result),
+        "elapsed_ms": result.elapsed_ms,
+    }
+    if render or result.kind not in ("relation", "extension"):
+        wire["message"] = result.message
+    return wire

@@ -1,0 +1,388 @@
+"""The concurrent HQL server.
+
+One :class:`HQLServer` serves one
+:class:`~repro.engine.database.HierarchicalDatabase` to many
+connections over the wire protocol of :mod:`repro.server.protocol`.
+Concurrency model:
+
+* the event loop owns all sockets and the
+  :class:`~repro.server.locking.ReadWriteLock`;
+* each statement executes on a worker thread (``asyncio.to_thread``)
+  while the loop holds the lock in the statement's mode — shared for
+  reads, exclusive for writes — so read statements from different
+  connections overlap and mutating statements serialise;
+* each connection owns a :class:`~repro.server.session.Session` whose
+  executor holds its transaction state; ``ASSERT``/``RETRACT`` inside
+  an open transaction stage copies privately and therefore run under
+  the *shared* lock, while ``COMMIT`` (which installs the staged
+  relations) takes the exclusive lock.
+
+With ``data_dir`` set the server recovers at construction (snapshot +
+journal replay via :class:`~repro.server.recovery.RecoveryManager`),
+journals every committed write, and checkpoints — snapshot + journal
+rotation — every ``snapshot_interval`` journalled statements and again
+at graceful shutdown.
+
+Shutdown comes in two flavours: :meth:`shutdown` (graceful — stop
+accepting, *drain* in-flight statements, close connections, final
+checkpoint) and :meth:`abort` (simulated crash for recovery tests —
+connections are severed mid-flight and nothing is flushed beyond what
+the journal already holds).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro import __version__
+from repro.engine.database import HierarchicalDatabase
+from repro.engine.hql import HQLExecutor
+from repro.engine.hql import ast
+from repro.engine.hql.parser import parse
+from repro.errors import ProtocolError, ReproError, ServerError
+from repro.server import admin as admin_mod
+from repro.server import protocol
+from repro.server.locking import ReadWriteLock
+from repro.server.recovery import RecoveryManager
+from repro.server.session import Session
+
+
+class HQLServer:
+    """An asyncio HQL service over one hierarchical database."""
+
+    def __init__(
+        self,
+        database: Optional[HierarchicalDatabase] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        data_dir: Optional[str] = None,
+        snapshot_interval: int = 500,
+        fsync: bool = False,
+        admin_port: Optional[int] = None,
+        slow_query_ms: Optional[float] = None,
+        max_frame: int = protocol.DEFAULT_MAX_FRAME,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        if database is not None and data_dir is not None:
+            raise ServerError(
+                "pass either a database or a data_dir to recover from, not both"
+            )
+        self.recovery: Optional[RecoveryManager] = None
+        if data_dir is not None:
+            self.recovery = RecoveryManager(
+                data_dir, fsync=fsync, snapshot_interval=snapshot_interval
+            )
+            self.database = self.recovery.recover()
+        else:
+            self.database = database if database is not None else HierarchicalDatabase("server")
+        if slow_query_ms is not None:
+            self.database.enable_slow_query_log(slow_query_ms)
+        self.host = host
+        self.port = port
+        self.admin_port = admin_port
+        self.max_frame = max_frame
+        self.drain_timeout = drain_timeout
+        self.lock = ReadWriteLock()
+        self.sessions: Dict[int, Session] = {}
+        self.started_at = 0.0
+        self.draining = False
+        self._session_ids = itertools.count(1)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._admin_server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self._inflight = 0
+        self._idle: Optional[asyncio.Event] = None
+        metrics = self.database.metrics
+        self._m_connections = metrics.gauge("server.connections")
+        self._m_connections_total = metrics.counter("server.connections_total")
+        self._m_statements = metrics.counter("server.statements")
+        self._m_errors = metrics.counter("server.errors")
+        self._m_checkpoints = metrics.counter("server.checkpoints")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listener(s); returns ``(host, port)`` actually bound
+        (``port=0`` picks an ephemeral one)."""
+        import time
+
+        self.started_at = time.time()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(self._handle_conn, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.admin_port is not None:
+            self._admin_server = await asyncio.start_server(
+                lambda r, w: admin_mod.handle_http(self, r, w), self.host, self.admin_port
+            )
+            self.admin_port = self._admin_server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Graceful stop: no new connections, in-flight statements
+        drain (bounded by ``drain_timeout``), connections close, and —
+        when a data directory is attached — a final checkpoint folds
+        the journal into the snapshot."""
+        self.draining = True
+        await self._close_listeners()
+        if drain and self._idle is not None:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._idle.wait(), self.drain_timeout)
+        await self._sever_connections()
+        if drain and self.recovery is not None:
+            await asyncio.to_thread(self.recovery.checkpoint, self.database)
+            self._m_checkpoints.inc()
+
+    async def abort(self) -> None:
+        """Simulated crash: sever everything *now*; no drain, no final
+        checkpoint — recovery must succeed from the snapshot and
+        journal exactly as they are on disk."""
+        self.draining = True
+        await self._close_listeners()
+        await self._sever_connections()
+
+    async def _close_listeners(self) -> None:
+        for server in (self._server, self._admin_server):
+            if server is not None:
+                server.close()
+                with contextlib.suppress(Exception):
+                    await server.wait_closed()
+        self._server = None
+        self._admin_server = None
+
+    async def _sever_connections(self) -> None:
+        tasks = list(self._conn_tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        session_id = next(self._session_ids)
+        executor = HQLExecutor(
+            self.database,
+            log=self.recovery.journal if self.recovery is not None else None,
+            on_journal=(
+                self.recovery.note_journalled if self.recovery is not None else None
+            ),
+        )
+        peer = writer.get_extra_info("peername")
+        session = Session(
+            session_id, executor, "{}:{}".format(*peer[:2]) if peer else None
+        )
+        self.sessions[session_id] = session
+        self._m_connections.inc()
+        self._m_connections_total.inc()
+        try:
+            writer.write(
+                protocol.encode_frame(
+                    protocol.hello(
+                        self.database.name, session_id, __version__, self.max_frame
+                    )
+                )
+            )
+            await writer.drain()
+            while not self.draining:
+                try:
+                    message = await protocol.read_frame(reader, self.max_frame)
+                except ProtocolError as exc:
+                    # The stream is no longer frame-aligned; report and
+                    # hang up rather than misparse everything after.
+                    with contextlib.suppress(ConnectionError, OSError):
+                        writer.write(
+                            protocol.encode_frame(protocol.error_response(None, exc))
+                        )
+                        await writer.drain()
+                    break
+                if message is None:
+                    break
+                response = await self._handle_message(session, message)
+                writer.write(protocol.encode_frame(response))
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            session.close()
+            self.sessions.pop(session_id, None)
+            self._m_connections.dec()
+            if task is not None:
+                self._conn_tasks.discard(task)
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    # statement dispatch
+    # ------------------------------------------------------------------
+
+    async def _handle_message(self, session: Session, message: dict) -> dict:
+        request_id = message.get("id")
+        op = message.get("op")
+        try:
+            if op == "query":
+                return await self._handle_query(session, message)
+            if op == "admin":
+                return protocol.admin_response(
+                    request_id, admin_mod.admin_payload(self, str(message.get("cmd")))
+                )
+            raise ServerError("unknown request op {!r}".format(op))
+        except ReproError as exc:
+            self._m_errors.inc()
+            return protocol.error_response(request_id, exc)
+
+    async def _handle_query(self, session: Session, message: dict) -> dict:
+        request_id = message.get("id")
+        text = message.get("hql")
+        if not isinstance(text, str):
+            raise ServerError("query request needs an 'hql' string")
+        render = bool(message.get("render", True))
+        statements = parse(text)  # syntax errors abort the whole request
+        results = []
+        for statement in statements:
+            try:
+                result = await self._execute_locked(session, statement)
+            except ReproError as exc:
+                # Statements before the failure already ran (exactly as
+                # in a local script); report them alongside the error.
+                self._m_errors.inc()
+                response = protocol.error_response(request_id, exc, results)
+                response["txn"] = session.in_transaction
+                return response
+            self._m_statements.inc()
+            results.append(protocol.serialize_result(result, render=render))
+        response = protocol.ok_response(request_id, results)
+        # Authoritative per-session transaction state, so clients track
+        # BEGIN/COMMIT without re-parsing what they sent.
+        response["txn"] = session.in_transaction
+        return response
+
+    def _needs_write_lock(self, statement: ast.Statement, session: Session) -> bool:
+        """Exclusive-mode classification.
+
+        ``COMMIT`` installs staged relations and ``LOAD`` replaces the
+        whole catalog: always exclusive.  DML *inside* an open
+        transaction only stages private copies, so it runs shared;
+        outside a transaction it auto-commits, so it is exclusive, as
+        is every DDL statement (the executor applies DDL immediately
+        even mid-transaction).
+        """
+        if isinstance(statement, (ast.Commit, ast.Load)):
+            return True
+        if isinstance(statement, ast.MUTATING):
+            if isinstance(statement, (ast.Assert, ast.Retract)) and session.in_transaction:
+                return False
+            return True
+        return False
+
+    async def _execute_locked(self, session: Session, statement: ast.Statement):
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            if self._needs_write_lock(statement, session):
+                async with self.lock.write_locked():
+                    result = await asyncio.to_thread(session.execute, statement)
+                    if self.recovery is not None and self.recovery.checkpoint_due:
+                        # Still exclusive: the snapshot sees a settled
+                        # catalog and the rotation can lose no writes.
+                        await asyncio.to_thread(self.recovery.checkpoint, self.database)
+                        self._m_checkpoints.inc()
+            else:
+                async with self.lock.read_locked():
+                    result = await asyncio.to_thread(session.execute, statement)
+            return result
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+
+# ----------------------------------------------------------------------
+# embedding helper
+# ----------------------------------------------------------------------
+
+
+class ServerThread:
+    """Run an :class:`HQLServer` on a background thread with its own
+    event loop — how tests, benchmarks, and embedders boot a live
+    server without taking over the main thread.
+
+    Examples
+    --------
+    >>> # runner = ServerThread(HQLServer(db))
+    >>> # host, port = runner.start()
+    >>> # ... connect HQLClients ...
+    >>> # runner.shutdown()          # graceful; or runner.abort()
+    """
+
+    def __init__(self, server: HQLServer) -> None:
+        self.server = server
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, name="hql-server", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ServerError("server failed to start within {}s".format(timeout))
+        if self._boot_error is not None:
+            raise self._boot_error
+        return self.server.host, self.server.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # bind failure, bad data dir, ...
+                self._boot_error = exc
+                return
+            finally:
+                self._started.set()
+            loop.run_forever()
+        finally:
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            asyncio.set_event_loop(None)
+            loop.close()
+
+    def _stop(self, coro, timeout: float) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            future.result(timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout)
+
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        self._stop(self.server.shutdown(drain=drain), timeout)
+
+    def abort(self, timeout: float = 30.0) -> None:
+        """Crash the server (see :meth:`HQLServer.abort`)."""
+        self._stop(self.server.abort(), timeout)

@@ -1,0 +1,81 @@
+"""Per-connection server sessions.
+
+One :class:`Session` exists per accepted connection; it owns the
+connection's :class:`~repro.engine.hql.HQLExecutor` and therefore its
+transaction state — ``BEGIN`` on one connection never affects another,
+because staged writes live on the executor until COMMIT.  The session
+also carries the connection's observability: per-session statement and
+error counts for the admin ``sessions`` command, and a
+``server.session`` span wrapped around every statement so that when
+tracing is on (forced per statement while the slow-query log is
+attached), slow-query entries are attributable to the connection that
+issued them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.engine.hql import ast
+from repro.obs import trace as _trace
+
+
+class Session:
+    """The server-side state of one client connection."""
+
+    def __init__(self, session_id: int, executor, peer: Optional[str] = None) -> None:
+        self.id = session_id
+        self.executor = executor
+        self.peer = peer or "?"
+        self.opened_at = time.time()
+        self.statements = 0
+        self.errors = 0
+        self.last_hql: Optional[str] = None
+        self.closed = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.executor.in_transaction
+
+    def execute(self, statement: ast.Statement):
+        """Run one statement on this session's executor (called on a
+        worker thread while the server holds the appropriate lock
+        mode)."""
+        self.statements += 1
+        self.last_hql = ast.to_hql(statement)
+        with _trace.span("server.session", session=self.id, peer=self.peer):
+            try:
+                return self.executor.execute_statement(statement)
+            except Exception:
+                self.errors += 1
+                raise
+
+    def close(self) -> None:
+        """Disconnect cleanup: roll back any open transaction so a
+        dropped connection can never leave half a transaction staged
+        (or journalled)."""
+        if not self.closed:
+            self.closed = True
+            self.executor.close()
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        """The admin ``sessions`` row for this connection."""
+        return {
+            "id": self.id,
+            "peer": self.peer,
+            "age_s": round(time.time() - self.opened_at, 3),
+            "statements": self.statements,
+            "errors": self.errors,
+            "in_transaction": self.in_transaction,
+            "last_hql": self.last_hql,
+        }
+
+    def __repr__(self) -> str:
+        return "Session(id={}, peer={!r}, statements={})".format(
+            self.id, self.peer, self.statements
+        )

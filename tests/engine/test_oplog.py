@@ -96,3 +96,53 @@ class TestSnapshotPlusLog:
         log.replay(recovered)
         assert recovered.relation("flies").holds("tweety")
         assert not recovered.relation("flies").holds("polly")
+
+
+class TestDurabilityKnobs:
+    def _counting_fsync(self, monkeypatch):
+        from repro.engine import oplog as oplog_mod
+
+        calls = []
+        monkeypatch.setattr(oplog_mod.os, "fsync", lambda fd: calls.append(fd))
+        return calls
+
+    def test_fsync_off_by_default(self, tmp_path, monkeypatch):
+        calls = self._counting_fsync(monkeypatch)
+        log = OperationLog(str(tmp_path / "a.hql"))
+        log.append("ASSERT flies (bird)")
+        assert calls == []  # flushed, not fsynced
+
+    def test_fsync_instance_default(self, tmp_path, monkeypatch):
+        calls = self._counting_fsync(monkeypatch)
+        log = OperationLog(str(tmp_path / "b.hql"), fsync=True)
+        log.append("ASSERT flies (bird)")
+        assert len(calls) == 1
+
+    def test_fsync_per_call_override(self, tmp_path, monkeypatch):
+        calls = self._counting_fsync(monkeypatch)
+        log = OperationLog(str(tmp_path / "c.hql"))
+        log.append("ASSERT flies (bird)", fsync=True)
+        assert len(calls) == 1
+        log.append("ASSERT flies (bird)", fsync=False)
+        assert len(calls) == 1
+
+
+class TestCheckpointMarkers:
+    def test_reset_stamps_generation(self, log):
+        log.append("ASSERT flies (bird)")
+        log.reset(checkpoint=3)
+        assert log.entries() == []  # the marker is not an entry
+        assert log.checkpoint_marker() == 3
+        assert len(log) == 0
+
+    def test_marker_absent_on_plain_log(self, log):
+        log.append("ASSERT flies (bird)")
+        assert log.checkpoint_marker() is None
+
+    def test_comment_lines_ignored_by_replay(self, log, tmp_path):
+        log.reset(checkpoint=1)
+        db = HierarchicalDatabase("zoo")
+        HQLExecutor(db, log=log).run(SETUP)
+        rebuilt = HierarchicalDatabase("fresh")
+        assert log.replay(rebuilt) == 5  # the marker line is skipped
+        assert rebuilt.relation("flies").holds("tweety")

@@ -97,3 +97,79 @@ class TestErrors:
         save_database(db, str(path))
         assert path.exists()
         assert not (tmp_path / "zoo.json.tmp").exists()
+
+
+class TestCrashSafeWrite:
+    def test_failure_leaves_original_intact(self, db, tmp_path, monkeypatch):
+        """A crash mid-write (simulated: os.replace explodes) must leave
+        the previous complete file untouched and no temp litter."""
+        import os
+
+        from repro.engine import storage
+
+        path = tmp_path / "zoo.json"
+        save_database(db, str(path))
+        before = path.read_text()
+
+        def explode(src, dst):
+            raise OSError("disk went away")
+
+        monkeypatch.setattr(storage.os, "replace", explode)
+        with pytest.raises(StorageError, match="cannot write"):
+            save_database(db, str(path))
+        assert path.read_text() == before  # old file never touched
+        assert [p for p in os.listdir(tmp_path) if p != "zoo.json"] == []
+
+    def test_temp_file_written_in_same_directory(self, db, tmp_path, monkeypatch):
+        """os.replace must not cross filesystems, so the temp file has
+        to live next to its destination."""
+        from repro.engine import storage
+
+        seen = {}
+        real_mkstemp = storage.tempfile.mkstemp
+
+        def spy(**kwargs):
+            seen.update(kwargs)
+            return real_mkstemp(**kwargs)
+
+        monkeypatch.setattr(storage.tempfile, "mkstemp", spy)
+        save_database(db, str(tmp_path / "sub.json"))
+        assert seen["dir"] == str(tmp_path)
+
+    def test_extra_keys_merge_and_survive_load(self, db, tmp_path):
+        from repro.engine.storage import read_payload
+
+        path = str(tmp_path / "stamped.json")
+        save_database(db, path, extra={"checkpoint": 7})
+        assert read_payload(path)["checkpoint"] == 7
+        # Unknown top-level keys are ignored by the loader.
+        assert load_database(path).name == "zoo"
+
+
+class TestViews:
+    def test_views_roundtrip(self, db, tmp_path):
+        db.create_relation("swims", [("creature", "animal")]).assert_item(
+            ("penguin",)
+        )
+        db.define_view("movers", "union", ["flies", "swims"])
+        path = str(tmp_path / "views.json")
+        save_database(db, path)
+        loaded = load_database(path)
+        assert loaded.view_definitions["movers"] == {
+            "op": "union",
+            "sources": ["flies", "swims"],
+            "conditions": {},
+        }
+        assert loaded.view("movers").relation().truth_of(("penguin",)) is True
+
+    def test_version_1_files_still_load(self, db, tmp_path):
+        """Format v2 added the views list; v1 payloads (no such key)
+        must keep loading."""
+        payload = database_to_dict(db)
+        payload["version"] = 1
+        payload.pop("views")
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(payload))
+        loaded = load_database(str(path))
+        assert loaded.relation("flies").holds("tweety")
+        assert loaded.view_definitions == {}

@@ -104,3 +104,66 @@ class TestAutoResolution:
             txn.assert_item("respects", ("student", "incoherent"), truth=False)
             txn.resolve_conflicts("respects", truth=False)
         assert not db.relation("respects").truth_of(("john", "bill"))
+
+
+class TestConcurrentCommits:
+    """Two overlapping transactions must merge at commit, not clobber.
+
+    The second commit re-forks from the live catalog and replays its
+    operations (a *rebase*) whenever the relation changed under it —
+    the invariant the network server relies on, and the same final
+    state replaying the operation log produces at recovery.
+    """
+
+    def test_interleaved_commits_merge(self, db):
+        first = db.transaction()
+        second = db.transaction()
+        first.assert_item("respects", ("john", "teacher"))
+        second.assert_item("respects", ("obsequious", "bill"))
+        first.commit()
+        second.commit()  # rebases: first's write must survive
+        relation = db.relation("respects")
+        assert relation.truth_of_stored(("john", "teacher")) is True
+        assert relation.truth_of_stored(("obsequious", "bill")) is True
+
+    def test_rebase_counts_in_metrics(self, db):
+        first = db.transaction()
+        second = db.transaction()
+        first.assert_item("respects", ("john", "teacher"))
+        second.assert_item("respects", ("obsequious", "bill"))
+        first.commit()
+        second.commit()
+        assert db.metrics.counter("txn.rebases").value == 1
+
+    def test_sequential_commits_do_not_rebase(self, db):
+        with db.transaction() as txn:
+            txn.assert_item("respects", ("john", "teacher"))
+        assert db.metrics.counter("txn.rebases").value == 0
+
+    def test_rebased_commit_still_validates(self, db):
+        """A rebase can surface a conflict created by the other
+        transaction; the commit must refuse it, changing nothing."""
+        first = db.transaction()
+        second = db.transaction()
+        first.assert_item("respects", ("obsequious", "teacher"))
+        second.assert_item("respects", ("student", "incoherent"), truth=False)
+        first.commit()
+        with pytest.raises(InconsistentRelationError):
+            second.commit()
+        relation = db.relation("respects")
+        assert relation.truth_of_stored(("obsequious", "teacher")) is True
+        assert relation.truth_of_stored(("student", "incoherent")) is None
+
+    def test_interleaved_retract_merges(self, db):
+        db.insert("respects", ("john", "teacher"))
+        db.insert("respects", ("obsequious", "bill"))
+        first = db.transaction()
+        second = db.transaction()
+        first.retract("respects", ("john", "teacher"))
+        second.assert_item("respects", ("john", "bill"))
+        first.commit()
+        second.commit()
+        relation = db.relation("respects")
+        assert relation.truth_of_stored(("john", "teacher")) is None
+        assert relation.truth_of_stored(("john", "bill")) is True
+        assert relation.truth_of_stored(("obsequious", "bill")) is True

@@ -1,0 +1,134 @@
+"""Unit tests for the writer-preferring readers-writer lock.
+
+Each test is a deterministic asyncio scenario: tasks signal through
+events rather than sleeping, so the assertions are about ordering, not
+timing.
+"""
+
+import asyncio
+
+from repro.server import ReadWriteLock
+
+
+async def _settle():
+    """Let every ready task run to its next await point."""
+    for _ in range(10):
+        await asyncio.sleep(0)
+
+
+class TestReaders:
+    def test_readers_overlap(self):
+        async def scenario():
+            lock = ReadWriteLock()
+            both_in = asyncio.Event()
+            release = asyncio.Event()
+            inside = []
+
+            async def reader(name):
+                async with lock.read_locked():
+                    inside.append(name)
+                    if len(inside) == 2:
+                        both_in.set()
+                    await release.wait()
+
+            tasks = [asyncio.create_task(reader(n)) for n in ("a", "b")]
+            await asyncio.wait_for(both_in.wait(), 5)
+            held_together = lock.readers
+            release.set()
+            await asyncio.gather(*tasks)
+            return held_together, lock.max_concurrent_readers
+
+        held_together, high_water = asyncio.run(scenario())
+        assert held_together == 2  # both held the lock at the same moment
+        assert high_water == 2
+
+    def test_reader_count_returns_to_zero(self):
+        async def scenario():
+            lock = ReadWriteLock()
+            async with lock.read_locked():
+                pass
+            return lock.readers
+
+        assert asyncio.run(scenario()) == 0
+
+
+class TestWriterExclusion:
+    def test_writer_blocks_readers(self):
+        async def scenario():
+            lock = ReadWriteLock()
+            release = asyncio.Event()
+            got_read = asyncio.Event()
+
+            async def writer():
+                async with lock.write_locked():
+                    await release.wait()
+
+            async def reader():
+                async with lock.read_locked():
+                    got_read.set()
+
+            w = asyncio.create_task(writer())
+            await _settle()
+            assert lock.writer_active
+            r = asyncio.create_task(reader())
+            await _settle()
+            blocked_while_writing = not got_read.is_set()
+            release.set()
+            await asyncio.gather(w, r)
+            return blocked_while_writing, got_read.is_set()
+
+        blocked, eventually = asyncio.run(scenario())
+        assert blocked  # the reader could not slip in beside the writer
+        assert eventually  # ... but got the lock after release
+
+    def test_writers_serialise(self):
+        async def scenario():
+            lock = ReadWriteLock()
+            active = 0
+            overlap = []
+
+            async def writer():
+                nonlocal active
+                async with lock.write_locked():
+                    active += 1
+                    overlap.append(active)
+                    await asyncio.sleep(0)
+                    active -= 1
+
+            await asyncio.gather(*[writer() for _ in range(5)])
+            return overlap
+
+        assert asyncio.run(scenario()) == [1, 1, 1, 1, 1]
+
+
+class TestWriterPreference:
+    def test_new_readers_queue_behind_waiting_writer(self):
+        async def scenario():
+            lock = ReadWriteLock()
+            order = []
+            first_done = asyncio.Event()
+
+            async def late_reader():
+                async with lock.read_locked():
+                    order.append("reader2")
+
+            async def writer():
+                async with lock.write_locked():
+                    order.append("writer")
+
+            await lock.acquire_read()  # reader1 holds the lock
+            w = asyncio.create_task(writer())
+            await _settle()
+            assert lock.writers_waiting == 1
+            r2 = asyncio.create_task(late_reader())
+            await _settle()
+            # reader2 must NOT have joined reader1 — a waiting writer
+            # bars the door (this is what prevents writer starvation).
+            assert order == []
+            assert lock.readers == 1
+            await lock.release_read()
+            await asyncio.gather(w, r2)
+            first_done.set()
+            return order
+
+        assert asyncio.run(scenario()) == ["writer", "reader2"]

@@ -77,3 +77,23 @@ class TestRepl:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
         assert "usage" in capsys.readouterr().out
+
+
+class TestServeAndConnect:
+    def test_serve_rejects_db_plus_data_dir(self, tmp_path, capsys):
+        db = tmp_path / "x.json"
+        HierarchicalDatabase("x").save(str(db))
+        code = main(
+            ["serve", "--db", str(db), "--data-dir", str(tmp_path / "d")]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().out
+
+    def test_connect_to_dead_port_fails_cleanly(self, capsys):
+        assert main(["connect", "--port", "1"]) == 1
+        assert "error: cannot connect" in capsys.readouterr().out
+
+    def test_repl_load_error_is_user_message(self, capsys):
+        assert main(["repl", "/no/such/db.json"]) == 1
+        out = capsys.readouterr().out
+        assert "error: no such database file" in out
