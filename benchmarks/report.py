@@ -332,6 +332,58 @@ def bench_deltas(root: Path) -> int:
     return 0
 
 
+def compare(root: Path, old_root: Path) -> int:
+    """Per-row speedup deltas between two checkouts' ``BENCH_*.json``
+    sets: the current ``root`` against an older ``old_root`` (a file is
+    also accepted — its parent directory is compared).  Rows are matched
+    by ``(file, op, tuples)``; rows present on only one side are listed
+    so a renamed op never silently drops out of the comparison."""
+    if old_root.is_file():
+        old_root = old_root.parent
+    exit_code = 0
+    for label, base in (("current", root), ("old", old_root)):
+        if not sorted(base.glob("BENCH_*.json")):
+            print("no BENCH_*.json in the {} root {}".format(label, base))
+            exit_code = 1
+    if exit_code:
+        return exit_code
+
+    def rows_of(base: Path) -> dict:
+        out = {}
+        for path in sorted(base.glob("BENCH_*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                continue
+            if _validate(path.name, payload):
+                continue
+            for row in payload["rows"]:
+                out[(path.name, row["op"], row.get("tuples"))] = row
+        return out
+
+    new_rows, old_rows = rows_of(root), rows_of(old_root)
+    header("speedup deltas vs {}".format(old_root))
+    for key in sorted(new_rows):
+        bench, op, tuples = key
+        new = new_rows[key]
+        old = old_rows.get(key)
+        if old is None:
+            print("  {:20s} {:22s} tuples={:<8} NEW ({:.1f}x)".format(
+                bench, op, str(tuples), new["speedup"]))
+            continue
+        delta = new["speedup"] - old["speedup"]
+        print(
+            "  {:20s} {:22s} tuples={:<8} {:>7.1f}x -> {:>7.1f}x  "
+            "({:+.1f}x)".format(
+                bench, op, str(tuples), old["speedup"], new["speedup"], delta
+            )
+        )
+    for key in sorted(set(old_rows) - set(new_rows)):
+        print("  {:20s} {:22s} tuples={:<8} DROPPED".format(
+            key[0], key[1], str(key[2])))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -347,6 +399,11 @@ def main(argv=None) -> int:
         default=Path(__file__).resolve().parent.parent,
         help="directory holding the BENCH_*.json files (default: repo root)",
     )
+    parser.add_argument(
+        "--compare", metavar="OLD", type=Path,
+        help="an older checkout's repo root (or one of its BENCH files): "
+             "print per-row speedup deltas against it",
+    )
     args = parser.parse_args(argv)
     if args.figures:
         figures()
@@ -355,6 +412,8 @@ def main(argv=None) -> int:
         module = importlib.import_module("benchmarks.bench_{}".format(args.run))
         module.main()
         return 0
+    if args.compare is not None:
+        return compare(args.root, args.compare)
     return bench_deltas(args.root)
 
 

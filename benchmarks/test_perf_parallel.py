@@ -1,0 +1,54 @@
+"""CI guard for the shard-parallel layer: on a multi-core runner the
+parallel union must beat the serial sweep, and must stay bit-identical.
+
+Deliberately modest: a moderate workload, min-of-three interleaved
+timings, and a loose bound (the full benchmark with the acceptance
+numbers is ``bench_parallel.py`` / ``BENCH_parallel.json``) — shared CI
+runners throttle hard enough that a tight bound would only flake."""
+
+import os
+import time
+
+import pytest
+
+from repro import parallel
+from repro.core import union
+from repro.workloads.generators import cone_workload
+
+CONES, INSTANCES = 2000, 10
+REPS = 3
+MIN_SPEEDUP = 1.2
+
+
+def _run(workers):
+    # Fresh relations each run: the evaluator caches per relation
+    # version, so reuse would time a cache hit.
+    _, left, right = cone_workload(CONES, INSTANCES)
+    if workers:
+        parallel.configure(workers=workers, min_tuples=0)
+    else:
+        parallel.configure(workers=0)
+    try:
+        start = time.perf_counter()
+        result = union(left, right)
+        return time.perf_counter() - start, result
+    finally:
+        parallel.reset()
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2, reason="needs at least 2 CPUs"
+)
+def test_parallel_union_beats_serial():
+    serial = parallel_ = float("inf")
+    for _ in range(REPS):
+        elapsed, expect = _run(0)
+        serial = min(serial, elapsed)
+        elapsed, got = _run(2)
+        parallel_ = min(parallel_, elapsed)
+    assert list(expect.asserted.items()) == list(got.asserted.items())
+    speedup = serial / parallel_
+    assert speedup >= MIN_SPEEDUP, (
+        "parallel union only {:.2f}x over serial "
+        "(serial {:.2f}s, parallel {:.2f}s)".format(speedup, serial, parallel_)
+    )

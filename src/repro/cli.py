@@ -82,6 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         help="enable the slow-query log at this threshold (milliseconds)",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        help="shard-parallel worker processes for large queries (0 = serial)",
+    )
 
     connect = commands.add_parser("connect", help="HQL shell over the wire")
     connect.add_argument("--host", default="127.0.0.1")
@@ -97,6 +102,13 @@ def _cmd_serve(args) -> int:
     if args.data_dir and args.db:
         print("error: --data-dir and --db are mutually exclusive")
         return 2
+    if args.workers is not None:
+        if args.workers < 0:
+            print("error: --workers must be >= 0")
+            return 2
+        from repro import parallel
+
+        parallel.configure(workers=args.workers)
     database = None
     if args.db:
         database = HierarchicalDatabase.load(args.db)

@@ -103,7 +103,7 @@ def _pointwise(
     product = schema.product
     fused = consolidate and not product.needs_elimination_binding()
     with _span("algebra.pointwise", inputs=len(evaluators), fused=fused) as sp:
-        candidates = sorted(meet_closure(product, seeds), key=product.topological_key)
+        candidates = product.topological_sort(meet_closure(product, seeds))
         sp.annotate(candidates=len(candidates))
         truths: List[bool] = []
         for item in candidates:
@@ -141,6 +141,7 @@ def combine(
     extra_items: Iterable[Item] = (),
     consolidate: bool = True,
     capture: Optional[Dict] = None,
+    fn_token: Optional[str] = None,
 ) -> HRelation:
     """The pointwise combinator (see module docstring).
 
@@ -148,6 +149,12 @@ def combine(
     ``fn`` must map all-false to false (checked).  Raises
     :class:`InconsistentRelationError` if evaluating a candidate hits a
     conflict in any input.
+
+    ``fn_token`` optionally names ``fn`` in the picklable vocabulary of
+    :data:`repro.parallel.worker.FN_TOKENS` (``"or"``, ``"and"``, ...);
+    when given and the parallel layer is enabled, the evaluation may be
+    cone-partitioned across worker processes — the result is identical
+    either way.  Arbitrary ``fn`` callables always run serially.
     """
     if not relations:
         raise SchemaError("combine needs at least one relation")
@@ -168,6 +175,15 @@ def combine(
         inputs=len(relations),
         tuples_in=sum(len(r) for r in relations),
     ):
+        if fn_token is not None:
+            from repro import parallel as _parallel
+
+            sharded = _parallel.maybe_combine(
+                relations, fn_token, name=name, extra_items=tuple(extra_items),
+                consolidate=consolidate, capture=capture,
+            )
+            if sharded is not None:
+                return sharded
         # One bulk evaluator per input: the candidate set is evaluated
         # set-at-a-time instead of re-deriving a binding per (item, input).
         evaluators = [_bulk.evaluator_for(relation) for relation in relations]
@@ -196,6 +212,7 @@ def union(
             name=name or "{}_union_{}".format(left.name, right.name),
             consolidate=consolidate,
             capture=capture,
+            fn_token="or",
         )
 
 
@@ -212,6 +229,7 @@ def intersection(
             name=name or "{}_intersect_{}".format(left.name, right.name),
             consolidate=consolidate,
             capture=capture,
+            fn_token="and",
         )
 
 
@@ -229,6 +247,7 @@ def difference(
             name=name or "{}_minus_{}".format(left.name, right.name),
             consolidate=consolidate,
             capture=capture,
+            fn_token="andnot",
         )
 
 
@@ -260,6 +279,15 @@ def select(
     with _span(
         "algebra.select", source=relation.name, tuples_in=len(relation)
     ):
+        from repro import parallel as _parallel
+
+        sharded = _parallel.maybe_select(
+            relation, cone_item,
+            name or "{}_where".format(relation.name),
+            consolidate=consolidate, capture=capture,
+        )
+        if sharded is not None:
+            return sharded
         # The selection cone is a one-tuple relation whose truth function is
         # plain subsumption — valid under every strategy — so it is evaluated
         # directly instead of being materialised and re-bound.
@@ -340,6 +368,7 @@ def project(
             lambda *truths: any(truths),
             name=out_name,
             consolidate=consolidate,
+            fn_token="any",
         )
 
 
@@ -381,6 +410,13 @@ def join(
             if left_eval.sweep_exact and right_eval.sweep_exact:
                 default_registry().counter("algebra.join.zero_copy").inc()
                 sp.annotate(zero_copy=True)
+                from repro import parallel as _parallel
+
+                sharded = _parallel.maybe_join(
+                    left, right, merged_schema, out_name, consolidate=consolidate
+                )
+                if sharded is not None:
+                    return sharded
                 left_pos, left_seeds = _padded_seeds(merged_schema, left)
                 right_pos, right_seeds = _padded_seeds(merged_schema, right)
                 return _pointwise(
@@ -416,6 +452,7 @@ def join(
             lambda a, b: a and b,
             name=out_name,
             consolidate=consolidate,
+            fn_token="and",
         )
 
 
@@ -503,6 +540,7 @@ def divide(
             lambda *truths: all(truths),
             name=out_name,
             consolidate=consolidate,
+            fn_token="all",
         )
 
 

@@ -101,7 +101,7 @@ def conflict_candidates(relation) -> List[Item]:
                 low = mask & -mask
                 mask ^= low
                 seen.update(product.meet(pos, negatives[low.bit_length() - 1]))
-    return sorted(seen, key=product.topological_key)
+    return product.topological_sort(seen)
 
 
 def find_conflicts(relation, exhaustive: bool = False) -> List[Conflict]:
@@ -112,6 +112,12 @@ def find_conflicts(relation, exhaustive: bool = False) -> List[Conflict]:
     meet candidates (complete for off-path preemption, see module doc).
     """
     product = relation.schema.product
+    if not exhaustive:
+        from repro import parallel as _parallel
+
+        sharded = _parallel.maybe_conflicts(relation)
+        if sharded is not None:
+            return sharded
     evaluator = _bulk.evaluator_for(relation)
     if exhaustive:
         candidates: Iterator[Item] | List[Item] = product.all_items()
@@ -196,5 +202,5 @@ def resolution_tuples(relation, conflict: Conflict, truth: bool) -> List[HTuple]
     product = relation.schema.product
     return [
         HTuple(item, truth)
-        for item in sorted(items, key=product.topological_key)
+        for item in product.topological_sort(items)
     ]

@@ -56,7 +56,7 @@ def redundant_tuples(relation) -> List[Item]:
     product = relation.schema.product
     if product.needs_elimination_binding():
         return _redundant_by_elimination(relation)
-    items = sorted(relation.asserted, key=product.topological_key)
+    items = product.topological_sort(relation.asserted)
     flags = redundancy_sweep(
         relation.schema, items, [relation.asserted[item] for item in items]
     )

@@ -71,7 +71,15 @@ def explicate(
     if drop_negated is None:
         drop_negated = full
     if full and drop_negated:
-        atoms = _bulk_extension(relation)
+        from repro import parallel as _parallel
+
+        atoms = _parallel.maybe_extension(relation, raise_on_conflict=False)
+        if atoms is _parallel.CONFLICT:
+            atoms = None  # conflicted: legacy writer-order fallback below
+        elif atoms is not None:
+            atoms = _most_specific_order(relation, set(atoms))
+        else:
+            atoms = _bulk_extension(relation)
         if atoms is not None:
             out = relation.copy(name=name or relation.name)
             out.clear()
@@ -80,9 +88,7 @@ def explicate(
             return out
     explicated_indices = {schema.index_of(a) for a in chosen}
 
-    ordered = sorted(
-        relation.asserted, key=schema.product.topological_key, reverse=True
-    )
+    ordered = schema.product.topological_sort(relation.asserted, reverse=True)
     result: Dict[Item, bool] = {}
     insertion: List[Item] = []
     for item in ordered:
@@ -108,6 +114,27 @@ def explicate(
     return out
 
 
+def _most_specific_order(relation, keep) -> List[Item]:
+    """Replay :func:`_bulk_extension`'s most-specific-writer-first
+    enumeration over a precomputed atom set (membership tests only), so
+    the parallel path inserts atoms in exactly the serial order."""
+    product = relation.schema.product
+    ordered = product.topological_sort(
+        (item for item, truth in relation.asserted.items() if truth),
+        reverse=True,
+    )
+    atoms: List[Item] = []
+    seen = set()
+    for item in ordered:
+        for atom in product.leaves_under(item):
+            if atom in seen:
+                continue
+            seen.add(atom)
+            if atom in keep:
+                atoms.append(atom)
+    return atoms
+
+
 def _bulk_extension(relation) -> List[Item] | None:
     """The positive atoms of ``relation`` via the bulk evaluator, in a
     deterministic most-specific-writer-first order, or ``None`` when a
@@ -116,9 +143,8 @@ def _bulk_extension(relation) -> List[Item] | None:
 
     evaluator = bulk.evaluator_for(relation)
     product = relation.schema.product
-    ordered = sorted(
+    ordered = product.topological_sort(
         (item for item, truth in relation.asserted.items() if truth),
-        key=product.topological_key,
         reverse=True,
     )
     atoms: List[Item] = []

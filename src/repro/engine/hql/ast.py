@@ -221,6 +221,19 @@ class Stats(Statement):
     engine metrics plus the process-global core-layer registry)."""
 
 
+@dataclass(frozen=True)
+class Set(Statement):
+    """SET <option> <value>; — session/process configuration.
+
+    ``SET PARALLEL n`` fixes the shard-parallel worker count (0 turns
+    parallel execution off).  Not a mutating statement: it changes how
+    queries run, never what they answer, so the operation log skips it.
+    """
+
+    option: str
+    value: str
+
+
 def _quote(name: str) -> str:
     """Quote a name for HQL output when it is not a bare identifier."""
     if name and all(ch.isalnum() or ch in "_-." for ch in name):
@@ -359,6 +372,8 @@ def to_hql(statement: Statement) -> str:
         ) + to_hql(statement.inner)
     if isinstance(statement, Stats):
         return "STATS;"
+    if isinstance(statement, Set):
+        return "SET {} {};".format(statement.option, _quote(statement.value))
     raise TypeError("no HQL rendering for {}".format(type(statement).__name__))
 
 

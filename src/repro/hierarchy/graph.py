@@ -76,6 +76,13 @@ class Hierarchy:
         self._version = 0
         self._cache_version = -1
         self._cache: Dict[str, object] = {}
+        # Linear caches the planner-side helpers can use without forcing
+        # the O(n^2/64) bitset build in :meth:`_masks` (order/rank plus
+        # the insertion rank) and the redundancy flag's own cache.
+        self._order_version = -1
+        self._order_cache: Tuple[List[str], Dict[str, int], Dict[str, int]] = ([], {}, {})
+        self._redundant_version = -1
+        self._redundant_cache: Set[Tuple[str, str]] = set()
 
     # ------------------------------------------------------------------
     # construction
@@ -245,15 +252,22 @@ class Hierarchy:
         return [name for name in self._insertion if not self._children[name]]
 
     def leaves_under(self, name: str) -> List[str]:
-        """The atoms of class ``name``: its leaf descendants (or itself)."""
+        """The atoms of class ``name``: its leaf descendants (or itself),
+        in insertion order.  Walks the cone directly — O(cone) instead of
+        a full-width bitset scan, and never forces the mask build."""
         self._require(name)
-        mask = self._masks()["desc"][name]
-        index = self._masks()["rank"]
-        return [node for node in self._insertion if mask >> index[node] & 1 and not self._children[node]]
+        ins_rank = self._order()[2]
+        leaves = [
+            node
+            for node in self.downward_closure((name,))
+            if not self._children[node]
+        ]
+        leaves.sort(key=ins_rank.__getitem__)
+        return leaves
 
     def topological_order(self) -> List[str]:
         """A deterministic topological order of the class graph."""
-        return list(self._masks()["order"])
+        return list(self._order()[0])
 
     def topological_rank(self, name: str) -> int:
         """The position of ``name`` in :meth:`topological_order`.
@@ -262,7 +276,16 @@ class Hierarchy:
         rank is a ready-made linear-extension sort key.
         """
         self._require(name)
-        return self._masks()["rank"][name]  # type: ignore[index]
+        return self._order()[1][name]
+
+    def topological_ranks(self) -> Dict[str, int]:
+        """The full name → :meth:`topological_rank` mapping.
+
+        Callers sorting many items should bind this dict once instead of
+        calling :meth:`topological_rank` per value: the per-call version
+        check and attribute hops dominate tight sort loops.  Treat the
+        returned dict as read-only — it *is* the cache."""
+        return self._order()[1]
 
     # ------------------------------------------------------------------
     # subsumption / reachability
@@ -465,8 +488,35 @@ class Hierarchy:
         return out
 
     def redundant_edges(self) -> Set[Tuple[str, str]]:
-        """Class edges parallel to a longer path (see the appendix)."""
-        return self._masks()["redundant"]  # type: ignore[return-value]
+        """Class edges parallel to a longer path (see the appendix).
+
+        An edge ``p -> v`` is redundant iff some longer ``p`` to ``v``
+        path exists; in a DAG that path's last hop enters ``v`` from
+        another parent ``q``, so the exact characterisation is: ``p`` is
+        a strict ancestor of a sibling parent ``q`` of ``v``.  Only
+        multi-parent nodes can carry one, so the scan is free on tree
+        hierarchies and never touches the full-width bitsets."""
+        if self._redundant_version == self._version:
+            return self._redundant_cache
+        redundant: Set[Tuple[str, str]] = set()
+        for node, parents in self._parents.items():
+            if len(parents) < 2:
+                continue
+            parent_set = set(parents)
+            for q in parents:
+                seen: Set[str] = set()
+                stack = list(self._parents[q])
+                while stack:
+                    above = stack.pop()
+                    if above in seen:
+                        continue
+                    seen.add(above)
+                    if above in parent_set:
+                        redundant.add((above, node))
+                    stack.extend(self._parents[above])
+        self._redundant_cache = redundant
+        self._redundant_version = self._version
+        return redundant
 
     def is_transitively_reduced(self) -> bool:
         """True iff the class graph carries no redundant edges — the
@@ -493,6 +543,136 @@ class Hierarchy:
         key on ``(id(h), h.version)``."""
         return self._version
 
+    # ------------------------------------------------------------------
+    # picklable sub-hierarchy extraction (the parallel execution layer)
+    # ------------------------------------------------------------------
+
+    def downward_closure(self, values: Iterable[str]) -> Set[str]:
+        """Every (reflexive) descendant of any of ``values`` — the node
+        set of the induced sub-hierarchy a parallel shard needs.  Being
+        downward closed, the induced subgraph preserves reachability,
+        every parent-to-child path, and leaf status for all its nodes.
+
+        A plain graph walk, O(closure): the coordinator calls this per
+        shard, and pulling full-width descendant bitsets here would cost
+        more than the workers' entire sweeps."""
+        closure: Set[str] = set()
+        stack: List[str] = []
+        for value in values:
+            self._require(value)
+            if value not in closure:
+                closure.add(value)
+                stack.append(value)
+        while stack:
+            node = stack.pop()
+            for child in self._children[node]:
+                if child not in closure:
+                    closure.add(child)
+                    stack.append(child)
+        return closure
+
+    def subgraph_payload(self, values: Iterable[str]) -> Dict[str, object]:
+        """A picklable description of the sub-hierarchy induced by the
+        downward closure of ``values``, plus the slice of the memoised
+        meet table that lives inside it.
+
+        The payload is plain dicts/lists/strings, so it crosses a
+        process boundary cheaply; :meth:`from_subgraph_payload` rebuilds
+        an equivalent :class:`Hierarchy`.  Nodes are listed in
+        topological order with their *in-set* parents only; nodes whose
+        parents all fall outside the closure hang directly under the
+        root.  The rebuilt graph therefore answers subsumption, meets,
+        leaves and topological ranks identically to this hierarchy for
+        every item over the closed node set.
+        """
+        node_set = self.downward_closure(values)
+        rank = self._order()[1]
+        order: List[str] = sorted(node_set, key=rank.__getitem__)
+        nodes: List[Tuple[str, List[str], bool]] = []
+        for node in order:
+            if node == self.root:
+                continue
+            parents = [p for p in self._parents[node] if p in node_set]
+            nodes.append((node, parents, node in self._instances))
+        prefs = [
+            (weaker, stronger)
+            for weaker, stronger in self.preference_edges()
+            if weaker in node_set and stronger in node_set
+        ]
+        # Meet-table slice: entries whose endpoints lie in the closure.
+        # Their members are common descendants, hence in the closure
+        # too, and maximality is preserved (the closure is downward
+        # closed), so each entry is valid verbatim in the subgraph.
+        # The slice is a warm-start hint, not a correctness requirement
+        # (the rebuilt graph recomputes meets lazily), so it is capped,
+        # and a *cold* mask cache is never forced just to look for one:
+        # a cache left hot by a prior full-hierarchy sweep can hold
+        # millions of entries, and scanning or shipping them would cost
+        # more than the workers' own meet computation saves.
+        meets: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        if self._cache_version == self._version:
+            meets_table = self._cache["meets"]
+            cap = 4 * len(node_set)
+            if len(meets_table) <= 16 * max(1, len(node_set)):  # type: ignore[arg-type]
+                for key, value in meets_table.items():  # type: ignore[union-attr]
+                    if key[0] in node_set and key[1] in node_set:
+                        meets[key] = value
+                        if len(meets) >= cap:
+                            break
+        return {
+            "name": self.name,
+            "root": self.root,
+            "has_root": self.root in node_set,
+            "nodes": nodes,
+            "prefs": prefs,
+            "meets": list(meets.items()),
+        }
+
+    @classmethod
+    def from_subgraph_payload(cls, payload: Dict[str, object]) -> "Hierarchy":
+        """Rebuild the sub-hierarchy described by
+        :meth:`subgraph_payload`.  When the original root was outside
+        the closure, a node with the root's *name* still caps the
+        graph (it subsumes exactly what the original root subsumes,
+        restricted to the closure), so items and selection cones that
+        mention the root keep validating."""
+        hierarchy = cls(str(payload["name"]), root=str(payload["root"]))
+        # Bulk-load the node table directly: the payload came from
+        # `subgraph_payload` on an already-validated graph (nodes in
+        # topological order, parents present), so the per-node API
+        # checks in `_add_node` would only re-prove invariants — and
+        # this rebuild is the workers' per-task hot path.
+        children = hierarchy._children
+        parents_of = hierarchy._parents
+        insertion = hierarchy._insertion
+        instances = hierarchy._instances
+        root = hierarchy.root
+        for name, parents, is_instance in payload["nodes"]:  # type: ignore[union-attr]
+            parent_list = tuple(parents) or (root,)
+            children[name] = set()
+            parents_of[name] = set(parent_list)
+            insertion.append(name)
+            for parent in parent_list:
+                children[parent].add(name)
+            if is_instance:
+                instances.add(name)
+        hierarchy._version += 1
+        for weaker, stronger in payload["prefs"]:  # type: ignore[union-attr]
+            hierarchy.add_preference_edge(weaker, stronger)
+        hierarchy.preload_meets(payload.get("meets", ()))  # type: ignore[arg-type]
+        return hierarchy
+
+    def preload_meets(
+        self, entries: Iterable[Tuple[Tuple[str, str], Tuple[str, ...]]]
+    ) -> None:
+        """Seed the lazy meet table with precomputed entries (a shipped
+        meet-table slice).  Entries must be valid for the *current*
+        graph; they are discarded with the rest of the cache on the next
+        mutation, like any other memoised meet."""
+        table: Dict[Tuple[str, str], Tuple[str, ...]] = self._masks()["meets"]  # type: ignore[assignment]
+        for key, value in entries:
+            table[tuple(key)] = tuple(value)
+
     def __repr__(self) -> str:
         return "Hierarchy({!r}, {} nodes, {} edges)".format(
             self.name, len(self), sum(len(c) for c in self._children.values())
@@ -512,11 +692,24 @@ class Hierarchy:
         rank = self._masks()["rank"]
         return {node for node in self._insertion if mask >> rank[node] & 1}
 
+    def _order(self) -> Tuple[List[str], Dict[str, int], Dict[str, int]]:
+        """``(order, rank, insertion_rank)`` — the linear slice of the
+        cache.  Separate from :meth:`_masks` so order-only consumers
+        (sort keys, the parallel planner, payload extraction) never pay
+        for the quadratic bitset build."""
+        if self._order_version == self._version:
+            return self._order_cache
+        order = algorithms.topological_order(self._children, tie_break=self._insertion)
+        rank = {node: i for i, node in enumerate(order)}
+        ins_rank = {node: i for i, node in enumerate(self._insertion)}
+        self._order_cache = (order, rank, ins_rank)
+        self._order_version = self._version
+        return self._order_cache
+
     def _masks(self) -> Dict[str, object]:
         if self._cache_version == self._version:
             return self._cache
-        order = algorithms.topological_order(self._children, tie_break=self._insertion)
-        rank = {node: i for i, node in enumerate(order)}
+        order, rank, _ = self._order()
         desc = self._descendant_masks(self._children, order, rank)
         bind_children = self._children
         if self.has_preference_edges():
@@ -531,19 +724,12 @@ class Hierarchy:
             for parent in self._parents[node]:
                 mask |= anc[parent]
             anc[node] = mask
-        redundant: Set[Tuple[str, str]] = set()
-        for node, succs in self._children.items():
-            for succ in succs:
-                bit = 1 << rank[succ]
-                if any(other != succ and desc[other] & bit for other in succs):
-                    redundant.add((node, succ))
         self._cache = {
             "order": order,
             "rank": rank,
             "desc": desc,
             "bind_desc": bind_desc,
             "anc": anc,
-            "redundant": redundant,
             # Meet table: (a, b) value pair -> meet set, filled lazily by
             # maximal_common_descendants and discarded with the rest of
             # the cache whenever the hierarchy version moves.

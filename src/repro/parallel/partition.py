@@ -1,0 +1,275 @@
+"""Cone partitioning: split a workload's items into independent shards.
+
+The hierarchy hands us a partitioning key for free: two stored items can
+only interact — share an applicable tuple, meet to a common candidate,
+conflict — when, on every attribute, their value cones intersect.  Cone
+intersection is an equivalence-closable relation over the *occurring*
+values of an attribute ("shares a descendant with"), so its connected
+components split the item set into groups no algebra sweep ever mixes.
+
+Components are found with one O(V + E) *owner sweep* per attribute
+instead of the quadratic pairwise overlap test: walking the hierarchy in
+topological order, each node inherits the union-find class of its
+parents' owners (plus itself when it is an occurring value).  Two values
+share a descendant iff some node inherits from both, which is exactly
+when the sweep unions their classes.
+
+An item's key is the tuple of its per-attribute component ids over the
+*active* attributes.  An attribute is inactive when the hierarchy root
+appears too often among its values (e.g. the padded positions of a
+cylindric join extension) — keying on it would collapse everything into
+one component.  Items carrying a root (or other wildcard) on an active
+attribute overlap every component there; they go to the shared
+**residual shard**, which is replicated into every worker so each shard
+still sees the complete applicable set for the items it owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.schema import RelationSchema
+from repro.hierarchy.product import Item
+
+#: Key component for a value that overlaps every component of its
+#: attribute (the hierarchy root, or a value with no occurring seed
+#: above or at it).
+WILDCARD = -1
+
+Key = Tuple[int, ...]
+
+
+def value_components(hierarchy, values: Sequence[str]) -> Dict[str, int]:
+    """Map each of ``values`` to its connected component under the
+    shares-a-descendant relation, via one topological owner sweep.
+
+    Soundness and completeness: node *x* unions the components of two
+    values exactly when both have a path down to *x*, i.e. when their
+    descendant cones intersect at *x*; conversely any two values whose
+    cones intersect share some node, and that node's parents-side
+    owners force the union when it is reached.
+    """
+    index: Dict[str, int] = {}
+    for value in values:
+        if value not in index:
+            index[value] = len(index)
+    parent = list(range(len(index)))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    owner: Dict[str, int] = {}
+    for node in hierarchy.topological_order():
+        current = index.get(node, -1)
+        for above in hierarchy.parents(node):
+            candidate = owner.get(above, -1)
+            if candidate < 0:
+                continue
+            if current < 0:
+                current = candidate
+            else:
+                root_a, root_b = find(current), find(candidate)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+        owner[node] = current
+    return {value: find(i) for value, i in index.items()}
+
+
+def inherit_components(hierarchy, seed_components: Dict[str, int]) -> Dict[str, int]:
+    """Extend a value -> component map to *every* node of the hierarchy
+    by inheritance: a node's component is its own seed component, or any
+    parent's (all parents with one agree — differing components above a
+    shared descendant would have been unioned by the owner sweep).
+    Nodes with no seed at or above them map to :data:`WILDCARD`.
+
+    Workers run this over their rebuilt sub-hierarchies to decide, per
+    emitted candidate or atom, whether the shard owns it.
+    """
+    out: Dict[str, int] = {}
+    for node in hierarchy.topological_order():
+        component = seed_components.get(node, WILDCARD)
+        if component == WILDCARD:
+            for above in hierarchy.parents(node):
+                inherited = out.get(above, WILDCARD)
+                if inherited != WILDCARD:
+                    component = inherited
+                    break
+        out[node] = component
+    return out
+
+
+@dataclass
+class Partition:
+    """A balanced assignment of items to shards.
+
+    ``bins[b]`` holds the items of the component groups packed into
+    shard *b*; ``residual`` holds the cross-cone items replicated into
+    every shard.  ``owned_keys[b]`` names the component keys shard *b*
+    is authoritative for; keys outside every shard (wildcards, novel
+    meet combinations) belong to ``residual_bin``.
+    """
+
+    active: Tuple[bool, ...]
+    comp_maps: Tuple[Dict[str, int], ...]
+    bins: List[List[Item]]
+    owned_keys: List[Set[Key]]
+    residual: List[Item]
+    residual_bin: int = 0
+    groups: int = 0
+    assigned_keys: Set[Key] = field(default_factory=set)
+
+    @property
+    def shards(self) -> int:
+        return len(self.bins)
+
+    def owner_map(self, schema: RelationSchema):
+        """A function ``item -> shard index`` deciding, from the *full*
+        hierarchies, which shard is authoritative for any item — stored,
+        meet candidate, or atom.
+
+        Ownership must be decided against the full hierarchy: an item
+        reached only through a residual item's cone can look wildcard
+        inside a shard's sub-hierarchy while globally carrying a
+        concrete component key (its comp seeds live in another shard's
+        group), so shards never self-assess — the coordinator filters
+        their returned results through this map.  Items with a wildcard
+        or unassigned (novel) key belong to the residual shard, whose
+        replicated residual tuples are exactly their applicable set.
+        """
+        inherited: List[Optional[Dict[str, int]]] = [
+            inherit_components(schema.hierarchies[position], self.comp_maps[position])
+            if flag
+            else None
+            for position, flag in enumerate(self.active)
+        ]
+        key_to_bin: Dict[Key, int] = {}
+        for b, keys in enumerate(self.owned_keys):
+            for key in keys:
+                key_to_bin[key] = b
+        residual_bin = self.residual_bin
+
+        def owner_of(item: Item) -> int:
+            key: List[int] = []
+            for position, comp_map in enumerate(inherited):
+                if comp_map is None:
+                    continue
+                component = comp_map.get(item[position], WILDCARD)
+                if component == WILDCARD:
+                    return residual_bin
+                key.append(component)
+            return key_to_bin.get(tuple(key), residual_bin)
+
+        return owner_of
+
+    def key_of(self, item: Item, roots: Sequence[str]) -> Optional[Key]:
+        """The item's component key over the active attributes, or
+        ``None`` when any active component is a wildcard."""
+        key: List[int] = []
+        for position, flag in enumerate(self.active):
+            if not flag:
+                continue
+            value = item[position]
+            if value == roots[position]:
+                return None
+            component = self.comp_maps[position].get(value, WILDCARD)
+            if component == WILDCARD:
+                return None
+            key.append(component)
+        return tuple(key)
+
+
+def partition_items(
+    schema: RelationSchema,
+    items: Sequence[Item],
+    workers: int,
+    forced_residual: Sequence[Item] = (),
+    residual_limit: float = 0.5,
+    root_fraction: float = 0.2,
+    fanout: int = 1,
+) -> Tuple[Optional[Partition], str]:
+    """Partition distinct ``items`` into at most ``workers * fanout``
+    shards.
+
+    A shard is a unit of decomposition, not of execution: its sweeps
+    run over its own cone's bitset width, so packing the groups into
+    more shards than workers still pays — k equal shards cost about
+    1/k of the full-width sweep in total, and the pool queues the
+    excess tasks.  ``forced_residual`` items (selection cones, view
+    seeds) are routed to the residual shard unconditionally so every
+    worker sees them.  Returns ``(partition, "")`` or ``(None,
+    reason)`` when the workload does not decompose (one cone,
+    everything residual, ...).
+    """
+    total = len(items)
+    if total == 0:
+        return None, "no stored tuples"
+    roots = [h.root for h in schema.hierarchies]
+
+    # Activity: keying on an attribute whose values are mostly the root
+    # (cylindric padding) would merge every component into one.
+    active: List[bool] = []
+    threshold = max(1, int(total * root_fraction))
+    for position, root in enumerate(roots):
+        root_count = sum(1 for item in items if item[position] == root)
+        active.append(total - root_count > 0 and root_count <= threshold)
+    if not any(active):
+        return None, "no partitionable attribute (root-heavy values)"
+
+    comp_maps: List[Dict[str, int]] = []
+    for position, flag in enumerate(active):
+        if not flag:
+            comp_maps.append({})
+            continue
+        values = [
+            item[position] for item in items if item[position] != roots[position]
+        ]
+        comp_maps.append(value_components(schema.hierarchies[position], values))
+
+    partition = Partition(
+        active=tuple(active), comp_maps=tuple(comp_maps),
+        bins=[], owned_keys=[], residual=[],
+    )
+    forced = set(forced_residual)
+    item_set = set(items)
+    groups: Dict[Key, List[Item]] = {}
+    residual: List[Item] = []
+    for item in items:
+        key = None if item in forced else partition.key_of(item, roots)
+        if key is None:
+            residual.append(item)
+        else:
+            groups.setdefault(key, []).append(item)
+    for item in forced_residual:
+        if item not in item_set:
+            residual.append(item)
+
+    if len(groups) < 2:
+        return None, "single hierarchy cone"
+    if len(residual) > residual_limit * total:
+        return None, "residual shard too large ({}/{} items)".format(
+            len(residual), total
+        )
+
+    shard_count = min(max(1, workers) * max(1, fanout), len(groups))
+    bins: List[List[Item]] = [[] for _ in range(shard_count)]
+    owned: List[Set[Key]] = [set() for _ in range(shard_count)]
+    loads = [0] * shard_count
+    # Greedy first-fit-decreasing: largest groups first onto the least
+    # loaded shard keeps the skew small without an exact solver.
+    for key in sorted(groups, key=lambda k: (-len(groups[k]), k)):
+        target = loads.index(min(loads))
+        bins[target].extend(groups[key])
+        owned[target].add(key)
+        loads[target] += len(groups[key])
+
+    partition.bins = bins
+    partition.owned_keys = owned
+    partition.residual = residual
+    partition.residual_bin = 0
+    partition.groups = len(groups)
+    partition.assigned_keys = set(groups)
+    return partition, ""

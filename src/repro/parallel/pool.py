@@ -1,0 +1,90 @@
+"""The shared worker pool.
+
+One lazily-created, process-global :class:`ProcessPoolExecutor` serves
+every parallel operation — fork start method by default on POSIX (the
+workers inherit the interpreter state copy-on-write; hierarchies inside
+snapshots still travel by pickle so ``spawn`` and ``forkserver`` work
+identically, just slower to start).  ``REPRO_PARALLEL_START`` or
+``configure(start_method=...)`` override it.
+
+``workers == 1`` never touches the pool: the shard tasks run inline in
+the calling process, so the full decomposition pipeline is measurable
+(and testable) without fork or pickling costs.
+
+A worker that dies mid-task (OOM kill, segfault, the test suite's
+deliberate ``{"kind": "crash"}`` task) breaks the executor; the broken
+pool is disposed and the failure surfaces as
+:class:`~repro.errors.EngineError`.  Workers operate on immutable
+snapshots, so the database is untouched — the caller may retry (a fresh
+pool is created lazily) or fall back to serial execution.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Sequence
+
+from repro.errors import EngineError
+from repro.parallel import worker as _worker
+from repro.parallel.config import config
+
+_EXECUTOR: ProcessPoolExecutor | None = None
+_EXECUTOR_WORKERS = 0
+
+
+def _context():
+    method = config().start_method
+    if method is None:
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork
+            return multiprocessing.get_context()
+    return multiprocessing.get_context(method)
+
+
+def _executor(workers: int) -> ProcessPoolExecutor:
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is None or _EXECUTOR_WORKERS != workers:
+        shutdown()
+        _EXECUTOR = ProcessPoolExecutor(
+            max_workers=workers, mp_context=_context()
+        )
+        _EXECUTOR_WORKERS = workers
+    return _EXECUTOR
+
+
+def shutdown() -> None:
+    """Dispose the pool (idempotent); the next parallel operation
+    recreates it lazily."""
+    global _EXECUTOR, _EXECUTOR_WORKERS
+    if _EXECUTOR is not None:
+        _EXECUTOR.shutdown(wait=False, cancel_futures=True)
+        _EXECUTOR = None
+        _EXECUTOR_WORKERS = 0
+
+
+atexit.register(shutdown)
+
+
+def run_tasks(tasks: Sequence[dict], workers: int) -> List[dict]:
+    """Run shard tasks, inline for ``workers <= 1``, else on the pool.
+
+    Results come back in task order.  A dead worker raises
+    :class:`EngineError`; the database state is unaffected.
+    """
+    if workers <= 1:
+        return [_worker.run_shard_task(task) for task in tasks]
+    pool = _executor(workers)
+    try:
+        futures = [pool.submit(_worker.run_shard_task, task) for task in tasks]
+        return [future.result() for future in futures]
+    except BrokenProcessPool as exc:
+        shutdown()
+        raise EngineError(
+            "a parallel worker process died mid-task; the database is "
+            "unchanged (workers only read immutable snapshots) — retry, "
+            "or SET PARALLEL 0 to fall back to serial execution"
+        ) from exc

@@ -1,0 +1,201 @@
+"""Picklable shard snapshots.
+
+A :class:`ShardSnapshot` is everything one worker needs to re-run the
+serial bitset machinery on its slice of the workload, expressed in plain
+data (strings, ints, bytes) so it crosses the process boundary with one
+pickle and no live object graphs:
+
+* per input relation: the shard's items, their asserted signs packed
+  into two bitsets (serialised via ``int.to_bytes``), and — for the
+  zero-copy join adaptors — the input's positions within the merged
+  schema;
+* per hierarchy: the sub-hierarchy induced by the downward closure of
+  the shard's values (:meth:`Hierarchy.subgraph_payload`), including the
+  relevant slice of the memoised meet table.
+
+Workers rebuild real :class:`Hierarchy` / :class:`RelationSchema` /
+:class:`HRelation` objects from the snapshot and run the stock
+evaluators, then return *everything* they compute; deciding which
+shard's answer is authoritative for each item is the coordinator's job
+(:meth:`~repro.parallel.partition.Partition.owner_map`), since
+ownership needs the full hierarchy — a shard cannot tell a globally
+wildcard item from one whose component seeds live in another shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core import bulk as _bulk
+from repro.core.schema import RelationSchema
+from repro.hierarchy.product import Item
+
+from repro.parallel.partition import Partition
+
+
+@dataclass
+class ShardInput:
+    """One input relation, restricted to a shard.
+
+    ``positions`` is ``None`` for inputs over the full (output) schema;
+    for zero-copy join inputs it maps the input's own attributes onto
+    merged-schema positions.  ``cone`` inputs carry no tuples at all —
+    the worker builds a :class:`~repro.core.bulk.ConeEvaluator`.
+    """
+
+    items: Tuple[Item, ...] = ()
+    signs: bytes = b"\x00"
+    positions: Optional[Tuple[int, ...]] = None
+    cone: Optional[Item] = None
+    #: The source relation's own preemption strategy name (``None``
+    #: inherits the snapshot-level strategy).
+    strategy: Optional[str] = None
+
+
+@dataclass
+class ShardSnapshot:
+    """The self-contained task description shipped to one worker."""
+
+    shard: int
+    strategy: str
+    attributes: Tuple[str, ...]
+    #: Per attribute position, the key of its hierarchy payload.
+    hierarchy_keys: Tuple[str, ...]
+    #: Hierarchy payload key -> ``Hierarchy.subgraph_payload`` dict.
+    hierarchies: Dict[str, dict]
+    inputs: Tuple[ShardInput, ...]
+    #: Extra meet-closure seeds (selection cones etc.), already over the
+    #: output schema.
+    extra_seeds: Tuple[Item, ...] = ()
+
+
+def _pad(item: Item, positions: Sequence[int], top: Item) -> Item:
+    padded = list(top)
+    for position, value in zip(positions, item):
+        padded[position] = value
+    return tuple(padded)
+
+
+def build_snapshots(
+    schema: RelationSchema,
+    strategy: str,
+    input_specs: Sequence[tuple],
+    partition: Partition,
+    extra_seeds: Sequence[Item] = (),
+    skip_roots: bool = False,
+) -> List[ShardSnapshot]:
+    """One :class:`ShardSnapshot` per partition bin.
+
+    ``input_specs`` entries are ``("full", relation)``, ``("proj",
+    relation, positions)`` or ``("cone", item)``; items are routed to
+    the shard whose bin holds their (padded) form, with residual items
+    replicated everywhere.
+
+    ``skip_roots=True`` keeps a hierarchy's root value from seeding the
+    shard closure.  The root's cone is the *whole* hierarchy, so one
+    root-valued position (the cylindric padding of every zero-copy join
+    input, a root actually asserted into a relation) would otherwise
+    ship the full graph to every shard and erase the decomposition win.
+    Sound for the pointwise tasks only: their candidates are meet
+    closures, every non-root coordinate of a meet descends from some
+    concrete seed (``meet(root, x) = x``), the rebuilt subgraph is
+    capped by a node with the root's name, and the redundancy sweep
+    compares candidate items pairwise by subsumption.  The extension
+    task must *not* skip (it enumerates ``leaves_under`` of stored
+    items, and the leaves of a root-valued item reach outside the
+    concrete-value closure).
+    """
+    top = schema.product.top
+    shard_count = partition.shards
+    residual_set = set(partition.residual)
+    snapshots: List[ShardSnapshot] = []
+
+    bin_of: Dict[Item, int] = {}
+    for b, bin_items in enumerate(partition.bins):
+        for item in bin_items:
+            bin_of[item] = b
+
+    # Pre-split every tuple-bearing input by shard once.
+    per_input_shards: List[List[List[Tuple[Item, bool]]]] = []
+    for spec in input_specs:
+        kind = spec[0]
+        if kind == "cone":
+            per_input_shards.append([[] for _ in range(shard_count)])
+            continue
+        relation = spec[1]
+        positions = spec[2] if kind == "proj" else None
+        shards: List[List[Tuple[Item, bool]]] = [[] for _ in range(shard_count)]
+        for item, truth in relation.asserted.items():
+            routed = item if positions is None else _pad(item, positions, top)
+            target = bin_of.get(routed)
+            if target is not None:
+                shards[target].append((item, truth))
+            elif routed in residual_set:
+                for shard in shards:
+                    shard.append((item, truth))
+        per_input_shards.append(shards)
+
+    for b in range(shard_count):
+        # Values per hierarchy object: everything this shard's items,
+        # residual items, and extra seeds mention, position by position.
+        hier_key: Dict[int, str] = {}
+        hier_values: Dict[str, Set[str]] = {}
+        hierarchy_keys: List[str] = []
+        for position, hierarchy in enumerate(schema.hierarchies):
+            key = hier_key.get(id(hierarchy))
+            if key is None:
+                key = "{}#{}".format(hierarchy.name, len(hier_values))
+                hier_key[id(hierarchy)] = key
+                hier_values[key] = set()
+            hierarchy_keys.append(key)
+
+        roots = tuple(h.root for h in schema.hierarchies)
+
+        def note(item: Item) -> None:
+            for position, value in enumerate(item):
+                if skip_roots and value == roots[position]:
+                    continue
+                hier_values[hierarchy_keys[position]].add(value)
+
+        inputs: List[ShardInput] = []
+        for spec, shards in zip(input_specs, per_input_shards):
+            kind = spec[0]
+            if kind == "cone":
+                note(spec[1])
+                inputs.append(ShardInput(cone=spec[1]))
+                continue
+            positions = spec[2] if kind == "proj" else None
+            pairs = shards[b]
+            for item, _ in pairs:
+                padded = item if positions is None else _pad(item, positions, top)
+                note(padded)
+            pos_mask, _ = _bulk.sign_masks(pairs)
+            inputs.append(
+                ShardInput(
+                    items=tuple(item for item, _ in pairs),
+                    signs=_bulk.mask_to_bytes(pos_mask),
+                    positions=tuple(positions) if positions is not None else None,
+                    strategy=spec[1].strategy.name,
+                )
+            )
+        for seed in extra_seeds:
+            note(seed)
+
+        payloads: Dict[str, dict] = {}
+        for position, hierarchy in enumerate(schema.hierarchies):
+            key = hierarchy_keys[position]
+            if key not in payloads:
+                payloads[key] = hierarchy.subgraph_payload(hier_values[key])
+        snapshots.append(
+            ShardSnapshot(
+                shard=b,
+                strategy=strategy,
+                attributes=tuple(schema.attributes),
+                hierarchy_keys=tuple(hierarchy_keys),
+                hierarchies=payloads,
+                inputs=tuple(inputs),
+                extra_seeds=tuple(extra_seeds),
+            )
+        )
+    return snapshots

@@ -1,0 +1,23 @@
+"""Shared fixtures for the parallel-execution suite.
+
+Every test runs against a pristine env-seeded configuration and the
+worker pool is torn down afterwards so stray processes never leak into
+other test modules.
+"""
+
+import pytest
+
+from repro import parallel
+
+
+@pytest.fixture(autouse=True)
+def _pristine_parallel_config():
+    parallel.reset()
+    yield
+    parallel.reset()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shutdown_pool():
+    yield
+    parallel.shutdown()

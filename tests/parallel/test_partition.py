@@ -1,0 +1,106 @@
+"""Unit tests for cone partitioning: the owner sweep, the activity
+gate, the residual shard, and coordinator-side ownership."""
+
+from repro.core import RelationSchema
+from repro.parallel import partition_items, value_components
+from repro.parallel.partition import WILDCARD, inherit_components
+
+from tests.parallel.helpers import cone_hierarchy
+
+
+def test_value_components_split_disjoint_cones():
+    hierarchy = cone_hierarchy(cones=4)
+    values = ["c0", "c1", "c2i0", "c3"]
+    components = value_components(hierarchy, values)
+    assert len(set(components.values())) == 4
+
+
+def test_value_components_union_on_shared_descendant():
+    hierarchy = cone_hierarchy(cones=3)
+    # A diamond: one instance under both c0 and c1 merges their cones.
+    hierarchy.add_instance("shared", parents=["c0", "c1"])
+    components = value_components(hierarchy, ["c0", "c1", "c2"])
+    assert components["c0"] == components["c1"]
+    assert components["c0"] != components["c2"]
+
+
+def test_value_components_class_merges_with_own_instance():
+    hierarchy = cone_hierarchy(cones=2)
+    components = value_components(hierarchy, ["c0", "c0i1", "c1i0"])
+    assert components["c0"] == components["c0i1"]
+    assert components["c0"] != components["c1i0"]
+
+
+def test_inherit_components_covers_descendants_and_wildcards():
+    hierarchy = cone_hierarchy(cones=2)
+    seeds = value_components(hierarchy, ["c0"])
+    full = inherit_components(hierarchy, seeds)
+    assert full["c0i2"] == seeds["c0"]  # inherited down the cone
+    assert full[hierarchy.root] == WILDCARD
+    assert full["c1"] == WILDCARD  # no seed at or above it
+
+
+def _schema(hierarchy):
+    return RelationSchema([("a", hierarchy), ("b", hierarchy)])
+
+
+def test_partition_declines_empty_single_cone_and_root_heavy():
+    hierarchy = cone_hierarchy(cones=4)
+    schema = _schema(hierarchy)
+    root = hierarchy.root
+
+    part, why = partition_items(schema, [], workers=2)
+    assert part is None and why == "no stored tuples"
+
+    one_cone = [("c0", "c1"), ("c0i0", "c1i0"), ("c0i1", "c1i1")]
+    part, why = partition_items(schema, one_cone, workers=2)
+    assert part is None and why == "single hierarchy cone"
+
+    all_root = [(root, root)] * 4
+    part, why = partition_items(schema, all_root, workers=2)
+    assert part is None and "root-heavy" in why
+
+
+def test_partition_residual_limit():
+    hierarchy = cone_hierarchy(cones=12)
+    schema = _schema(hierarchy)
+    root = hierarchy.root
+    items = [("c{}".format(2 * k), "c{}".format(2 * k + 1)) for k in range(6)]
+    items.append(("c0i0", root))  # wildcard on active attribute b
+    part, why = partition_items(schema, items, workers=2, residual_limit=0.05)
+    assert part is None and "residual shard too large" in why
+    part, why = partition_items(schema, items, workers=2)
+    assert part is not None and part.residual == [("c0i0", root)]
+
+
+def test_partition_balances_and_owner_map_routes():
+    hierarchy = cone_hierarchy(cones=8)
+    schema = _schema(hierarchy)
+    items = [("c{}".format(2 * k), "c{}".format(2 * k + 1)) for k in range(4)]
+    items += [("c0i0", "c1i0"), ("c2i0", "c3i0")]
+    part, why = partition_items(schema, items, workers=2)
+    assert part is not None, why
+    assert part.shards == 2
+    assert abs(len(part.bins[0]) - len(part.bins[1])) <= 1
+    assert not part.residual
+
+    owner_of = part.owner_map(schema)
+    for b, bin_items in enumerate(part.bins):
+        for item in bin_items:
+            assert owner_of(item) == b
+    # Novel meets inside an owned cone pair follow their cone's shard;
+    # wildcard items land on the residual shard.
+    assert owner_of(("c0i1", "c1i2")) == owner_of(("c0", "c1"))
+    assert owner_of((hierarchy.root, hierarchy.root)) == part.residual_bin
+    assert owner_of(("c6", hierarchy.root)) == part.residual_bin
+
+
+def test_forced_residual_replicates_cone_seeds():
+    hierarchy = cone_hierarchy(cones=6)
+    schema = _schema(hierarchy)
+    items = [("c{}".format(2 * k), "c{}".format(2 * k + 1)) for k in range(3)]
+    cone = ("c0", hierarchy.root)
+    part, why = partition_items(schema, items, workers=2, forced_residual=[cone])
+    assert part is not None, why
+    assert cone in part.residual
+    assert all(cone not in bin_items for bin_items in part.bins)
