@@ -282,6 +282,14 @@ def _validate(name: str, payload: object) -> list:
     metrics = payload.get("metrics")
     if metrics is not None and not isinstance(metrics, dict):
         problems.append("{}: 'metrics' must be an object when present".format(name))
+    if name.startswith("BENCH_planner"):
+        # The planner rows are only meaningful if the planner actually
+        # planned: a run whose reorder counter never moved timed the
+        # legacy path twice and must fail loudly, not render as 1.0x.
+        if not isinstance(metrics, dict) or not metrics.get("planner.reorders"):
+            problems.append(
+                "{}: metrics must record a nonzero 'planner.reorders'".format(name)
+            )
     return problems
 
 

@@ -1,0 +1,57 @@
+"""CI guard for the cost-based planner: on the pessimally-ordered
+skewed combine the statistics-driven reorder + short-circuit must beat
+left-to-right evaluation, stay bit-identical, and actually *plan* (the
+``planner.reorders`` counter must move — a silent fall-through to the
+legacy path would otherwise pass on noise).
+
+Deliberately modest: a smaller workload than ``bench_planner.py``,
+min-of-three interleaved timings, and a loose bound (the acceptance
+numbers live in ``BENCH_planner.json``) — shared CI runners throttle
+hard enough that a tight bound would only flake."""
+
+import time
+
+from repro import planner
+from repro.core import algebra, bulk
+from repro.obs import default_registry
+from repro.workloads.generators import skewed_combine_workload
+
+CONES, INSTANCES, INPUTS, POOL = 600, 10, 32, 2400
+REPS = 3
+MIN_SPEEDUP = 1.3
+
+
+def _run(enabled, seed):
+    # Fresh relations each run, but warmed evaluators and statistics:
+    # both are cached on the relation, so steady-state queries never
+    # pay their construction — the guard times what the planner alters.
+    _, relations = skewed_combine_workload(
+        CONES, INSTANCES, INPUTS, pool_size=POOL, seed=seed
+    )
+    for relation in relations:
+        bulk.evaluator_for(relation)
+        planner.stats_for(relation)
+    planner.configure(enabled=enabled)
+    try:
+        start = time.perf_counter()
+        result = algebra.combine(relations, lambda *xs: any(xs), fn_token="or")
+        return time.perf_counter() - start, result
+    finally:
+        planner.reset()
+
+
+def test_planner_reorder_beats_left_to_right():
+    reorders_before = default_registry().counter("planner.reorders").value
+    legacy = planned = float("inf")
+    for rep in range(REPS):
+        elapsed, expect = _run(False, seed=rep)
+        legacy = min(legacy, elapsed)
+        elapsed, got = _run(True, seed=rep)
+        planned = min(planned, elapsed)
+    assert list(expect.asserted.items()) == list(got.asserted.items())
+    assert default_registry().counter("planner.reorders").value > reorders_before
+    speedup = legacy / planned
+    assert speedup >= MIN_SPEEDUP, (
+        "planned combine only {:.2f}x over left-to-right "
+        "(legacy {:.2f}s, planned {:.2f}s)".format(speedup, legacy, planned)
+    )

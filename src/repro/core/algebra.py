@@ -53,6 +53,7 @@ from repro.errors import InconsistentRelationError, SchemaError
 from repro.hierarchy.product import Item, ProductHierarchy
 from repro.obs import default_registry
 from repro.obs import span as _span
+from repro.obs import trace as _trace
 
 
 def _count(op: str) -> None:
@@ -82,6 +83,8 @@ def _pointwise(
     seeds: Iterable[Item],
     consolidate: bool,
     capture: Optional[Dict] = None,
+    shortcircuit: Optional[str] = None,
+    est_candidates: Optional[int] = None,
 ) -> HRelation:
     """The bitset-native pointwise engine every operator rides.
 
@@ -94,26 +97,82 @@ def _pointwise(
     would-be subsumption graph) is simply never asserted, replacing the
     build-relation-then-consolidate round trip with one pass over the
     same posting masks.  Non-normal-form products emit everything and
-    run the literal consolidation procedure.
+    run the literal consolidation procedure (the fused/two-step choice
+    rides the planner's shared cost model when the planner is on).
+
+    ``shortcircuit`` (``"or"`` / ``"and"``, set by the planner for
+    symmetric combining functions) stops probing a candidate's
+    evaluators at the first truth that settles the function value —
+    first *true* for OR, first *false* for AND.  The candidate set,
+    every emitted truth and the emission order are exactly those of the
+    exhaustive loop, so results stay bit-identical; only conflict
+    *detection* narrows, to the probes actually made (the documented
+    precondition — consistent inputs — is unaffected).
+
+    ``est_candidates`` is the planner's pre-evaluation candidate
+    estimate: recorded on the span next to the actual count (EXPLAIN
+    ANALYZE renders the pair) and fed back into the estimate
+    corrections.
 
     ``capture``, when a dict, receives the full pre-consolidation
     ``candidates`` / ``truths`` lists — the state the delta-refresh
     path of :mod:`repro.core.views` patches incrementally.
     """
+    from repro import planner as _planner
+
     product = schema.product
-    fused = consolidate and not product.needs_elimination_binding()
-    with _span("algebra.pointwise", inputs=len(evaluators), fused=fused) as sp:
+    with _span("algebra.pointwise", inputs=len(evaluators)) as sp:
         candidates = product.topological_sort(meet_closure(product, seeds))
         sp.annotate(candidates=len(candidates))
+        if est_candidates is not None:
+            sp.annotate(est_candidates=est_candidates)
+            _planner.observe_estimate("pointwise", est_candidates, len(candidates))
+        fused = (
+            consolidate
+            and _planner.consolidation_mode(
+                product.needs_elimination_binding(), len(candidates)
+            )
+            == "fused"
+        )
+        sp.annotate(fused=fused)
         truths: List[bool] = []
-        for item in candidates:
-            row: List[bool] = []
-            for evaluator in evaluators:
-                truth = evaluator.truth(item)
-                if truth is None:
-                    raise InconsistentRelationError([Conflict(item=item, binders=())])
-                row.append(truth)
-            truths.append(fn(*row))
+        if shortcircuit == "or":
+            for item in candidates:
+                value = False
+                for evaluator in evaluators:
+                    truth = evaluator.truth(item)
+                    if truth is None:
+                        raise InconsistentRelationError(
+                            [Conflict(item=item, binders=())]
+                        )
+                    if truth:
+                        value = True
+                        break
+                truths.append(value)
+        elif shortcircuit == "and":
+            for item in candidates:
+                value = True
+                for evaluator in evaluators:
+                    truth = evaluator.truth(item)
+                    if truth is None:
+                        raise InconsistentRelationError(
+                            [Conflict(item=item, binders=())]
+                        )
+                    if not truth:
+                        value = False
+                        break
+                truths.append(value)
+        else:
+            for item in candidates:
+                row: List[bool] = []
+                for evaluator in evaluators:
+                    truth = evaluator.truth(item)
+                    if truth is None:
+                        raise InconsistentRelationError(
+                            [Conflict(item=item, binders=())]
+                        )
+                    row.append(truth)
+                truths.append(fn(*row))
         if capture is not None:
             capture["candidates"] = candidates
             capture["truths"] = truths
@@ -155,6 +214,13 @@ def combine(
     when given and the parallel layer is enabled, the evaluation may be
     cone-partitioned across worker processes — the result is identical
     either way.  Arbitrary ``fn`` callables always run serially.
+
+    With the planner on, a symmetric ``fn_token`` (``or``/``and``/
+    ``any``/``all``) additionally lets n-ary evaluation be *reordered*
+    by estimated cone coverage and short-circuited per candidate (see
+    :func:`repro.planner.plan_combine`); ``andnot`` and anonymous
+    callables always evaluate left-to-right.  The result is identical
+    either way — only the probe count per candidate changes.
     """
     if not relations:
         raise SchemaError("combine needs at least one relation")
@@ -174,7 +240,7 @@ def combine(
         "algebra.combine",
         inputs=len(relations),
         tuples_in=sum(len(r) for r in relations),
-    ):
+    ) as sp:
         if fn_token is not None:
             from repro import parallel as _parallel
 
@@ -184,12 +250,26 @@ def combine(
             )
             if sharded is not None:
                 return sharded
+        from repro import planner as _planner
+
         # One bulk evaluator per input: the candidate set is evaluated
         # set-at-a-time instead of re-deriving a binding per (item, input).
         evaluators = [_bulk.evaluator_for(relation) for relation in relations]
+        shortcircuit = None
+        combine_plan = _planner.plan_combine(relations, fn_token)
+        if combine_plan is not None:
+            evaluators = [evaluators[i] for i in combine_plan.order]
+            shortcircuit = combine_plan.shortcircuit
+            sp.annotate(planner_order="reordered" if combine_plan.reordered else "kept")
+        est_candidates = None
+        if _trace.enabled() and _planner.enabled():
+            # Estimates are only priced out when someone is watching
+            # (EXPLAIN ANALYZE, slow-query tracing): the untraced hot
+            # path pays nothing for auditability it cannot render.
+            est_candidates = _planner.estimate_candidates(relations)
         return _pointwise(
             schema, relations[0].strategy, evaluators, fn, name, seeds, consolidate,
-            capture=capture,
+            capture=capture, shortcircuit=shortcircuit, est_candidates=est_candidates,
         )
 
 
@@ -404,10 +484,22 @@ def join(
         right=right.name,
         tuples_in=len(left) + len(right),
     ) as sp:
+        from repro import planner as _planner
+
         if left.strategy.name == "off-path":
             left_eval = _bulk.evaluator_for(left)
             right_eval = _bulk.evaluator_for(right)
-            if left_eval.sweep_exact and right_eval.sweep_exact:
+            # Zero-copy is *sound* only when both evaluators are
+            # sweep-exact; among the sound modes the planner's priced
+            # comparison picks (with the planner off, the legacy fixed
+            # gate always took zero-copy when available — the cost
+            # model reproduces that choice, auditably).
+            join_mode = _planner.choose_join_mode(
+                len(left),
+                len(right),
+                left_eval.sweep_exact and right_eval.sweep_exact,
+            )
+            if join_mode == "zero_copy":
                 default_registry().counter("algebra.join.zero_copy").inc()
                 sp.annotate(zero_copy=True)
                 from repro import parallel as _parallel

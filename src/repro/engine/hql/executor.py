@@ -280,9 +280,11 @@ class HQLExecutor:
             _trace.annotate(cache="hit")
             return hit.copy(name=hit.name) if isinstance(hit, HRelation) else hit
         _trace.annotate(cache="miss")
+        started = time.perf_counter()
         result = compute()
+        cost_ms = (time.perf_counter() - started) * 1e3
         payload = result.copy(name=result.name) if isinstance(result, HRelation) else result
-        cache.put(key, payload, source_names=key_source_names(key))
+        cache.put(key, payload, source_names=key_source_names(key), cost_ms=cost_ms)
         return result
 
     # ------------------------------------------------------------------
@@ -580,6 +582,21 @@ class HQLExecutor:
                     len(closure), len(seeds)
                 )
             )
+            from repro import planner as _planner
+
+            if _planner.enabled():
+                estimated = _planner.estimate_candidates(inputs)
+                actual = len(closure)
+                ratio = estimated / actual if actual else float("inf")
+                flag = " [off by >10x]" if ratio > 10 or ratio < 0.1 else ""
+                lines.append(
+                    "  estimate: ~{} candidate row(s), actual {}{}".format(
+                        estimated, actual, flag
+                    )
+                )
+                # Feed the miss back so the EWMA correction learns from
+                # EXPLAIN runs exactly like from traced executions.
+                _planner.observe_estimate("pointwise", estimated, actual)
         else:
             lines.append("  meet-closure candidates: over the merged schema")
             if isinstance(inner, ast.BinaryOp) and inner.op == "JOIN":
@@ -661,16 +678,51 @@ class HQLExecutor:
         if stmt.analyze and root is not None:
             lines.append("  analyze:")
             lines.extend(render_span_tree(root, indent="    "))
+            estimate_lines = []
+            for span in root.walk():
+                estimated = span.attrs.get("est_candidates")
+                actual = span.attrs.get("candidates")
+                if estimated is None or actual is None:
+                    continue
+                ratio = estimated / actual if actual else float("inf")
+                flag = " [off by >10x]" if ratio > 10 or ratio < 0.1 else ""
+                estimate_lines.append(
+                    "    {}: estimated {} row(s), actual {}{}".format(
+                        span.name, estimated, actual, flag
+                    )
+                )
+            if estimate_lines:
+                lines.append("  estimates (est vs actual rows):")
+                lines.extend(estimate_lines)
         plan = Result(kind="plan", payload=result, message="\n".join(lines))
         plan.elapsed_ms = elapsed_ms
         return plan
 
     def _exec_set(self, stmt: ast.Set) -> Result:
-        """SET PARALLEL n; — shard-parallel worker count for this
-        process (0 = serial).  Execution-only knob: never logged, never
-        affects answers, so the query cache stays valid across it."""
+        """SET PARALLEL n; / SET PLANNER ON|OFF; — execution-only knobs
+        for this process: never logged, never affect answers, so the
+        query cache stays valid across them."""
         from repro import parallel
 
+        if stmt.option == "PLANNER":
+            from repro import planner
+
+            token = stmt.value.upper()
+            if token in ("ON", "1", "TRUE"):
+                enabled = True
+            elif token in ("OFF", "0", "FALSE"):
+                enabled = False
+            else:
+                raise HQLError(
+                    "SET PLANNER expects ON or OFF, got {!r}".format(stmt.value)
+                )
+            planner.configure(enabled=enabled)
+            message = (
+                "cost-based planner on"
+                if enabled
+                else "cost-based planner off (legacy fixed gates)"
+            )
+            return Result(kind="set", payload=enabled, message=message)
         if stmt.option != "PARALLEL":
             raise HQLError("unknown SET option {!r}".format(stmt.option))
         try:
@@ -701,10 +753,15 @@ class HQLExecutor:
         cache = self._query_cache()
         if cache is not None:
             rows.append(("querycache.hit_rate", "{:.3f}".format(cache.hit_rate)))
+        from repro import planner
+
+        planner_state = planner.describe()
+        rows.append(("planner", "on" if planner_state["enabled"] else "off"))
         rows.sort()
         payload = {
             "engine": metrics.snapshot() if metrics is not None else {},
             "core": default_registry().snapshot(),
+            "planner": planner_state,
         }
         table = render_rows(["metric", "value"], rows)
         return Result(kind="stats", payload=payload, message=table)

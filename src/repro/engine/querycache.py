@@ -25,6 +25,17 @@ scalars for TRUTH/COUNT).  Relation payloads are stored as private
 copies and served as copies, so a caller mutating a result can never
 corrupt the cache.  The store is LRU-bounded and keeps hit/miss/evict
 counters; EXPLAIN surfaces the per-statement ``cache: hit|miss`` status.
+
+Admission is cost-aware when an ``admission`` policy is attached (the
+database wires in :func:`repro.planner.cache_admission`).  While the
+store has free space every payload is admitted — caching a cheap result
+costs nothing then.  Under eviction pressure the policy earns its keep:
+a payload whose compute cost is below the admission floor is *rejected*
+(counted under ``querycache.rejected``) instead of evicting something,
+and eviction scans pass over *pinned* entries — hot (hit at least once)
+and expensive ones — while any unpinned victim exists.  Cheap-query
+churn therefore stops flushing the entries that are actually worth
+keeping.
 """
 
 from __future__ import annotations
@@ -82,9 +93,20 @@ class QueryCache:
     private one.  ``hits``/``misses``/… remain readable as properties.
     """
 
-    def __init__(self, maxsize: int = 256, registry: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        maxsize: int = 256,
+        registry: Optional[MetricsRegistry] = None,
+        admission=None,
+    ) -> None:
         self.maxsize = maxsize
+        #: Optional cost-aware admission/pinning policy (an object with
+        #: ``admit(cost_ms)`` and ``pin(cost_ms, hits)``); ``None``
+        #: keeps the legacy admit-everything, pure-LRU behaviour.
+        self.admission = admission
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        #: key -> [cost_ms, hits] bookkeeping for admission + pinning
+        self._meta: Dict[Tuple, list] = {}
         #: relation name -> keys of entries that read it (invalidation index)
         self._by_source: Dict[str, set] = {}
         #: The server runs read statements on a thread pool under a
@@ -97,6 +119,7 @@ class QueryCache:
         self._misses = self.registry.counter("querycache.misses")
         self._evictions = self.registry.counter("querycache.evictions")
         self._invalidations = self.registry.counter("querycache.invalidations")
+        self._rejected = self.registry.counter("querycache.rejected")
         self._size = self.registry.gauge("querycache.entries")
 
     # counter views -- the registry owns the numbers
@@ -118,6 +141,10 @@ class QueryCache:
         return self._invalidations.value
 
     @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @property
     def hit_rate(self) -> float:
         """Hits over lookups, 0.0 before the first lookup."""
         lookups = self._hits.value + self._misses.value
@@ -134,6 +161,9 @@ class QueryCache:
                 return MISS
             self._entries.move_to_end(key)
             self._hits.inc()
+            meta = self._meta.get(key)
+            if meta is not None:
+                meta[1] += 1
             return entry
 
     def peek(self, key: Tuple) -> bool:
@@ -141,24 +171,63 @@ class QueryCache:
         (EXPLAIN uses this to report ``cache: hit|miss``)."""
         return key in self._entries
 
-    def put(self, key: Tuple, payload: object, source_names: Iterable[str] = ()) -> None:
-        """Store ``payload``; evicts the least recently used entry when
-        full.  ``source_names`` feed the invalidation index."""
+    def put(
+        self,
+        key: Tuple,
+        payload: object,
+        source_names: Iterable[str] = (),
+        cost_ms: Optional[float] = None,
+    ) -> None:
+        """Store ``payload``; evicts to make room when full.
+
+        ``cost_ms`` is what computing the payload took; with an
+        ``admission`` policy attached it decides, under eviction
+        pressure only, whether the payload is worth an eviction at all
+        and which resident entries are pinned against being the victim.
+        ``source_names`` feed the invalidation index.
+        """
         if self.maxsize <= 0:
             return
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self._entries[key] = payload
+                if cost_ms is not None:
+                    self._meta.setdefault(key, [None, 0])[0] = cost_ms
+                return
+            if (
+                self.admission is not None
+                and len(self._entries) >= self.maxsize
+                and not self.admission.admit(cost_ms)
+            ):
+                self._rejected.inc()
                 return
             while len(self._entries) >= self.maxsize:
-                evicted_key, _ = self._entries.popitem(last=False)
+                evicted_key = self._victim()
+                del self._entries[evicted_key]
+                self._meta.pop(evicted_key, None)
                 self._unindex(evicted_key)
                 self._evictions.inc()
             self._entries[key] = payload
+            self._meta[key] = [cost_ms, 0]
             self._size.set(len(self._entries))
             for name in source_names:
                 self._by_source.setdefault(name, set()).add(key)
+
+    def _victim(self) -> Tuple:
+        """The eviction victim: the least recently used *unpinned*
+        entry, falling back to plain LRU when everything is pinned (the
+        cache must never refuse to make room for an admitted entry)."""
+        first = None
+        for key in self._entries:
+            if first is None:
+                first = key
+            if self.admission is None:
+                return key
+            cost_ms, hits = self._meta.get(key, (None, 0))
+            if not self.admission.pin(cost_ms, hits):
+                return key
+        return first
 
     # ------------------------------------------------------------------
     # invalidation
@@ -177,6 +246,7 @@ class QueryCache:
             for key in keys:
                 if self._entries.pop(key, MISS) is not MISS:
                     dropped += 1
+                self._meta.pop(key, None)
                 self._unindex(key, skip=name)
             self._invalidations.inc(dropped)
             self._size.set(len(self._entries))
@@ -186,6 +256,7 @@ class QueryCache:
         with self._lock:
             self._invalidations.inc(len(self._entries))
             self._entries.clear()
+            self._meta.clear()
             self._by_source.clear()
             self._size.set(0)
 
@@ -209,6 +280,7 @@ class QueryCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "rejected": self.rejected,
             "hit_rate": self.hit_rate,
         }
 

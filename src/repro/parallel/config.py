@@ -34,7 +34,12 @@ class ParallelConfig:
         subprocess, no pickling) — useful for measuring decomposition
         overhead and for deterministic tests.
     min_tuples:
-        Serial-fallback cost gate: operations over fewer stored tuples
+        Serial-fallback cost gate.  ``0`` force-enables partitioning
+        attempts regardless of size.  When the planner is on
+        (``REPRO_PLANNER``, the default) any positive value delegates
+        the decision to :func:`repro.planner.parallel_gate` — the
+        priced serial-vs-dispatch comparison; with the planner off the
+        legacy behaviour holds: operations over fewer stored tuples
         than this never attempt to partition.
     fanout:
         Shards per worker.  Shards are units of *decomposition* —

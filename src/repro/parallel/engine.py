@@ -4,9 +4,11 @@ Every parallel entry point follows one shape:
 
 1. **Gate** — cheap checks that decide serial vs parallel *before* any
    partitioning work: layer enabled, no ``capture`` hook, a picklable
-   combining function, sweep-friendly hierarchies, and at least
-   ``min_tuples`` stored tuples (the serial-fallback cost gate: small
-   workloads never pay partition + pickle + merge).
+   combining function, sweep-friendly hierarchies, and a cost gate —
+   the planner's priced serial-vs-dispatch comparison
+   (:func:`repro.planner.parallel_gate`), or the fixed ``min_tuples``
+   constant when the planner is off; either way small workloads never
+   pay partition + pickle + merge, and ``min_tuples=0`` force-enables.
 2. **Partition** — cone-partition the distinct routed items
    (:func:`repro.parallel.partition.partition_items`); a workload that
    does not decompose (single cone, oversized residual) declines here.
@@ -126,8 +128,19 @@ def plan(
         positions = spec[2] if spec[0] == "proj" else None
         for item in relation.asserted:
             routed.add(item if positions is None else _pad(item, positions, top))
-    if total < cfg.min_tuples:
-        return Plan(reason="below threshold")
+    if cfg.min_tuples > 0:
+        # ``min_tuples=0`` force-enables (tests and benchmarks rely on
+        # it); otherwise the planner's priced serial-vs-dispatch
+        # comparison replaces the fixed constant, which survives only
+        # as the REPRO_PLANNER=0 legacy gate.
+        from repro import planner as _planner
+
+        if _planner.enabled():
+            worthwhile, why = _planner.parallel_gate(total, len(input_specs))
+            if not worthwhile:
+                return Plan(reason=why)
+        elif total < cfg.min_tuples:
+            return Plan(reason="below threshold")
 
     items = product.topological_sort(routed)
     partition, why = partition_items(

@@ -1,0 +1,64 @@
+"""Cost-based planner: statistics-driven operator ordering, adaptive
+gates, and cache admission.
+
+The algebra is declarative — the paper's pointwise combinator admits
+many evaluation orders with identical output — so every ordering and
+gating decision is a pure performance choice.  This package centralises
+those choices in one priced model fed by per-relation statistics:
+
+* :mod:`repro.planner.stats` — per-relation tuple counts, per-attribute
+  distinct-value multisets and cone-coverage estimates, patched
+  incrementally from the relations' delta logs;
+* :mod:`repro.planner.cost` — the decisions: symmetric n-ary combine
+  ordering (with short-circuit evaluation in the pointwise engine),
+  the parallel dispatch gate, the join zero-copy/materialise and
+  consolidation fused/two-step modes, and query-cache admission —
+  plus the estimated-vs-actual feedback loop EXPLAIN audits;
+* :mod:`repro.planner.config` — the ``REPRO_PLANNER`` switch and the
+  calibration constants (HQL ``SET PLANNER ON|OFF`` lands here).
+
+Everything the planner changes is bit-identity-safe: reordering only
+touches how many truth probes a candidate needs, never the candidate
+set, the truths, or the emission order.  ``REPRO_PLANNER=0`` restores
+the pre-planner fixed gates exactly.
+"""
+
+from repro.planner.config import PlannerConfig, config, configure, enabled, reset
+from repro.planner.cost import (
+    SYMMETRIC_TOKENS,
+    CacheAdmission,
+    CombinePlan,
+    cache_admission,
+    choose_join_mode,
+    consolidation_mode,
+    describe,
+    estimate_candidates,
+    observe_estimate,
+    parallel_gate,
+    plan_combine,
+    reset_feedback,
+)
+from repro.planner.stats import RelationStats, overlap_estimate, stats_for
+
+__all__ = [
+    "PlannerConfig",
+    "config",
+    "configure",
+    "enabled",
+    "reset",
+    "SYMMETRIC_TOKENS",
+    "CacheAdmission",
+    "CombinePlan",
+    "cache_admission",
+    "choose_join_mode",
+    "consolidation_mode",
+    "describe",
+    "estimate_candidates",
+    "observe_estimate",
+    "parallel_gate",
+    "plan_combine",
+    "reset_feedback",
+    "RelationStats",
+    "overlap_estimate",
+    "stats_for",
+]

@@ -1,0 +1,287 @@
+"""The cost model: one set of priced decisions for every former gate.
+
+Every decision below compares alternatives priced in the calibration
+constants of :class:`~repro.planner.config.PlannerConfig` — no decision
+carries its own magic threshold.  The decisions:
+
+* **combine order** (:func:`plan_combine`) — for a symmetric n-ary
+  combine, sort the input evaluators so the pointwise engine's
+  short-circuit stops as early as possible.  OR-like functions
+  (``or``/``any``) are settled by the first *true*, so the inputs go
+  widest-coverage first; AND-like (``and``/``all``) are settled by the
+  first *false*, so narrowest-coverage first.  The candidate set, the
+  emitted truths and the emission order are untouched — only the number
+  of truth probes per candidate changes — which is what makes the
+  reorder bit-identity-safe under every preemption strategy.
+  ``andnot`` is not symmetric and is never reordered.
+* **parallel gate** (:func:`parallel_gate`) — replaces the fixed
+  ``REPRO_PARALLEL_MIN_TUPLES`` constant: dispatch to worker shards iff
+  the priced serial evaluation exceeds the priced dispatch + shipping
+  overhead.  ``min_tuples=0`` still force-enables (tests rely on it).
+* **join mode** (:func:`choose_join_mode`) — zero-copy projection
+  adaptors vs materialised cylindric extensions, priced per candidate
+  probe + per padded tuple.
+* **consolidation mode** (:func:`consolidation_mode`) — fused emission
+  sweep vs build-then-consolidate, priced per candidate.
+* **cache admission** (:class:`CacheAdmission`) — under eviction
+  pressure, reject payloads cheaper to recompute than to look up, and
+  pin hot expensive entries against eviction.
+
+Estimates are audited: :func:`observe_estimate` keeps an EWMA of the
+actual/estimated candidate ratio per operator (fed by EXPLAIN and the
+traced pointwise spans) and :func:`estimate_candidates` applies it, so
+systematic bias in the sweep-free overlap heuristic decays instead of
+compounding.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import default_registry
+
+from repro.planner.config import config, enabled
+from repro.planner.stats import overlap_estimate, stats_for
+
+#: Symmetric combining-function tokens and the short-circuit kind the
+#: pointwise engine applies ("or": stop at first true; "and": stop at
+#: first false).  ``andnot`` is order-sensitive and absent on purpose.
+SYMMETRIC_TOKENS: Dict[str, str] = {
+    "or": "or",
+    "any": "or",
+    "and": "and",
+    "all": "and",
+}
+
+_ewma_lock = threading.Lock()
+_ewma: Dict[str, float] = {}
+_EWMA_ALPHA = 0.2
+
+
+def reset_feedback() -> None:
+    """Drop the observed-actuals corrections (test fixtures)."""
+    with _ewma_lock:
+        _ewma.clear()
+
+
+class CombinePlan:
+    """The planner's verdict for one n-ary combine."""
+
+    __slots__ = ("order", "shortcircuit", "reordered")
+
+    def __init__(self, order: List[int], shortcircuit: str, reordered: bool) -> None:
+        self.order = order
+        self.shortcircuit = shortcircuit
+        self.reordered = reordered
+
+
+def plan_combine(relations: Sequence, fn_token: Optional[str]) -> Optional[CombinePlan]:
+    """Order ``relations`` for short-circuit evaluation, or ``None``
+    when the combine must run exactly as written (planner off, too few
+    inputs, or an order-sensitive function)."""
+    cfg = config()
+    if not cfg.enabled or fn_token is None:
+        return None
+    kind = SYMMETRIC_TOKENS.get(fn_token)
+    if kind is None or len(relations) < cfg.min_inputs:
+        return None
+    weights = [stats_for(relation).coverage() for relation in relations]
+    # Widest first settles OR fastest; narrowest first settles AND.
+    # The sort is stable, so equal-coverage inputs keep syntax order
+    # and an all-equal workload degrades to the identity permutation.
+    order = sorted(
+        range(len(relations)),
+        key=(lambda i: -weights[i]) if kind == "or" else (lambda i: weights[i]),
+    )
+    reordered = order != list(range(len(relations)))
+    registry = default_registry()
+    registry.counter("planner.combine.plans").inc()
+    if reordered:
+        registry.counter("planner.reorders").inc()
+    return CombinePlan(order, kind, reordered)
+
+
+# ----------------------------------------------------------------------
+# candidate estimation + feedback
+# ----------------------------------------------------------------------
+
+
+def _correction(op: str) -> float:
+    with _ewma_lock:
+        return _ewma.get(op, 1.0)
+
+
+def observe_estimate(op: str, estimated: int, actual: int) -> None:
+    """Feed an estimated-vs-actual pair back into the model.
+
+    Updates the per-operator EWMA correction and counts gross misses
+    (>10x either way) under ``planner.estimate.off10x`` — the number
+    EXPLAIN ANALYZE flags and future stats refinement will chase."""
+    registry = default_registry()
+    registry.counter("planner.estimate.checks").inc()
+    if estimated <= 0:
+        return
+    ratio = actual / estimated
+    if ratio > 10.0 or (actual and ratio < 0.1):
+        registry.counter("planner.estimate.off10x").inc()
+    with _ewma_lock:
+        previous = _ewma.get(op, 1.0)
+        _ewma[op] = previous + _EWMA_ALPHA * (ratio - previous)
+
+
+def estimate_candidates(relations: Sequence, op: str = "pointwise") -> int:
+    """Estimated meet-closure candidate count for combining
+    ``relations``: every stored tuple seeds a candidate, plus one
+    candidate per estimated cross-input meet pair, scaled by the
+    operator's observed-actuals correction."""
+    stats = [stats_for(relation) for relation in relations]
+    base = sum(s.tuples for s in stats)
+    meets = 0
+    for i in range(len(stats)):
+        for j in range(i + 1, len(stats)):
+            meets += overlap_estimate(stats[i], stats[j])
+    return max(1, int(round((base + meets) * _correction(op))))
+
+
+# ----------------------------------------------------------------------
+# gates
+# ----------------------------------------------------------------------
+
+
+def parallel_gate(total: int, inputs: int) -> Tuple[bool, str]:
+    """Is a parallel dispatch worth it?  Serial cost is priced as one
+    truth probe per (candidate, input); parallel overhead as the fixed
+    dispatch cost plus shipping each routed tuple once.  Returns
+    ``(go, reason)`` — the reason string lands in ``Plan.describe()``
+    and therefore in EXPLAIN."""
+    cfg = config()
+    serial_us = total * max(1, inputs) * cfg.truth_call_us
+    overhead_us = cfg.dispatch_ms * 1e3 + total * cfg.ship_tuple_us
+    registry = default_registry()
+    if serial_us > overhead_us:
+        registry.counter("planner.parallel.grants").inc()
+        return True, ""
+    registry.counter("planner.parallel.declines").inc()
+    return False, "below cost gate (serial ~{:.1f}us < overhead ~{:.1f}us)".format(
+        serial_us, overhead_us
+    )
+
+
+def choose_join_mode(
+    left_tuples: int, right_tuples: int, zero_copy_available: bool
+) -> str:
+    """``"zero_copy"`` or ``"materialise"``.
+
+    Zero-copy answers each candidate probe through a projection adaptor
+    (a tuple-slice per probe); materialising first *builds* both
+    cylindric extensions (one padded assert per stored tuple — priced
+    like a truth call, plus doubling the evaluator builds) and then
+    probes the same candidates.  The adaptor overhead is a fraction of
+    a probe, so whenever zero-copy is sound it is also cheapest; the
+    comparison is kept explicit so the decision is auditable and the
+    constants stay revisable."""
+    if not zero_copy_available:
+        return "materialise"
+    if not enabled():
+        return "zero_copy"  # the legacy fixed gate picked it too
+    cfg = config()
+    total = left_tuples + right_tuples
+    adaptor_us = total * cfg.truth_call_us * 0.25
+    materialise_us = total * cfg.truth_call_us * 2.0
+    return "zero_copy" if adaptor_us <= materialise_us else "materialise"
+
+
+def consolidation_mode(needs_elimination_binding: bool, candidates: int) -> str:
+    """``"fused"`` or ``"two-step"``.
+
+    Non-normal-form products *must* run the literal two-step procedure
+    (the fused mask sweep is only exact without elimination binding).
+    Otherwise both passes are linear in the candidate count, but the
+    two-step path additionally asserts every pre-consolidation
+    candidate into a throwaway relation — one priced probe each — so
+    the fused sweep wins at every size; the priced comparison keeps the
+    gate in the shared model instead of hard-coding the answer."""
+    if needs_elimination_binding:
+        return "two-step"
+    if not enabled():
+        return "fused"  # the legacy fixed gate
+    cfg = config()
+    fused_us = candidates * cfg.truth_call_us * 0.5
+    two_step_us = candidates * cfg.truth_call_us * 1.5
+    return "fused" if fused_us <= two_step_us else "two-step"
+
+
+# ----------------------------------------------------------------------
+# cache admission
+# ----------------------------------------------------------------------
+
+
+class CacheAdmission:
+    """The query cache's admission + pinning policy.
+
+    ``registry`` is the owning database's metrics registry: the
+    admission floor adapts to the observed ``hql.statement.ms``
+    distribution once enough statements have been timed (a deployment
+    whose cheapest statements take 5 ms should not hoard 0.1 ms
+    entries just because the default floor is lower).  Both hooks
+    consult the live config, so ``SET PLANNER OFF`` restores admit-all
+    behaviour immediately.
+    """
+
+    def __init__(self, registry=None) -> None:
+        self.registry = registry
+
+    def _floor_ms(self) -> float:
+        floor = config().cache_min_cost_ms
+        if self.registry is not None:
+            histogram = self.registry.histogram("hql.statement.ms")
+            if histogram.count >= 200:
+                floor = min(max(floor, 0.02 * histogram.mean), 10.0 * floor)
+        return floor
+
+    def admit(self, cost_ms: Optional[float]) -> bool:
+        """Called only under eviction pressure: is this payload worth
+        evicting something for?"""
+        if not enabled() or cost_ms is None:
+            return True
+        return cost_ms >= self._floor_ms()
+
+    def pin(self, cost_ms: Optional[float], hits: int) -> bool:
+        """Hot (hit at least once) *and* expensive entries survive
+        eviction scans while any unpinned victim exists."""
+        if not enabled() or cost_ms is None:
+            return False
+        return hits >= 1 and cost_ms >= config().cache_pin_cost_ms
+
+
+def cache_admission(registry=None) -> CacheAdmission:
+    """The admission policy for a database's query cache."""
+    return CacheAdmission(registry)
+
+
+# ----------------------------------------------------------------------
+# state reporting
+# ----------------------------------------------------------------------
+
+
+def describe() -> Dict[str, object]:
+    """The planner state block for ``STATS;`` payloads and the server
+    ``stats`` admin verb."""
+    cfg = config()
+    registry = default_registry()
+    with _ewma_lock:
+        corrections = dict(_ewma)
+    return {
+        "enabled": cfg.enabled,
+        "min_inputs": cfg.min_inputs,
+        "cache_min_cost_ms": cfg.cache_min_cost_ms,
+        "cache_pin_cost_ms": cfg.cache_pin_cost_ms,
+        "reorders": registry.counter("planner.reorders").value,
+        "combine_plans": registry.counter("planner.combine.plans").value,
+        "parallel_grants": registry.counter("planner.parallel.grants").value,
+        "parallel_declines": registry.counter("planner.parallel.declines").value,
+        "estimate_checks": registry.counter("planner.estimate.checks").value,
+        "estimate_off10x": registry.counter("planner.estimate.off10x").value,
+        "corrections": corrections,
+    }

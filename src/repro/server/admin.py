@@ -16,7 +16,8 @@ Commands
 ``stats``     JSON snapshots of the per-database registry (``hql.*``,
               ``querycache.*``, ``txn.*``, ``server.*``), the
               process-global core registry (``algebra.*``, ``bulk.*``),
-              and server state (sessions, lock, recovery)
+              the cost-based planner's state (``planner`` block), and
+              server state (sessions, lock, recovery)
 ``metrics``   both registries in Prometheus text exposition format
 ``slowlog``   the slow-query log as JSON (statement, elapsed_ms, span)
 ``sessions``  one row per live connection
@@ -60,11 +61,14 @@ def admin_payload(server, cmd: str) -> Dict[str, Any]:
 
 
 def stats_payload(server) -> Dict[str, Any]:
+    from repro import planner
+
     recovery = server.recovery
     return {
         "database": server.database.name,
         "engine": server.database.metrics.snapshot(),
         "core": default_registry().snapshot(),
+        "planner": planner.describe(),
         "server": {
             "uptime_s": round(time.time() - server.started_at, 3),
             "sessions": len(server.sessions),

@@ -203,6 +203,58 @@ def cone_workload(
     return hierarchy, left, right
 
 
+def skewed_combine_workload(
+    cones: int,
+    instances_per_cone: int,
+    inputs: int,
+    pool_size: int | None = None,
+    assert_probability: float = 0.4,
+    seed: int = 0,
+) -> Tuple[Hierarchy, List[HRelation]]:
+    """The planner workload: one *broad* relation asserting every cone
+    class (its cones cover the whole domain) plus ``inputs - 1``
+    *narrow* same-schema relations, each holding a random
+    ``assert_probability`` sample of a shared instance pool.
+
+    Relations come back narrow-first, broad *last* — the pessimal
+    syntax order for an OR-combine, where left-to-right evaluation
+    probes every narrow input at every candidate before reaching the
+    one input that almost always answers true.  Statistics-driven
+    reordering puts the broad relation first and each candidate
+    short-circuits there instead.  All tuples are positive, so the
+    inputs are trivially consistent and the combine is conflict-free
+    under every preemption strategy.
+
+    Returns ``(hierarchy, relations)``.
+    """
+    rng = random.Random(seed)
+    hierarchy = Hierarchy("skew")
+    instances: List[str] = []
+    for c in range(cones):
+        klass = "c{}".format(c)
+        hierarchy.add_class(klass)
+        for i in range(instances_per_cone):
+            name = "c{}i{}".format(c, i)
+            hierarchy.add_instance(name, parents=[klass])
+            instances.append(name)
+    if pool_size is None:
+        pool_size = max(1, len(instances) // 3)
+    pool = rng.sample(instances, min(pool_size, len(instances)))
+    schema = RelationSchema([("value", hierarchy)])
+    relations = []
+    for k in range(max(0, inputs - 1)):
+        narrow = HRelation(schema, name="narrow{}".format(k))
+        for name in pool:
+            if rng.random() < assert_probability:
+                narrow.assert_item((name,), truth=True)
+        relations.append(narrow)
+    broad = HRelation(schema, name="broad")
+    for c in range(cones):
+        broad.assert_item(("c{}".format(c),), truth=True)
+    relations.append(broad)
+    return hierarchy, relations
+
+
 def cone_join_workload(
     cones: int, instances_per_cone: int, seed: int = 0
 ) -> Tuple[HRelation, HRelation]:

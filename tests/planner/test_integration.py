@@ -1,0 +1,173 @@
+"""Planner integration: HQL SET/STATS/EXPLAIN, the query cache's
+admission policy under pressure, and the environment knob."""
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro import planner
+from repro.engine.database import HierarchicalDatabase
+from repro.engine.hql.executor import HQLExecutor
+from repro.engine.querycache import QueryCache
+from repro.errors import HQLError
+
+SCHEMA = """
+CREATE HIERARCHY dom ROOT dom;
+CREATE CLASS c0 IN dom UNDER dom;
+CREATE CLASS c1 IN dom UNDER dom;
+CREATE INSTANCE c0i IN dom UNDER c0;
+CREATE INSTANCE c1i IN dom UNDER c1;
+CREATE RELATION likes (a: dom, b: dom);
+ASSERT likes (c0, c1);
+ASSERT likes (c1i, c0i);
+"""
+
+
+@pytest.fixture
+def executor():
+    database = HierarchicalDatabase()
+    ex = HQLExecutor(database)
+    ex.run(SCHEMA)
+    yield ex
+    ex.close()
+
+
+def test_set_planner_toggles(executor):
+    result = executor.run("SET PLANNER OFF;")[0]
+    assert not planner.enabled()
+    assert "off" in result.message
+    result = executor.run("SET PLANNER ON;")[0]
+    assert planner.enabled()
+    assert "on" in result.message
+    with pytest.raises(HQLError, match="expects ON or OFF"):
+        executor.run("SET PLANNER sideways;")
+
+
+def test_stats_reports_planner_state(executor):
+    result = executor.run("STATS;")[0]
+    assert "planner" in result.message
+    assert result.payload["planner"]["enabled"] is True
+    executor.run("SET PLANNER OFF;")
+    result = executor.run("STATS;")[0]
+    assert result.payload["planner"]["enabled"] is False
+
+
+def test_explain_carries_estimate_line(executor):
+    message = executor.run("EXPLAIN UNION likes WITH likes;")[0].message
+    assert "estimate: ~" in message
+    assert "actual" in message
+    executor.run("SET PLANNER OFF;")
+    message = executor.run("EXPLAIN UNION likes WITH likes;")[0].message
+    assert "estimate:" not in message
+
+
+def test_explain_analyze_compares_estimates(executor):
+    from repro import parallel
+
+    # The est-vs-actual rows hang off the serial pointwise span; pin the
+    # serial path so a REPRO_PARALLEL=2 run doesn't shard past it.
+    parallel.configure(workers=0)
+    try:
+        message = executor.run("EXPLAIN ANALYZE UNION likes WITH likes;")[0].message
+    finally:
+        parallel.reset()
+    assert "estimates (est vs actual rows):" in message
+    assert "algebra.pointwise: estimated" in message
+
+
+def test_env_knob_disables_planner():
+    with mock.patch.dict(os.environ, {"REPRO_PLANNER": "0"}):
+        planner.reset()
+        assert not planner.enabled()
+    with mock.patch.dict(os.environ, {"REPRO_PLANNER": "1"}):
+        planner.reset()
+        assert planner.enabled()
+
+
+def test_cache_admits_everything_while_not_full():
+    cache = QueryCache(maxsize=8, admission=planner.cache_admission())
+    for i in range(8):
+        cache.put(("op", i, ()), i, cost_ms=0.0001)
+    assert len(cache) == 8
+    assert cache.rejected == 0
+
+
+def test_cache_rejects_cheap_payloads_under_pressure():
+    cache = QueryCache(maxsize=2, admission=planner.cache_admission())
+    cache.put(("op", 1, ()), 1, cost_ms=5.0)
+    cache.put(("op", 2, ()), 2, cost_ms=5.0)
+    cache.put(("op", 3, ()), 3, cost_ms=0.0001)  # cheaper than a lookup
+    assert cache.rejected == 1
+    assert cache.evictions == 0
+    assert len(cache) == 2
+    cache.put(("op", 4, ()), 4, cost_ms=5.0)  # expensive: evicts LRU
+    assert cache.evictions == 1
+
+
+def test_cache_eviction_passes_over_pinned_entries():
+    from repro.engine.querycache import MISS
+
+    cache = QueryCache(maxsize=2, admission=planner.cache_admission())
+    cache.put(("hot",), "expensive", cost_ms=50.0)
+    assert cache.get(("hot",)) == "expensive"  # hit: now hot + expensive
+    cache.put(("cold",), "cheap-but-kept", cost_ms=2.0)
+    cache.put(("new",), "payload", cost_ms=9.0)
+    # LRU order would evict "hot"; pinning diverts the eviction to the
+    # unpinned "cold" entry instead.
+    assert cache.get(("hot",)) == "expensive"
+    assert cache.get(("cold",)) is MISS
+
+
+def test_cache_falls_back_to_lru_when_everything_is_pinned():
+    cache = QueryCache(maxsize=2, admission=planner.cache_admission())
+    for key in ("a", "b"):
+        cache.put((key,), key, cost_ms=50.0)
+        assert cache.get((key,)) == key
+    cache.put(("c",), "c", cost_ms=50.0)  # all pinned: plain LRU wins
+    assert len(cache) == 2
+    assert cache.evictions == 1
+
+
+def test_planner_off_restores_admit_all():
+    planner.configure(enabled=False)
+    cache = QueryCache(maxsize=2, admission=planner.cache_admission())
+    cache.put(("op", 1, ()), 1, cost_ms=5.0)
+    cache.put(("op", 2, ()), 2, cost_ms=5.0)
+    cache.put(("op", 3, ()), 3, cost_ms=0.0001)
+    assert cache.rejected == 0
+    assert cache.evictions == 1
+
+
+def test_database_wires_admission_into_its_cache():
+    db = HierarchicalDatabase("wired")
+    assert db.query_cache.admission is not None
+    assert db.query_cache.admission.registry is db.metrics
+
+
+def test_executor_records_cost_on_cached_statements(executor):
+    executor.run("SELECT FROM likes WHERE a = c0;")
+    cache = executor.database.query_cache
+    assert len(cache) == 1
+    (meta,) = cache._meta.values()
+    assert meta[0] is not None and meta[0] > 0  # cost_ms recorded
+
+
+def test_server_stats_payload_includes_planner():
+    from repro.server.admin import stats_payload
+
+    class _Lock:
+        readers = 0
+        max_concurrent_readers = 0
+        writer_active = False
+
+    class _Server:
+        database = HierarchicalDatabase("s")
+        started_at = 0.0
+        sessions = {}
+        lock = _Lock()
+        draining = False
+        recovery = None
+
+    payload = stats_payload(_Server())
+    assert payload["planner"]["enabled"] is True

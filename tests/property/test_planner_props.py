@@ -1,0 +1,153 @@
+"""Property tests: the cost-based planner is invisible in results.
+
+Reordering a symmetric n-ary combine by estimated coverage and
+short-circuiting the per-candidate truth probes changes *which probes
+run*, never the candidate set, the emitted truths, or the emission
+order.  These properties pin that claim across random hierarchies and
+relations, all three preemption strategies, and the forced-parallel
+path, plus the statistics invariant the plans are priced from:
+incrementally patched stats always equal a from-scratch rebuild.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import parallel, planner
+from repro.core import HRelation, RelationSchema, algebra
+from repro.core.preemption import STRATEGIES
+from repro.parallel.worker import FN_TOKENS
+from repro.planner import RelationStats, stats_for
+from tests.parallel.helpers import same_relation
+from tests.property.strategies import hierarchies, relations, repair
+from tests.property.test_algebra_props import under_strategy
+
+STRATEGY_NAMES = sorted(STRATEGIES)
+SYMMETRIC_TOKENS = ["or", "and"]
+
+
+@st.composite
+def combine_inputs(draw, min_inputs=3, max_inputs=5):
+    """n >= 3 consistent relations over one shared unary schema.
+
+    Three inputs is the planner's ``min_inputs`` floor: anything
+    smaller is declined and the property would test nothing.
+    """
+    hierarchy = draw(hierarchies(name="dom"))
+    first = draw(relations(hierarchy=hierarchy, max_tuples=4, name="r0"))
+    rels = [first]
+    count = draw(st.integers(min_value=min_inputs, max_value=max_inputs))
+    for i in range(1, count):
+        sibling = HRelation(first.schema, name="r{}".format(i))
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            item = (draw(st.sampled_from(hierarchy.nodes())),)
+            if item not in sibling.asserted:
+                sibling.assert_item(item, truth=draw(st.booleans()))
+        repair(sibling)
+        rels.append(sibling)
+    return rels
+
+
+def _combine(rels, token, enabled, consolidate=True):
+    planner.configure(enabled=enabled)
+    return algebra.combine(
+        rels, FN_TOKENS[token], fn_token=token,
+        name="planned" if enabled else "legacy", consolidate=consolidate,
+    )
+
+
+@given(
+    combine_inputs(),
+    st.sampled_from(STRATEGY_NAMES),
+    st.sampled_from(SYMMETRIC_TOKENS),
+)
+@settings(max_examples=40, deadline=None)
+def test_planned_combine_bit_identical_under_every_strategy(
+    rels, strategy_name, token
+):
+    """Planner-reordered combines emit exactly what left-to-right
+    emits — same items, same signs, same insertion order — under all
+    three preemption strategies."""
+    under_strategy(strategy_name, *rels)
+    try:
+        want = _combine(rels, token, enabled=False)
+        got = _combine(rels, token, enabled=True)
+    finally:
+        planner.reset()
+    assert same_relation(got, want)
+
+
+@given(combine_inputs(), st.sampled_from(SYMMETRIC_TOKENS))
+@settings(max_examples=25, deadline=None)
+def test_planned_combine_bit_identical_before_consolidation(rels, token):
+    """Identity must hold on the *raw* emission stream too, not just
+    after the redundancy sweep has had a chance to paper over a
+    divergence."""
+    try:
+        want = _combine(rels, token, enabled=False, consolidate=False)
+        got = _combine(rels, token, enabled=True, consolidate=False)
+    finally:
+        planner.reset()
+    assert same_relation(got, want)
+
+
+@given(combine_inputs(max_inputs=4), st.sampled_from(SYMMETRIC_TOKENS))
+@settings(max_examples=6, deadline=None)
+def test_planned_combine_bit_identical_under_forced_parallelism(rels, token):
+    """With two workers and the tuple floor forced to zero the sharded
+    path runs; planner on/off must still agree with each other and with
+    the serial evaluation."""
+    try:
+        serial = _combine(rels, token, enabled=True)
+        parallel.configure(workers=2, min_tuples=0)
+        want = _combine(rels, token, enabled=False)
+        got = _combine(rels, token, enabled=True)
+    finally:
+        parallel.reset()
+        planner.reset()
+    assert same_relation(got, want)
+    assert same_relation(got, serial)
+
+
+@given(st.data())
+@settings(max_examples=50, deadline=None)
+def test_stats_after_deltas_equal_rebuild(data):
+    """Any interleaving of asserts, sign flips, retractions, hierarchy
+    growth, and mid-sequence refreshes leaves the cached, incrementally
+    patched stats equal to a from-scratch rebuild."""
+    hierarchy = data.draw(hierarchies(name="dom"), label="hierarchy")
+    relation = HRelation(RelationSchema([("value", hierarchy)]), name="mutant")
+    if data.draw(st.booleans(), label="trim"):
+        relation.delta_log_limit = 4  # exercise the trimmed-log rebuild path
+    stats = stats_for(relation)
+    for _ in range(data.draw(st.integers(min_value=1, max_value=25), label="steps")):
+        op = data.draw(
+            st.sampled_from(["assert", "flip", "retract", "grow", "refresh"]),
+            label="op",
+        )
+        if op == "assert":
+            item = (data.draw(st.sampled_from(hierarchy.nodes()), label="node"),)
+            if item not in relation.asserted:
+                relation.assert_item(
+                    item, truth=data.draw(st.booleans(), label="truth")
+                )
+        elif op == "flip" and relation.asserted:
+            item = data.draw(st.sampled_from(sorted(relation.asserted)), label="at")
+            relation.assert_item(
+                item, truth=not relation.asserted[item], replace=True
+            )
+        elif op == "retract" and relation.asserted:
+            relation.retract(
+                data.draw(st.sampled_from(sorted(relation.asserted)), label="rm")
+            )
+        elif op == "grow":
+            parent = data.draw(st.sampled_from(hierarchy.nodes()), label="parent")
+            if not hierarchy.is_instance(parent):
+                name = "leaf{}".format(len(hierarchy.nodes()))
+                hierarchy.add_instance(name, parents=[parent])
+        elif op == "refresh":
+            # Patch mid-sequence so later deltas apply on top of a
+            # patch, not only onto the pristine snapshot.
+            stats_for(relation)
+    patched = stats_for(relation)
+    assert patched is stats  # still the cached object, patched in place
+    assert patched.snapshot() == RelationStats(relation).snapshot()
