@@ -290,6 +290,28 @@ def _validate(name: str, payload: object) -> list:
             problems.append(
                 "{}: metrics must record a nonzero 'planner.reorders'".format(name)
             )
+    if name.startswith("BENCH_wire"):
+        # The binary format's acceptance bars (docs/SERVER.md): a
+        # payload recording a slower-than-promised codec is a
+        # regression, not a datapoint.
+        bars = {"snapshot_load_50k": 3.0, "wire_transfer_50k": 2.0}
+        seen = {}
+        for row in rows:
+            if isinstance(row, dict):
+                seen[row.get("op")] = row.get("speedup", 0)
+        for op, bar in bars.items():
+            if op not in seen:
+                problems.append("{}: missing the '{}' row".format(name, op))
+            elif not isinstance(seen[op], (int, float)) or seen[op] < bar:
+                problems.append(
+                    "{}: '{}' must record >= {}x, got {!r}".format(
+                        name, op, bar, seen[op]
+                    )
+                )
+        if not isinstance(metrics, dict) or not metrics.get("client_peak_cursor_50k"):
+            problems.append(
+                "{}: metrics must record 'client_peak_cursor_50k'".format(name)
+            )
     return problems
 
 

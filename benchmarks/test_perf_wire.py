@@ -1,0 +1,122 @@
+"""P12: the binary columnar format's recorded wins must hold.
+
+Two layers of guard, same shape as the server-concurrency bench:
+
+* the committed ``BENCH_wire.json`` must record the acceptance bars —
+  binary snapshot load >= 3x JSON and binary wire transfer >= 2x JSON
+  at 50k tuples, with the client's cursor peak memory bounded — so a
+  codec regression fails review instead of hiding in a stale payload;
+* a live scaled-down spot check re-measures the snapshot claim
+  in-process with looser (but unambiguous) bars, so the recorded
+  numbers stay reproducible on the machine running the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_wire.json"
+
+LIVE_TUPLES = 20_000
+
+
+def _row(payload, op):
+    rows = [r for r in payload["rows"] if r["op"] == op]
+    return rows[0] if rows else None
+
+
+def test_recorded_snapshot_load_meets_the_bar():
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_wire.json not generated yet")
+    payload = json.loads(BENCH_PATH.read_text())
+    row = _row(payload, "snapshot_load_50k")
+    assert row is not None, "BENCH_wire.json lacks the snapshot_load_50k row"
+    assert row["speedup"] >= 3.0, (
+        "binary snapshot load must be >= 3x JSON at 50k tuples, recorded "
+        "{:.2f}x".format(row["speedup"])
+    )
+
+
+def test_recorded_wire_transfer_meets_the_bar():
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_wire.json not generated yet")
+    payload = json.loads(BENCH_PATH.read_text())
+    row = _row(payload, "wire_transfer_50k")
+    assert row is not None, "BENCH_wire.json lacks the wire_transfer_50k row"
+    assert row["speedup"] >= 2.0, (
+        "binary wire transfer must be >= 2x JSON at 50k tuples, recorded "
+        "{:.2f}x".format(row["speedup"])
+    )
+
+
+def test_recorded_cursor_memory_is_bounded():
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_wire.json not generated yet")
+    metrics = json.loads(BENCH_PATH.read_text())["metrics"]
+    small = metrics["client_peak_cursor_10k"]
+    large = metrics["client_peak_cursor_50k"]
+    buffered = metrics["client_peak_full_50k"]
+    # 5x the rows must not mean 5x the client memory — the cursor holds
+    # one page, so the peak stays roughly flat and far under buffered.
+    assert large < small * 2, (
+        "cursor peak grew with the result: {} -> {} bytes".format(small, large)
+    )
+    assert large * 4 < buffered, (
+        "cursor peak {} not clearly below buffered peak {}".format(large, buffered)
+    )
+
+
+def test_recorded_rows_are_internally_consistent():
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_wire.json not generated yet")
+    payload = json.loads(BENCH_PATH.read_text())
+    assert payload["rows"], "no rows recorded"
+    for row in payload["rows"]:
+        assert row["before_ms"] > 0 and row["after_ms"] > 0
+        ratio = row["before_ms"] / row["after_ms"]
+        assert row["speedup"] == pytest.approx(ratio, rel=0.02), (
+            "{}: speedup {} does not match before/after {:.2f}".format(
+                row["op"], row["speedup"], ratio
+            )
+        )
+
+
+def test_live_binary_snapshot_beats_json():
+    from benchmarks.bench_wire import assert_bit_identical, build_database
+    from repro.core.bulk import evaluator_for
+    from repro.engine import storage
+
+    database = build_database(LIVE_TUPLES)
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = os.path.join(tmp, "s.json")
+        bin_path = os.path.join(tmp, "s.bin")
+        storage.save_database(database, json_path)
+        storage.save_database_binary(database, bin_path)
+
+        t_json = t_bin = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            from_json = storage.load_database(json_path)
+            evaluator_for(from_json.relation("r"))
+            t_json = min(t_json, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            from_bin, _ = storage.read_binary_snapshot(bin_path)
+            evaluator_for(from_bin.relation("r"))
+            t_bin = min(t_bin, time.perf_counter() - start)
+
+        assert_bit_identical(database, from_bin)
+        # The full-size bench demands 3x at 50k; the in-suite check is
+        # smaller and runs on shared CI, so require a looser but still
+        # unambiguous win.
+        assert t_bin < t_json / 1.5, (
+            "binary load {:.1f} ms vs JSON {:.1f} ms".format(
+                t_bin * 1e3, t_json * 1e3
+            )
+        )

@@ -12,7 +12,7 @@ Commands
     ``--data-dir`` the server recovers from snapshot + oplog on boot,
     journals every committed write, and checkpoints periodically and at
     graceful shutdown (SIGINT/SIGTERM drain in-flight statements).
-``connect [--host H] [--port P]``
+``connect [--host H] [--port P] [--wire-format binary|json]``
     Interactive HQL shell over the wire against a running server.
 ``version``
     Print the package version.
@@ -91,6 +91,11 @@ def _build_parser() -> argparse.ArgumentParser:
     connect = commands.add_parser("connect", help="HQL shell over the wire")
     connect.add_argument("--host", default="127.0.0.1")
     connect.add_argument("--port", type=int, default=DEFAULT_PORT)
+    connect.add_argument(
+        "--wire-format",
+        choices=("binary", "json"),
+        help="result encoding to prefer (default: REPRO_WIRE_FORMAT or binary)",
+    )
 
     commands.add_parser("version", help="print the package version")
     return parser
@@ -172,7 +177,7 @@ def _cmd_connect(args) -> int:
     from repro.client import HQLClient, RemoteRepl
     from repro.errors import ServerError
 
-    client = HQLClient(host=args.host, port=args.port)
+    client = HQLClient(host=args.host, port=args.port, wire_format=args.wire_format)
     try:
         client.connect()
     except ServerError as exc:

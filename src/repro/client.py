@@ -26,28 +26,104 @@ from __future__ import annotations
 import socket
 import sys
 import time
-from typing import IO, Any, Dict, List, Optional
+from typing import IO, Any, Dict, Iterator, List, Optional
 
-from repro.errors import ProtocolError, RemoteError, ServerError
+from repro.engine import codec
+from repro.errors import FrameTooLargeError, ProtocolError, RemoteError, ServerError
 from repro.server import protocol
 
 
 class RemoteResult:
-    """One statement's outcome as reported over the wire."""
+    """One statement's outcome as reported over the wire.
 
-    __slots__ = ("kind", "payload", "message", "elapsed_ms")
+    ``cursor`` is the server's continuation descriptor (``{"id", "total",
+    "page"}``) when the result was paged, else ``None`` — in the paged
+    case ``payload`` holds only the first page of tuples/rows.
+    """
+
+    __slots__ = ("kind", "payload", "message", "elapsed_ms", "cursor")
 
     def __init__(self, wire: Dict[str, Any]) -> None:
         self.kind = wire.get("kind", "?")
         self.payload = wire.get("payload")
         self.message = wire.get("message", "")
         self.elapsed_ms = wire.get("elapsed_ms")
+        self.cursor = wire.get("cursor")
 
     def __str__(self) -> str:
         return self.message or "{}: {!r}".format(self.kind, self.payload)
 
     def __repr__(self) -> str:
         return "RemoteResult(kind={!r}, payload={!r})".format(self.kind, self.payload)
+
+
+class RemoteCursor:
+    """A lazy, bounded-memory iterator over one paged remote result.
+
+    Holds exactly one page of rows at a time: iterating yields the
+    current page and fetches the next from the server only when the
+    page is exhausted, so peak client memory is O(page), independent of
+    the result size.  Usable as a context manager; closing early drops
+    the server-side cursor.
+
+    Rows are wire-shaped: ``[item, truth]`` pairs for relation results,
+    plain value lists for extensions.
+    """
+
+    def __init__(self, client: "HQLClient", result: RemoteResult) -> None:
+        self._client = client
+        self.kind = result.kind
+        self.elapsed_ms = result.elapsed_ms
+        info = result.cursor or {}
+        self._cursor_id = info.get("id")
+        #: Total rows server-side (first page included), when paged.
+        self.total_rows = info.get("total")
+        if self.kind == "relation" and isinstance(result.payload, dict):
+            payload = result.payload
+            self.name = payload.get("name")
+            self.attributes = list(payload.get("attributes") or ())
+            self._page = list(payload.get("tuples") or ())
+        else:
+            self.name = None
+            self.attributes = []
+            self._page = list(result.payload or ())
+        if self.total_rows is None:
+            self.total_rows = len(self._page)
+        self._done = self._cursor_id is None
+
+    def __iter__(self) -> Iterator[Any]:
+        while True:
+            page, self._page = self._page, []
+            for row in page:
+                yield row
+            if self._done:
+                return
+            reply = self._client.fetch(self._cursor_id)
+            self._page = list(reply.get("rows") or ())
+            self._done = bool(reply.get("done"))
+
+    def close(self) -> None:
+        """Drop the server-side cursor (best-effort; drained and
+        disconnected cursors are already gone)."""
+        if not self._done and self._cursor_id is not None:
+            try:
+                self._client.close_cursor(self._cursor_id)
+            except (ServerError, ConnectionError, OSError):
+                pass
+        self._done = True
+        self._page = []
+
+    def __enter__(self) -> "RemoteCursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        return "RemoteCursor(kind={!r}, total={}, open={})".format(
+            self.kind, self.total_rows, not self._done
+        )
 
 
 class _TransactionGuard:
@@ -96,6 +172,7 @@ class HQLClient:
         connect_attempts: int = 3,
         retry_delay: float = 0.1,
         render: bool = True,
+        wire_format: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -104,6 +181,11 @@ class HQLClient:
         self.connect_attempts = max(1, connect_attempts)
         self.retry_delay = retry_delay
         self.render = render
+        #: Preferred response encoding; ``None`` follows the process
+        #: default (``REPRO_WIRE_FORMAT``).  Negotiated down to JSON at
+        #: connect time when the server does not advertise binary.
+        self.preferred_format = wire_format or codec.default_format()
+        self.wire_format = codec.FORMAT_JSON
         self.hello: Optional[Dict[str, Any]] = None
         self.session_id: Optional[int] = None
         self._sock: Optional[socket.socket] = None
@@ -143,6 +225,14 @@ class HQLClient:
                 self._sock = sock
                 self.session_id = self.hello.get("session")
                 self._in_transaction = False
+                # Format negotiation: speak binary only when both ends
+                # want it; everything else falls back to JSON (v1).
+                offered = protocol.hello_formats(self.hello)
+                self.wire_format = (
+                    self.preferred_format
+                    if self.preferred_format in offered
+                    else codec.FORMAT_JSON
+                )
                 return self.hello
             except (ConnectionError, OSError, ProtocolError) as exc:
                 last_error = exc
@@ -173,12 +263,27 @@ class HQLClient:
     # requests
     # ------------------------------------------------------------------
 
+    def _max_frame(self) -> int:
+        if self.hello is not None:
+            return int(self.hello.get("max_frame") or protocol.DEFAULT_MAX_FRAME)
+        return protocol.DEFAULT_MAX_FRAME
+
     def _roundtrip(self, request: Dict[str, Any]) -> Dict[str, Any]:
         if self._sock is None:
             self.connect()
         try:
             protocol.send_frame(self._sock, request)
-            response = protocol.recv_frame(self._sock)
+            response = protocol.recv_frame(self._sock, self._max_frame())
+        except FrameTooLargeError as exc:
+            # The response itself blew the negotiated limit (a pre-v2
+            # server has no response guard).  Retrying verbatim would
+            # hit the same wall, so report the fix instead.
+            self.close()
+            raise RemoteError(
+                type(exc).__name__,
+                "{}; stream large results with client.cursor(...) "
+                "or add LIMIT/OFFSET to the query".format(exc),
+            ) from exc
         except (ConnectionError, OSError, ProtocolError) as exc:
             was_in_transaction = self._in_transaction  # close() resets it
             self.close()
@@ -191,33 +296,52 @@ class HQLClient:
                 ) from exc
             self.connect()
             protocol.send_frame(self._sock, request)
-            response = protocol.recv_frame(self._sock)
+            response = protocol.recv_frame(self._sock, self._max_frame())
         if response is None:
             self.close()
             raise ServerError("server closed the connection mid-request")
         return response
 
-    def execute(self, hql: str, render: Optional[bool] = None) -> List[RemoteResult]:
+    @staticmethod
+    def _raise_remote(response: Dict[str, Any]) -> None:
+        error = response.get("error") or {}
+        raise RemoteError(
+            error.get("type", "ServerError"), error.get("message", "unknown error")
+        )
+
+    def execute(
+        self,
+        hql: str,
+        render: Optional[bool] = None,
+        page_size: int = 0,
+    ) -> List[RemoteResult]:
         """Run an HQL script remotely; one :class:`RemoteResult` per
         statement.  Raises :class:`~repro.errors.RemoteError` when the
         server reports a failure (statements before the failing one
-        were still applied, exactly like a local script)."""
+        were still applied, exactly like a local script).
+
+        ``page_size`` > 0 asks the server to page relation/extension
+        results bigger than that many rows (the result then carries a
+        ``cursor`` descriptor and only the first page); ``-1`` lets the
+        server pick a page size from its frame budget.  Most callers
+        want :meth:`cursor` instead.
+        """
         request = {
             "id": next(self._request_ids),
             "op": "query",
             "hql": hql,
             "render": self.render if render is None else render,
+            "format": self.wire_format,
         }
+        if page_size:
+            request["page_size"] = page_size
         response = self._roundtrip(request)
         # The server reports the session's authoritative transaction
         # state on every query response.
         if "txn" in response:
             self._in_transaction = bool(response["txn"])
         if not response.get("ok"):
-            error = response.get("error") or {}
-            raise RemoteError(
-                error.get("type", "ServerError"), error.get("message", "unknown error")
-            )
+            self._raise_remote(response)
         return [RemoteResult(wire) for wire in response.get("results", ())]
 
     def query(self, hql: str, render: Optional[bool] = None) -> RemoteResult:
@@ -235,6 +359,58 @@ class HQLClient:
         """``with client.transaction(): ...`` — BEGIN/COMMIT around the
         block, ROLLBACK if it raises."""
         return _TransactionGuard(self)
+
+    # ------------------------------------------------------------------
+    # cursors
+    # ------------------------------------------------------------------
+
+    def cursor(self, hql: str, page_size: int = -1) -> RemoteCursor:
+        """Run exactly one statement and stream its rows lazily.
+
+        Returns a :class:`RemoteCursor` holding one page at a time —
+        the way to read results too big for a single frame.  Small
+        results come back whole (no server cursor) behind the same
+        iterator, so callers never branch::
+
+            with client.cursor("SELECT FROM big;") as rows:
+                for item, truth in rows:
+                    ...
+
+        ``page_size=-1`` (default) lets the server size pages against
+        its frame budget; pass a positive row count to override.
+        """
+        results = self.execute(hql, render=False, page_size=page_size or -1)
+        if len(results) != 1:
+            raise ServerError(
+                "cursor() expects exactly one statement, got {} results".format(
+                    len(results)
+                )
+            )
+        return RemoteCursor(self, results[0])
+
+    def fetch(self, cursor_id: Any, max_rows: int = 0) -> Dict[str, Any]:
+        """One page of an open server-side cursor (``{"id", "rows",
+        "done", "remaining"}``)."""
+        response = self._roundtrip(
+            {
+                "id": next(self._request_ids),
+                "op": "fetch",
+                "cursor": cursor_id,
+                "max_rows": max_rows,
+                "format": self.wire_format,
+            }
+        )
+        if not response.get("ok"):
+            self._raise_remote(response)
+        return response.get("cursor") or {}
+
+    def close_cursor(self, cursor_id: Any) -> bool:
+        response = self._roundtrip(
+            {"id": next(self._request_ids), "op": "close", "cursor": cursor_id}
+        )
+        if not response.get("ok"):
+            self._raise_remote(response)
+        return bool(response.get("closed"))
 
     # convenience wrappers -------------------------------------------------
 
@@ -303,12 +479,17 @@ Meta: \\h help, \\q quit, \\stats server stats, \\metrics Prometheus
         stdout: Optional[IO[str]] = None,
         prompt: str = "hql> ",
         continuation: str = "...> ",
+        page_rows: int = 500,
     ) -> None:
         self.client = client
         self.stdin = stdin if stdin is not None else sys.stdin
         self.stdout = stdout if stdout is not None else sys.stdout
         self.prompt = prompt
         self.continuation = continuation
+        #: Results beyond this many rows stream page-by-page through a
+        #: server cursor instead of arriving (and rendering) as one
+        #: buffered table.  0 disables paging.
+        self.page_rows = page_rows
 
     def _write(self, text: str) -> None:
         self.stdout.write(text)
@@ -369,10 +550,38 @@ Meta: \\h help, \\q quit, \\stats server stats, \\metrics Prometheus
 
     def execute(self, script: str) -> None:
         try:
-            for result in self.client.execute(script):
-                self._write(str(result))
+            for result in self.client.execute(script, page_size=self.page_rows):
+                if result.cursor:
+                    self._stream(result)
+                else:
+                    self._write(str(result))
         except ServerError as exc:
             self._write("error: {}".format(exc))
+
+    def _stream(self, result: RemoteResult) -> None:
+        """Page a cursor-backed result to the terminal row by row,
+        never holding more than one page."""
+        cursor = RemoteCursor(self.client, result)
+        if cursor.kind == "relation" and cursor.attributes:
+            self._write(
+                "{} ({}) — {} row(s):".format(
+                    cursor.name or "?", ", ".join(cursor.attributes), cursor.total_rows
+                )
+            )
+        count = 0
+        try:
+            for row in cursor:
+                if cursor.kind == "relation":
+                    item, truth = row
+                    self._write(
+                        "  ({}) -> {}".format(", ".join(item), bool(truth))
+                    )
+                else:
+                    self._write("  ({})".format(", ".join(str(v) for v in row)))
+                count += 1
+        finally:
+            cursor.close()
+        self._write("({} row(s) streamed)".format(count))
 
 
 def _render_stats(stats: Dict[str, Any]) -> str:

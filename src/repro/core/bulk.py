@@ -74,7 +74,7 @@ class BulkEvaluator:
     auto-refreshed instance.
     """
 
-    def __init__(self, relation, strategy=None) -> None:
+    def __init__(self, relation, strategy=None, *, postings=None) -> None:
         chosen = strategy if strategy is not None else relation.strategy
         self.relation = relation
         self.strategy = chosen
@@ -98,12 +98,18 @@ class BulkEvaluator:
         )
         self._postings: List[Dict[str, int]] = []
         if not self._delegate_all:
-            for position, hierarchy in enumerate(schema.hierarchies):
-                seed: Dict[str, int] = {}
-                for i, item in enumerate(self._items):
-                    value = item[position]
-                    seed[value] = seed.get(value, 0) | (1 << i)
-                self._postings.append(hierarchy.downward_union(seed))
+            if postings is not None:
+                # Precomputed tables (binary snapshot recovery): trusted
+                # verbatim, so loading skips the subsumption sweep — the
+                # whole point of persisting them.
+                self._postings = [dict(table) for table in postings]
+            else:
+                for position, hierarchy in enumerate(schema.hierarchies):
+                    seed: Dict[str, int] = {}
+                    for i, item in enumerate(self._items):
+                        value = item[position]
+                        seed[value] = seed.get(value, 0) | (1 << i)
+                    self._postings.append(hierarchy.downward_union(seed))
         # Strict asserted subsumers per stored tuple, filled lazily:
         # only queries that reach the minimality check pay for them.
         self._above: List[Optional[int]] = [None] * len(self._items)

@@ -134,6 +134,30 @@ class HRelation:
                 item, truth = entry
                 self.assert_item(item, truth=truth)
 
+    def load_tuples(
+        self,
+        pairs: Iterable[Tuple[Sequence[str], bool]],
+        version: Optional[int] = None,
+    ) -> None:
+        """Trusted bulk load for snapshot recovery.
+
+        Replaces the stored tuples wholesale without per-item schema
+        checks (the pairs came out of a snapshot this schema wrote) and
+        without per-item version bumps.  ``version`` restores the
+        counter the snapshot recorded — it must match for memo keys
+        (bulk evaluators, query-cache stamps) rebuilt from the same
+        snapshot to line up — and the delta floor advances to it, so
+        incremental consumers see "history unavailable" rather than a
+        bogus empty delta.
+        """
+        self._tuples = {tuple(item): bool(truth) for item, truth in pairs}
+        self._version = len(self._tuples) if version is None else version
+        self._delta_log = []
+        self._delta_floor = self._version
+        self._binder_cache = {}
+        self._binder_index = None
+        self._bulk_eval = None
+
     def retract(self, item: Sequence[str]) -> None:
         """Remove the tuple asserted at ``item``; raises if absent."""
         key = self.schema.check_item(item)

@@ -108,13 +108,17 @@ class Justify(Statement):
 
 @dataclass(frozen=True)
 class Select(Statement):
-    """``SELECT [attrs | *] FROM rel [WHERE expr] [AS name]`` — an empty
-    ``attributes`` tuple (or ``*``) keeps every attribute."""
+    """``SELECT [attrs | *] FROM rel [WHERE expr] [LIMIT n [OFFSET m]]
+    [AS name]`` — an empty ``attributes`` tuple (or ``*``) keeps every
+    attribute.  ``limit``/``offset`` slice the *stored-tuple* result in
+    insertion order before rendering (and before aliasing)."""
 
     relation: str
     where: Optional[WhereExpr] = None
     alias: Optional[str] = None
     attributes: Tuple[str, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
 
 
 @dataclass(frozen=True)
@@ -122,16 +126,21 @@ class Project(Statement):
     relation: str
     attributes: Tuple[str, ...]
     alias: Optional[str] = None
+    limit: Optional[int] = None
+    offset: int = 0
 
 
 @dataclass(frozen=True)
 class BinaryOp(Statement):
-    """JOIN / UNION / INTERSECT / DIFFERENCE left WITH right [AS alias]."""
+    """JOIN / UNION / INTERSECT / DIFFERENCE left WITH right
+    [LIMIT n [OFFSET m]] [AS alias]."""
 
     op: str
     left: str
     right: str
     alias: Optional[str] = None
+    limit: Optional[int] = None
+    offset: int = 0
 
 
 @dataclass(frozen=True)
@@ -243,6 +252,17 @@ def _quote(name: str) -> str:
     return "'{}'".format(name)
 
 
+def _limit_to_hql(statement) -> str:
+    """The `` LIMIT n [OFFSET m]`` suffix of a sliceable statement
+    (empty when no limit/offset is set)."""
+    if statement.limit is None and not statement.offset:
+        return ""
+    text = " LIMIT {}".format("ALL" if statement.limit is None else statement.limit)
+    if statement.offset:
+        text += " OFFSET {}".format(statement.offset)
+    return text
+
+
 def where_to_hql(expr: WhereExpr) -> str:
     """Render a WHERE expression (fully parenthesised for compounds, so
     the round-trip never depends on precedence)."""
@@ -316,6 +336,7 @@ def to_hql(statement: Statement) -> str:
             text = "SELECT FROM {}".format(_quote(statement.relation))
         if statement.where is not None:
             text += " WHERE {}".format(where_to_hql(statement.where))
+        text += _limit_to_hql(statement)
         if statement.alias:
             text += " AS {}".format(_quote(statement.alias))
         return text + ";"
@@ -323,6 +344,7 @@ def to_hql(statement: Statement) -> str:
         text = "PROJECT {} ON {}".format(
             _quote(statement.relation), ", ".join(_quote(a) for a in statement.attributes)
         )
+        text += _limit_to_hql(statement)
         if statement.alias:
             text += " AS {}".format(_quote(statement.alias))
         return text + ";"
@@ -330,6 +352,7 @@ def to_hql(statement: Statement) -> str:
         text = "{} {} WITH {}".format(
             statement.op, _quote(statement.left), _quote(statement.right)
         )
+        text += _limit_to_hql(statement)
         if statement.alias:
             text += " AS {}".format(_quote(statement.alias))
         return text + ";"

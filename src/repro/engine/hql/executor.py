@@ -226,6 +226,30 @@ class HQLExecutor:
             return ("not", self._where_fingerprint(where.part))
         raise HQLError("unknown WHERE node {}".format(type(where).__name__))
 
+    def _slice_fingerprint(self, stmt) -> Tuple:
+        """The ``(limit, offset)`` cache-key operand of a sliceable
+        statement — a LIMIT'd result must never be served for the
+        unlimited key or vice versa."""
+        return (stmt.limit, stmt.offset)
+
+    @staticmethod
+    def _apply_limit(relation, limit: Optional[int], offset: int):
+        """Slice a result relation's stored tuples in insertion order.
+
+        Runs inside ``compute`` so the *sliced* relation is what the
+        query cache stores, and cursors can page server-side without
+        shipping the full result.  A no-op slice returns the relation
+        unchanged (no copy)."""
+        if limit is None and not offset:
+            return relation
+        stop = None if limit is None else offset + limit
+        sliced = relation.copy(name=relation.name)
+        sliced.load_tuples(
+            list(relation.asserted.items())[offset:stop],
+            version=relation.version,
+        )
+        return sliced
+
     def _statement_cache_key(self, stmt: ast.Statement) -> Optional[Tuple]:
         """The cache key for a read-only statement, or ``None`` when the
         statement is uncacheable here — unknown shape, no cache on the
@@ -240,17 +264,23 @@ class HQLExecutor:
         if isinstance(stmt, ast.Select):
             return cache_key(
                 "select",
-                (self._where_fingerprint(stmt.where), tuple(stmt.attributes or ())),
+                (
+                    self._where_fingerprint(stmt.where),
+                    tuple(stmt.attributes or ()),
+                    self._slice_fingerprint(stmt),
+                ),
                 [self._relation(stmt.relation)],
             )
         if isinstance(stmt, ast.Project):
             return cache_key(
-                "project", tuple(stmt.attributes), [self._relation(stmt.relation)]
+                "project",
+                (tuple(stmt.attributes), self._slice_fingerprint(stmt)),
+                [self._relation(stmt.relation)],
             )
         if isinstance(stmt, ast.BinaryOp):
             return cache_key(
                 stmt.op,
-                (),
+                self._slice_fingerprint(stmt),
                 [self._relation(stmt.left), self._relation(stmt.right)],
             )
         if isinstance(stmt, ast.Truth):
@@ -441,7 +471,7 @@ class HQLExecutor:
                 result = select_where(relation, self._condition(stmt.where))
             if stmt.attributes:
                 result = algebra.project(result, list(stmt.attributes))
-            return result
+            return self._apply_limit(result, stmt.limit, stmt.offset)
 
         result = self._through_cache(self._statement_cache_key(stmt), compute)
         return self._store(result, stmt.alias)
@@ -449,8 +479,10 @@ class HQLExecutor:
     def _exec_project(self, stmt: ast.Project) -> Result:
         result = self._through_cache(
             self._statement_cache_key(stmt),
-            lambda: algebra.project(
-                self._relation(stmt.relation), list(stmt.attributes)
+            lambda: self._apply_limit(
+                algebra.project(self._relation(stmt.relation), list(stmt.attributes)),
+                stmt.limit,
+                stmt.offset,
             ),
         )
         return self._store(result, stmt.alias)
@@ -467,7 +499,11 @@ class HQLExecutor:
         }[stmt.op]
         result = self._through_cache(
             self._statement_cache_key(stmt),
-            lambda: op(self._relation(stmt.left), self._relation(stmt.right)),
+            lambda: self._apply_limit(
+                op(self._relation(stmt.left), self._relation(stmt.right)),
+                stmt.limit,
+                stmt.offset,
+            ),
         )
         return self._store(result, stmt.alias)
 

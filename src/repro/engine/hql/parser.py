@@ -87,6 +87,31 @@ class _Parser:
             return self._name()
         return None
 
+    def _nonnegative_int(self, what: str) -> int:
+        """A number after LIMIT/OFFSET.  Numbers lex as IDENT tokens
+        (bare words), so validation happens here."""
+        token = self._peek()
+        if token.type != "IDENT" or not token.value.isdigit():
+            raise self._error(
+                "expected a non-negative integer after {}, found {!r}".format(
+                    what, token.value
+                )
+            )
+        self._advance()
+        return int(token.value)
+
+    def _limit_clause(self) -> Tuple[Optional[int], int]:
+        """``[LIMIT n|ALL [OFFSET m]]`` — ``(limit, offset)``, with
+        ``None`` for no/ALL limit."""
+        limit: Optional[int] = None
+        offset = 0
+        if self._accept_keyword("LIMIT"):
+            if not self._accept_keyword("ALL"):
+                limit = self._nonnegative_int("LIMIT")
+            if self._accept_keyword("OFFSET"):
+                offset = self._nonnegative_int("OFFSET")
+        return limit, offset
+
     def _end_statement(self) -> None:
         if self._peek().type == "SEMI":
             self._advance()
@@ -225,9 +250,15 @@ class _Parser:
             self._expect_keyword("FROM")
         relation = self._name()
         where = self._where_expr() if self._accept_keyword("WHERE") else None
+        limit, offset = self._limit_clause()
         alias = self._optional_alias()
         return ast.Select(
-            relation=relation, where=where, alias=alias, attributes=attributes
+            relation=relation,
+            where=where,
+            alias=alias,
+            attributes=attributes,
+            limit=limit,
+            offset=offset,
         )
 
     # WHERE grammar (loosest to tightest): OR, AND, NOT, then a
@@ -265,8 +296,13 @@ class _Parser:
         relation = self._name()
         self._expect_keyword("ON")
         attributes = self._name_list()
+        limit, offset = self._limit_clause()
         return ast.Project(
-            relation=relation, attributes=attributes, alias=self._optional_alias()
+            relation=relation,
+            attributes=attributes,
+            limit=limit,
+            offset=offset,
+            alias=self._optional_alias(),
         )
 
     def _binary_op(self) -> ast.Statement:
@@ -274,7 +310,15 @@ class _Parser:
         left = self._name()
         self._expect_keyword("WITH")
         right = self._name()
-        return ast.BinaryOp(op=op, left=left, right=right, alias=self._optional_alias())
+        limit, offset = self._limit_clause()
+        return ast.BinaryOp(
+            op=op,
+            left=left,
+            right=right,
+            limit=limit,
+            offset=offset,
+            alias=self._optional_alias(),
+        )
 
     def _consolidate(self) -> ast.Statement:
         self._expect_keyword("CONSOLIDATE")

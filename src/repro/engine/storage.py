@@ -163,6 +163,60 @@ def write_json_atomic(path: str, payload: Dict[str, Any]) -> None:
         raise
 
 
+def write_bytes_atomic(path: str, data: bytes) -> None:
+    """Crash-safely write raw bytes to ``path`` (binary twin of
+    :func:`write_json_atomic`: same-directory temp file + fsync +
+    ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def save_database_binary(
+    database, path: str, extra: Optional[Dict[str, Any]] = None
+) -> None:
+    """Write the database to ``path`` in the binary columnar snapshot
+    format (see :mod:`repro.engine.codec`), with the same crash-safety
+    and ``extra``-stamping contract as :func:`save_database`."""
+    from repro.engine.codec import encode_snapshot
+
+    data = encode_snapshot(database, extra)
+    try:
+        write_bytes_atomic(path, data)
+    except OSError as exc:
+        raise StorageError("cannot write {}: {}".format(path, exc)) from exc
+
+
+def read_binary_snapshot(path: str):
+    """``(database, envelope)`` from a binary snapshot file."""
+    from repro.engine.codec import decode_snapshot
+
+    return decode_snapshot(read_bytes(path))
+
+
+def read_bytes(path: str) -> bytes:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except FileNotFoundError:
+        raise StorageError("no such database file: {}".format(path)) from None
+    except OSError as exc:
+        raise StorageError("cannot read {}: {}".format(path, exc)) from None
+
+
 def save_database(database, path: str, extra: Optional[Dict[str, Any]] = None) -> None:
     """Write the database to ``path`` crash-safely (temp file in the
     same directory + fsync + ``os.replace``).  ``extra`` keys are merged

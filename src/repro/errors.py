@@ -143,6 +143,33 @@ class ProtocolError(ServerError):
     """A malformed, oversized, or version-incompatible wire frame."""
 
 
+class FrameTooLargeError(ProtocolError):
+    """A frame exceeded the negotiated ``max_frame``.
+
+    Raised locally when an incoming frame's header announces too many
+    bytes, and reported remotely (as an error frame) when a *response*
+    would not fit — in the latter case the fix is to stream the result
+    through a cursor (``page_size``) or add ``LIMIT``/``OFFSET``.
+
+    Attributes
+    ----------
+    actual:
+        The offending frame's body size in bytes.
+    max_frame:
+        The negotiated limit it exceeded.
+    """
+
+    def __init__(self, actual: int, max_frame: int, hint: str = "") -> None:
+        self.actual = actual
+        self.max_frame = max_frame
+        message = "frame of {} bytes exceeds the {}-byte limit".format(
+            actual, max_frame
+        )
+        if hint:
+            message += "; " + hint
+        super().__init__(message)
+
+
 class RemoteError(ServerError):
     """An error reported by the server for a remotely executed statement.
 

@@ -629,6 +629,43 @@ class Hierarchy:
         }
 
     @classmethod
+    def from_node_table(
+        cls,
+        name: str,
+        root: str,
+        nodes: Iterable[Tuple[str, Sequence[str], bool]],
+        prefs: Iterable[Tuple[str, str]] = (),
+    ) -> "Hierarchy":
+        """Bulk-load an already-validated node table.
+
+        ``nodes`` is ``(name, parents, is_instance)`` triples in an
+        order where parents precede children (insertion or topological
+        order both qualify); a node with no listed parents hangs under
+        the root.  The per-node API checks in :meth:`_add_node` are
+        skipped — callers (subgraph shipping, binary snapshot recovery)
+        serialised a graph that already holds the invariants — and no
+        cache is touched, so loading stays linear in the table size.
+        """
+        hierarchy = cls(name, root=root)
+        children = hierarchy._children
+        parents_of = hierarchy._parents
+        insertion = hierarchy._insertion
+        instances = hierarchy._instances
+        for node, parents, is_instance in nodes:
+            parent_list = tuple(parents) or (root,)
+            children[node] = set()
+            parents_of[node] = set(parent_list)
+            insertion.append(node)
+            for parent in parent_list:
+                children[parent].add(node)
+            if is_instance:
+                instances.add(node)
+        hierarchy._version += 1
+        for weaker, stronger in prefs:
+            hierarchy.add_preference_edge(weaker, stronger)
+        return hierarchy
+
+    @classmethod
     def from_subgraph_payload(cls, payload: Dict[str, object]) -> "Hierarchy":
         """Rebuild the sub-hierarchy described by
         :meth:`subgraph_payload`.  When the original root was outside
@@ -636,29 +673,12 @@ class Hierarchy:
         graph (it subsumes exactly what the original root subsumes,
         restricted to the closure), so items and selection cones that
         mention the root keep validating."""
-        hierarchy = cls(str(payload["name"]), root=str(payload["root"]))
-        # Bulk-load the node table directly: the payload came from
-        # `subgraph_payload` on an already-validated graph (nodes in
-        # topological order, parents present), so the per-node API
-        # checks in `_add_node` would only re-prove invariants — and
-        # this rebuild is the workers' per-task hot path.
-        children = hierarchy._children
-        parents_of = hierarchy._parents
-        insertion = hierarchy._insertion
-        instances = hierarchy._instances
-        root = hierarchy.root
-        for name, parents, is_instance in payload["nodes"]:  # type: ignore[union-attr]
-            parent_list = tuple(parents) or (root,)
-            children[name] = set()
-            parents_of[name] = set(parent_list)
-            insertion.append(name)
-            for parent in parent_list:
-                children[parent].add(name)
-            if is_instance:
-                instances.add(name)
-        hierarchy._version += 1
-        for weaker, stronger in payload["prefs"]:  # type: ignore[union-attr]
-            hierarchy.add_preference_edge(weaker, stronger)
+        hierarchy = cls.from_node_table(
+            str(payload["name"]),
+            str(payload["root"]),
+            payload["nodes"],  # type: ignore[arg-type]
+            prefs=payload["prefs"],  # type: ignore[arg-type]
+        )
         hierarchy.preload_meets(payload.get("meets", ()))  # type: ignore[arg-type]
         return hierarchy
 

@@ -179,6 +179,30 @@ def stats_for(relation) -> RelationStats:
     return stats.refresh()
 
 
+def est_row_bytes(rows, sample: int = 64) -> int:
+    """Estimated serialised bytes per wire row, from a prefix sample.
+
+    Used to auto-size cursor pages against the negotiated frame limit.
+    Rows are the wire shapes the server ships — ``[item, truth]`` pairs
+    or plain value lists — so the estimate is the JSON-ish footprint:
+    string lengths plus a few bytes of per-value punctuation.  Cheap
+    and deliberately rough; page sizing only needs the right order of
+    magnitude.
+    """
+    if not rows:
+        return 1
+    total = 0
+    count = 0
+    for row in rows[:sample]:
+        values = row[0] if (len(row) == 2 and isinstance(row[0], (list, tuple))) else row
+        if isinstance(values, (list, tuple)):
+            total += sum(len(str(v)) for v in values) + 4 * len(values) + 8
+        else:
+            total += len(str(values)) + 8
+        count += 1
+    return max(1, total // count)
+
+
 def overlap_estimate(left: RelationStats, right: RelationStats) -> int:
     """Estimated meet pairs between two same-schema relations.
 

@@ -72,6 +72,9 @@ def stats_payload(server) -> Dict[str, Any]:
         "server": {
             "uptime_s": round(time.time() - server.started_at, 3),
             "sessions": len(server.sessions),
+            "cursors_open": sum(
+                len(s.cursors) for s in server.sessions.values()
+            ),
             "active_readers": server.lock.readers,
             "max_concurrent_readers": server.lock.max_concurrent_readers,
             "writer_active": server.lock.writer_active,

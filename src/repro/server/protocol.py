@@ -1,29 +1,44 @@
-"""The HQL wire protocol: versioned, length-prefixed JSON frames.
+"""The HQL wire protocol: versioned, length-prefixed frames.
 
 Framing
 -------
 Every message — in both directions — is one *frame*: a 4-byte unsigned
-big-endian length followed by that many bytes of UTF-8 JSON.  Frames
+big-endian length followed by that many body bytes.  A body is either
+UTF-8 JSON (it starts with ``{``) or a binary columnar message (it
+starts with the :data:`repro.engine.codec.WIRE_MAGIC` bytes); the first
+bytes disambiguate, so no per-frame format flag is needed.  Frames
 larger than the negotiated maximum (default 32 MiB) are rejected with
-:class:`~repro.errors.ProtocolError` before any allocation.
+:class:`~repro.errors.FrameTooLargeError` before any allocation.
 
 Handshake
 ---------
-On connect the server speaks first, sending a hello frame::
+On connect the server speaks first, sending a hello frame (always
+JSON)::
 
-    {"server": "repro", "protocol": 1, "version": "1.0.0",
-     "database": "zoo", "session": 7, "max_frame": 33554432}
+    {"server": "repro", "protocol": 2, "version": "1.0.0",
+     "database": "zoo", "session": 7, "max_frame": 33554432,
+     "formats": ["json", "binary"], "cursors": true}
 
 Clients must check ``server`` and ``protocol`` and disconnect on
-mismatch; everything after the hello is request/response.
+mismatch; a v1 client (no ``formats`` awareness) keeps working because
+requests and responses default to JSON.  Everything after the hello is
+request/response.
 
-Requests
---------
-``{"id": n, "op": "query", "hql": "...", "render": true}``
-    Execute an HQL script (one or more statements).  ``render`` (default
-    true) controls whether relation-valued results include the rendered
-    ASCII table in ``message`` — programmatic clients turn it off and
-    read ``payload`` instead.
+Requests (always JSON)
+----------------------
+``{"id": n, "op": "query", "hql": "...", "render": true,
+  "format": "json" | "binary", "page_size": 0}``
+    Execute an HQL script (one or more statements).  ``render``
+    (default true) controls whether relation-valued results include the
+    rendered ASCII table in ``message``; ``format`` picks the response
+    encoding (default json); ``page_size`` > 0 opens a server-side
+    cursor per large relation/extension result and returns only the
+    first page (``page_size: 0``/absent disables paging; ``page_size:
+    -1`` asks the server to pick a page size from its row estimates).
+``{"id": n, "op": "fetch", "cursor": c, "max_rows": k, "format": ...}``
+    The next page of an open cursor.
+``{"id": n, "op": "close", "cursor": c}``
+    Drop a cursor early (cursors also die with the session).
 ``{"id": n, "op": "admin", "cmd": "ping" | "stats" | "metrics" |
   "slowlog" | "sessions"}``
     Observability without HQL: see :mod:`repro.server.admin`.
@@ -32,10 +47,15 @@ Responses
 ---------
 ``{"id": n, "ok": true, "results": [...]}`` — one serialised
 :class:`~repro.engine.hql.executor.Result` per executed statement, or
-``{"id": n, "ok": true, "admin": {...}}`` for admin commands.
+``{"id": n, "ok": true, "admin": {...}}`` for admin commands.  A paged
+result carries ``"cursor": {"id": c, "total": t}`` next to a truncated
+``tuples``/``rows`` list; fetch responses are ``{"id": n, "ok": true,
+"cursor": {"id": c, "rows": [...], "done": false, "remaining": r}}``.
 ``{"id": n, "ok": false, "error": {"type": "...", "message": "..."},
 "results": [...]}`` — the statements before the failing one still
-report their results (HQL scripts execute left to right).
+report their results (HQL scripts execute left to right).  A
+``FrameTooLargeError`` error additionally carries ``"actual"`` and
+``"max_frame"`` byte counts.
 
 Both an asyncio flavour (:func:`read_frame`) and a blocking-socket
 flavour (:func:`recv_frame`/:func:`send_frame`) live here so the server
@@ -49,10 +69,15 @@ import socket
 import struct
 from typing import Any, Dict, List, Optional
 
-from repro.errors import ProtocolError
+from repro.engine import codec
+from repro.errors import FrameTooLargeError, ProtocolError
 
 PROTOCOL_NAME = "repro"
-PROTOCOL_VERSION = 1
+#: Version 2 added binary bodies, cursor verbs, and structured
+#: oversized-frame errors; v1 peers interoperate (JSON default).
+PROTOCOL_VERSION = 2
+SUPPORTED_PROTOCOLS = (1, 2)
+WIRE_FORMATS = (codec.FORMAT_JSON, codec.FORMAT_BINARY)
 DEFAULT_MAX_FRAME = 32 * 1024 * 1024
 _HEADER = struct.Struct("!I")
 
@@ -62,15 +87,28 @@ _HEADER = struct.Struct("!I")
 # ----------------------------------------------------------------------
 
 
-def encode_frame(message: Dict[str, Any]) -> bytes:
-    """One wire frame: length header + JSON body."""
-    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+def encode_body(message: Dict[str, Any], wire_format: str = codec.FORMAT_JSON) -> bytes:
+    """One frame body.  Binary lifts :class:`~repro.engine.codec.
+    Columnar` markers into columnar blocks; JSON requires the message to
+    be marker-free (callers build plain dicts on that path)."""
+    if wire_format == codec.FORMAT_BINARY:
+        return codec.encode_message(message)
+    return json.dumps(message, separators=(",", ":")).encode("utf-8")
+
+
+def encode_frame(message: Dict[str, Any], wire_format: str = codec.FORMAT_JSON) -> bytes:
+    """One wire frame: length header + body."""
+    body = encode_body(message, wire_format)
     if len(body) > 0xFFFFFFFF:
         raise ProtocolError("frame too large to encode ({} bytes)".format(len(body)))
     return _HEADER.pack(len(body)) + body
 
 
 def decode_body(body: bytes) -> Dict[str, Any]:
+    """Either body flavour back to the message dict (sniffed by
+    prefix)."""
+    if codec.is_binary_body(body):
+        return codec.decode_message(body)
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -86,7 +124,8 @@ async def read_frame(reader, max_frame: int = DEFAULT_MAX_FRAME) -> Optional[Dic
     """Read one frame from an :class:`asyncio.StreamReader`.
 
     Returns ``None`` on a clean EOF at a frame boundary; raises
-    :class:`ProtocolError` on a truncated or oversized frame.
+    :class:`ProtocolError` on a truncated frame,
+    :class:`FrameTooLargeError` on an oversized one.
     """
     import asyncio
 
@@ -98,9 +137,7 @@ async def read_frame(reader, max_frame: int = DEFAULT_MAX_FRAME) -> Optional[Dic
         raise ProtocolError("connection closed mid-header") from None
     (length,) = _HEADER.unpack(header)
     if length > max_frame:
-        raise ProtocolError(
-            "frame of {} bytes exceeds the {}-byte limit".format(length, max_frame)
-        )
+        raise FrameTooLargeError(length, max_frame)
     try:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError:
@@ -108,9 +145,13 @@ async def read_frame(reader, max_frame: int = DEFAULT_MAX_FRAME) -> Optional[Dic
     return decode_body(body)
 
 
-def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+def send_frame(
+    sock: socket.socket,
+    message: Dict[str, Any],
+    wire_format: str = codec.FORMAT_JSON,
+) -> None:
     """Blocking-socket counterpart of writing one frame."""
-    sock.sendall(encode_frame(message))
+    sock.sendall(encode_frame(message, wire_format))
 
 
 def recv_frame(
@@ -123,9 +164,7 @@ def recv_frame(
         return None
     (length,) = _HEADER.unpack(header)
     if length > max_frame:
-        raise ProtocolError(
-            "frame of {} bytes exceeds the {}-byte limit".format(length, max_frame)
-        )
+        raise FrameTooLargeError(length, max_frame)
     body = _recv_exactly(sock, length, allow_eof=False)
     return decode_body(body)
 
@@ -157,22 +196,35 @@ def hello(database_name: str, session_id: int, version: str, max_frame: int) -> 
         "database": database_name,
         "session": session_id,
         "max_frame": max_frame,
+        "formats": list(WIRE_FORMATS),
+        "cursors": True,
     }
 
 
 def check_hello(message: Dict[str, Any]) -> Dict[str, Any]:
-    """Validate a server hello client-side; returns it unchanged."""
+    """Validate a server hello client-side; returns it unchanged.  Any
+    protocol version this client can speak is accepted (a v1 server
+    simply never gets binary or cursor requests)."""
     if message.get("server") != PROTOCOL_NAME:
         raise ProtocolError(
             "not a repro server (hello says server={!r})".format(message.get("server"))
         )
-    if message.get("protocol") != PROTOCOL_VERSION:
+    if message.get("protocol") not in SUPPORTED_PROTOCOLS:
         raise ProtocolError(
             "protocol version mismatch: server speaks {!r}, client speaks {}".format(
-                message.get("protocol"), PROTOCOL_VERSION
+                message.get("protocol"), ", ".join(map(str, SUPPORTED_PROTOCOLS))
             )
         )
     return message
+
+
+def hello_formats(message: Dict[str, Any]) -> List[str]:
+    """The response encodings a hello advertises (v1 hellos: JSON
+    only)."""
+    formats = message.get("formats")
+    if not isinstance(formats, list) or not formats:
+        return [codec.FORMAT_JSON]
+    return [str(f) for f in formats]
 
 
 def ok_response(request_id: Any, results: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -183,15 +235,33 @@ def admin_response(request_id: Any, payload: Dict[str, Any]) -> Dict[str, Any]:
     return {"id": request_id, "ok": True, "admin": payload}
 
 
+def cursor_response(
+    request_id: Any,
+    cursor_id: int,
+    rows: Any,
+    done: bool,
+    remaining: int,
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": True,
+        "cursor": {"id": cursor_id, "rows": rows, "done": done, "remaining": remaining},
+    }
+
+
 def error_response(
     request_id: Any,
     error: BaseException,
     results: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
+    detail: Dict[str, Any] = {"type": type(error).__name__, "message": str(error)}
+    if isinstance(error, FrameTooLargeError):
+        detail["actual"] = error.actual
+        detail["max_frame"] = error.max_frame
     return {
         "id": request_id,
         "ok": False,
-        "error": {"type": type(error).__name__, "message": str(error)},
+        "error": detail,
         "results": results or [],
     }
 
@@ -201,28 +271,38 @@ def error_response(
 # ----------------------------------------------------------------------
 
 
-def _relation_to_json(relation) -> Dict[str, Any]:
+def _relation_to_json(relation, binary: bool = False) -> Dict[str, Any]:
+    if binary:
+        tuples: Any = codec.columnar_relation(relation)
+    else:
+        tuples = [[list(t.item), bool(t.truth)] for t in relation.tuples()]
     return {
         "name": relation.name,
         "attributes": list(relation.schema.attributes),
         "hierarchies": [h.name for h in relation.schema.hierarchies],
         "strategy": relation.strategy.name,
-        "tuples": [[list(t.item), bool(t.truth)] for t in relation.tuples()],
+        "tuples": tuples,
     }
 
 
-def payload_to_json(result) -> Any:
-    """The JSON-safe projection of a Result payload, or ``None`` when
-    the ``message`` rendering is the whole story (ok/plan/justify)."""
+def payload_to_json(result, binary: bool = False) -> Any:
+    """The wire-safe projection of a Result payload, or ``None`` when
+    the ``message`` rendering is the whole story (ok/plan/justify).
+    With ``binary=True`` bulky row lists become :class:`~repro.engine.
+    codec.Columnar` markers, which the binary body encoding lifts into
+    typed columnar blocks (the decoded shape is identical)."""
     kind, payload = result.kind, result.payload
     if kind == "truth":
         return bool(payload)
     if kind == "count":
         return int(payload)
     if kind == "extension":
-        return [list(row) for row in payload]
+        rows = [list(row) for row in payload]
+        if binary and rows:
+            return codec.columnar_rows(rows, width=len(rows[0]))
+        return rows
     if kind == "relation":
-        return _relation_to_json(payload)
+        return _relation_to_json(payload, binary=binary)
     if kind == "conflicts":
         return [str(conflict) for conflict in payload]
     if kind == "show":
@@ -234,13 +314,13 @@ def payload_to_json(result) -> Any:
     return None
 
 
-def serialize_result(result, render: bool = True) -> Dict[str, Any]:
+def serialize_result(result, render: bool = True, binary: bool = False) -> Dict[str, Any]:
     """One Result as a wire dict.  ``render=False`` skips the ASCII
     table for relation/extension payloads (lazy in the executor, so the
     cost is genuinely never paid)."""
     wire: Dict[str, Any] = {
         "kind": result.kind,
-        "payload": payload_to_json(result),
+        "payload": payload_to_json(result, binary=binary),
         "elapsed_ms": result.elapsed_ms,
     }
     if render or result.kind not in ("relation", "extension"):

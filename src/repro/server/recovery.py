@@ -2,7 +2,8 @@
 
 A served database lives in one *data directory*::
 
-    <data_dir>/snapshot.json   crash-safe JSON snapshot (storage format)
+    <data_dir>/snapshot.bin    binary columnar snapshot (format v2, default)
+    <data_dir>/snapshot.json   JSON snapshot (format v1 fallback)
     <data_dir>/oplog.hql       HQL journal of statements since the snapshot
 
 Boot (:meth:`RecoveryManager.recover`) loads the latest snapshot, then
@@ -11,6 +12,15 @@ the journal, and once :attr:`snapshot_interval` statements accumulate
 the server takes a *checkpoint* — a fresh snapshot plus a rotated
 (emptied) journal — bounding both recovery time and log growth.
 
+The snapshot format follows :func:`repro.engine.codec.default_format`
+(``REPRO_WIRE_FORMAT=json`` pins v1).  Recovery reads whichever file
+exists; when *both* exist — a directory mid-migration, or a crash
+between writing the new-format file and unlinking the old one — the
+higher checkpoint generation wins, and the usual stamp comparison
+against the journal marker below handles the rest.  The binary format
+additionally persists each relation's posting bitsets, so recovery
+skips the subsumption sweep entirely.
+
 Crash-safety of the checkpoint itself
 -------------------------------------
 A checkpoint is two file operations that cannot be made atomic
@@ -18,8 +28,9 @@ together, so each snapshot carries a monotonically increasing
 ``checkpoint`` generation and each rotated journal begins with a
 ``-- checkpoint <n>`` marker naming the snapshot it continues:
 
-1. write ``snapshot.json`` crash-safely (temp file + fsync +
-   ``os.replace``) stamped with generation *n*;
+1. write the snapshot file crash-safely (temp file + fsync +
+   ``os.replace``) stamped with generation *n*, and best-effort unlink
+   the other-format snapshot (now stale);
 2. reset ``oplog.hql`` to just the marker ``-- checkpoint <n>``.
 
 On recovery the two stamps are compared.  Equal (or both absent):
@@ -35,11 +46,20 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, Optional
 
+from repro.engine import codec
 from repro.engine.database import HierarchicalDatabase
 from repro.engine.oplog import OperationLog
-from repro.engine.storage import database_from_dict, read_payload, save_database
+from repro.engine.storage import (
+    database_from_dict,
+    read_binary_snapshot,
+    read_bytes,
+    read_payload,
+    save_database,
+    save_database_binary,
+)
 
 SNAPSHOT_FILE = "snapshot.json"
+SNAPSHOT_FILE_BIN = "snapshot.bin"
 OPLOG_FILE = "oplog.hql"
 
 
@@ -61,13 +81,18 @@ class RecoveryManager:
         fsync: bool = False,
         snapshot_interval: int = 500,
         name: str = "server",
+        snapshot_format: Optional[str] = None,
     ) -> None:
         self.data_dir = data_dir
         os.makedirs(data_dir, exist_ok=True)
         self.snapshot_path = os.path.join(data_dir, SNAPSHOT_FILE)
+        self.snapshot_path_bin = os.path.join(data_dir, SNAPSHOT_FILE_BIN)
         self.journal = OperationLog(os.path.join(data_dir, OPLOG_FILE), fsync=fsync)
         self.snapshot_interval = snapshot_interval
         self.name = name
+        #: What :meth:`checkpoint` writes; ``None`` resolves to the
+        #: process default at each checkpoint (so the env knob works).
+        self.snapshot_format = snapshot_format
         self.checkpoint_id = 0
         self.checkpoints = 0
         self._journalled_since_checkpoint = 0
@@ -78,21 +103,51 @@ class RecoveryManager:
     # boot
     # ------------------------------------------------------------------
 
+    def _pick_snapshot(self) -> Optional[str]:
+        """Which on-disk snapshot to recover from: the only one present,
+        or — when both formats exist — the higher checkpoint stamp
+        (ties go to binary: richer, and stamped-equal means same
+        contents)."""
+        has_bin = os.path.exists(self.snapshot_path_bin)
+        has_json = os.path.exists(self.snapshot_path)
+        if has_bin and not has_json:
+            return codec.FORMAT_BINARY
+        if has_json and not has_bin:
+            return codec.FORMAT_JSON
+        if not has_bin:
+            return None
+        bin_stamp = int(
+            codec.snapshot_envelope(read_bytes(self.snapshot_path_bin)).get(
+                "checkpoint", 0
+            )
+        )
+        json_stamp = int(read_payload(self.snapshot_path).get("checkpoint", 0))
+        return codec.FORMAT_JSON if json_stamp > bin_stamp else codec.FORMAT_BINARY
+
     def recover(self) -> HierarchicalDatabase:
         """Rebuild the database: snapshot, then journal replay (or
         journal discard when the stamps prove it is stale — see the
         module docstring)."""
         info: Dict[str, Any] = {
             "snapshot": False,
+            "format": None,
             "checkpoint": 0,
             "replayed": 0,
             "discarded_stale_log": False,
         }
-        if os.path.exists(self.snapshot_path):
+        chosen = self._pick_snapshot()
+        if chosen == codec.FORMAT_BINARY:
+            database, envelope = read_binary_snapshot(self.snapshot_path_bin)
+            self.checkpoint_id = int(envelope.get("checkpoint", 0))
+            info["snapshot"] = True
+            info["format"] = codec.FORMAT_BINARY
+            info["checkpoint"] = self.checkpoint_id
+        elif chosen == codec.FORMAT_JSON:
             payload = read_payload(self.snapshot_path)
             database = database_from_dict(payload)
             self.checkpoint_id = int(payload.get("checkpoint", 0))
             info["snapshot"] = True
+            info["format"] = codec.FORMAT_JSON
             info["checkpoint"] = self.checkpoint_id
         else:
             database = HierarchicalDatabase(self.name)
@@ -133,9 +188,23 @@ class RecoveryManager:
         generation.  The caller must hold the write lock (the snapshot
         must not interleave with a commit)."""
         self.checkpoint_id += 1
-        save_database(
-            database, self.snapshot_path, extra={"checkpoint": self.checkpoint_id}
-        )
+        chosen = self.snapshot_format or codec.default_format()
+        extra = {"checkpoint": self.checkpoint_id}
+        if chosen == codec.FORMAT_JSON:
+            save_database(database, self.snapshot_path, extra=extra)
+            stale = self.snapshot_path_bin
+        else:
+            save_database_binary(database, self.snapshot_path_bin, extra=extra)
+            stale = self.snapshot_path
+        # The other-format file (if any) now carries an older stamp;
+        # drop it before rotating the journal so a crash anywhere in
+        # between still recovers from the freshest snapshot (both-files
+        # recovery picks the higher stamp, and the stale-journal check
+        # handles the unrotated log).
+        try:
+            os.unlink(stale)
+        except OSError:
+            pass
         self.journal.reset(checkpoint=self.checkpoint_id)
         self._journalled_since_checkpoint = 0
         self.checkpoints += 1

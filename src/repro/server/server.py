@@ -39,16 +39,24 @@ import threading
 from typing import Dict, Optional, Tuple
 
 from repro import __version__
+from repro.engine import codec
 from repro.engine.database import HierarchicalDatabase
 from repro.engine.hql import HQLExecutor
 from repro.engine.hql import ast
 from repro.engine.hql.parser import parse
-from repro.errors import ProtocolError, ReproError, ServerError
+from repro.errors import FrameTooLargeError, ProtocolError, ReproError, ServerError
+from repro.planner.stats import est_row_bytes
 from repro.server import admin as admin_mod
 from repro.server import protocol
 from repro.server.locking import ReadWriteLock
 from repro.server.recovery import RecoveryManager
 from repro.server.session import Session
+
+#: Auto-sized cursor pages target this fraction of the negotiated
+#: frame limit, clamped to a sane row-count range.
+_PAGE_FRAME_FRACTION = 4
+_PAGE_MIN_ROWS = 64
+_PAGE_MAX_ROWS = 100_000
 
 
 class HQLServer:
@@ -103,6 +111,8 @@ class HQLServer:
         self._m_statements = metrics.counter("server.statements")
         self._m_errors = metrics.counter("server.errors")
         self._m_checkpoints = metrics.counter("server.checkpoints")
+        self._m_cursors = metrics.counter("server.cursors_opened")
+        self._m_cursor_pages = metrics.counter("server.cursor_pages")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -217,8 +227,27 @@ class HQLServer:
                     break
                 if message is None:
                     break
+                wire_format = self._wire_format(message)
                 response = await self._handle_message(session, message)
-                writer.write(protocol.encode_frame(response))
+                frame = protocol.encode_frame(response, wire_format)
+                if len(frame) - 4 > self.max_frame:
+                    # The response would hang up a well-behaved client
+                    # (its reader enforces the same cap), so replace it
+                    # with a structured, actionable error instead.
+                    self._m_errors.inc()
+                    oversize = FrameTooLargeError(
+                        len(frame) - 4,
+                        self.max_frame,
+                        hint=(
+                            "stream large results with a cursor (page_size) "
+                            "or add LIMIT/OFFSET to the query"
+                        ),
+                    )
+                    replacement = protocol.error_response(message.get("id"), oversize)
+                    if "txn" in response:
+                        replacement["txn"] = response["txn"]
+                    frame = protocol.encode_frame(replacement, wire_format)
+                writer.write(frame)
                 await writer.drain()
         except (ConnectionError, OSError, asyncio.CancelledError):
             pass
@@ -236,12 +265,23 @@ class HQLServer:
     # statement dispatch
     # ------------------------------------------------------------------
 
+    def _wire_format(self, message: dict) -> str:
+        token = message.get("format", codec.FORMAT_JSON)
+        if token not in protocol.WIRE_FORMATS:
+            return codec.FORMAT_JSON
+        return str(token)
+
     async def _handle_message(self, session: Session, message: dict) -> dict:
         request_id = message.get("id")
         op = message.get("op")
         try:
             if op == "query":
                 return await self._handle_query(session, message)
+            if op == "fetch":
+                return self._handle_fetch(session, message)
+            if op == "close":
+                closed = session.close_cursor(message.get("cursor"))
+                return {"id": request_id, "ok": True, "closed": closed}
             if op == "admin":
                 return protocol.admin_response(
                     request_id, admin_mod.admin_payload(self, str(message.get("cmd")))
@@ -257,6 +297,8 @@ class HQLServer:
         if not isinstance(text, str):
             raise ServerError("query request needs an 'hql' string")
         render = bool(message.get("render", True))
+        binary = self._wire_format(message) == codec.FORMAT_BINARY
+        page_size = int(message.get("page_size") or 0)
         statements = parse(text)  # syntax errors abort the whole request
         results = []
         for statement in statements:
@@ -270,12 +312,99 @@ class HQLServer:
                 response["txn"] = session.in_transaction
                 return response
             self._m_statements.inc()
-            results.append(protocol.serialize_result(result, render=render))
+            results.append(
+                self._serialize_result(session, result, render, binary, page_size)
+            )
         response = protocol.ok_response(request_id, results)
         # Authoritative per-session transaction state, so clients track
         # BEGIN/COMMIT without re-parsing what they sent.
         response["txn"] = session.in_transaction
         return response
+
+    # ------------------------------------------------------------------
+    # cursors
+    # ------------------------------------------------------------------
+
+    def _page_rows(self, kind: str, rows, binary: bool, width: int):
+        if not binary:
+            return rows
+        if kind == "relation":
+            return codec.columnar_pairs(rows, width=width)
+        return codec.columnar_rows(rows, width=width)
+
+    def _serialize_result(self, session, result, render, binary, page_size):
+        """One Result as a wire dict, opening a server-side cursor when
+        the caller asked for paging and the result is big enough to
+        need it."""
+        kind = result.kind
+        if page_size and kind in ("relation", "extension"):
+            if kind == "relation":
+                relation = result.payload
+                # map/zip keeps this C-speed: materialising 50k+ wire
+                # rows is the dominant cost of opening a cursor.
+                asserted = relation.asserted
+                rows = list(
+                    map(list, zip(map(list, asserted.keys()), asserted.values()))
+                )
+                width = len(relation.schema.attributes)
+            else:
+                rows = [list(row) for row in result.payload]
+                width = len(rows[0]) if rows else 0
+            size = page_size if page_size > 0 else self._auto_page_size(rows)
+            if len(rows) > size:
+                cursor = session.open_cursor(
+                    kind, rows, size, meta={"width": width}
+                )
+                self._m_cursors.inc()
+                first, _ = cursor.fetch()
+                self._m_cursor_pages.inc()
+                wire = {
+                    "kind": kind,
+                    "elapsed_ms": result.elapsed_ms,
+                    "cursor": {
+                        "id": cursor.id,
+                        "total": len(rows),
+                        "page": size,
+                    },
+                }
+                page = self._page_rows(kind, first, binary, width)
+                if kind == "relation":
+                    wire["payload"] = {
+                        "name": relation.name,
+                        "attributes": list(relation.schema.attributes),
+                        "hierarchies": [
+                            h.name for h in relation.schema.hierarchies
+                        ],
+                        "strategy": relation.strategy.name,
+                        "tuples": page,
+                    }
+                else:
+                    wire["payload"] = page
+                # A paged result never carries the rendered table — the
+                # whole point is not materialising the full text.
+                return wire
+        return protocol.serialize_result(result, render=render, binary=binary)
+
+    def _auto_page_size(self, rows) -> int:
+        """Rows per page targeting ``max_frame / 4`` bytes, from a
+        sampled per-row byte estimate."""
+        per_row = est_row_bytes(rows)
+        budget = max(1, self.max_frame // _PAGE_FRAME_FRACTION)
+        return max(_PAGE_MIN_ROWS, min(_PAGE_MAX_ROWS, budget // max(1, per_row)))
+
+    def _handle_fetch(self, session: Session, message: dict) -> dict:
+        request_id = message.get("id")
+        binary = self._wire_format(message) == codec.FORMAT_BINARY
+        cursor = session.cursor(message.get("cursor"))
+        page, done = cursor.fetch(int(message.get("max_rows") or 0))
+        self._m_cursor_pages.inc()
+        remaining = cursor.remaining
+        if done:
+            session.close_cursor(cursor.id)
+        rows = self._page_rows(
+            cursor.kind, page, binary, int(cursor.meta.get("width", 0))
+        )
+        return protocol.cursor_response(request_id, cursor.id, rows, done, remaining)
 
     def _needs_write_lock(self, statement: ast.Statement, session: Session) -> bool:
         """Exclusive-mode classification.

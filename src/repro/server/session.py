@@ -15,14 +15,54 @@ issued them.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.hql import ast
+from repro.errors import ServerError
 from repro.obs import trace as _trace
+
+
+class Cursor:
+    """A server-side paginated result: the materialised rows plus a
+    read position.  Rows are whatever wire shape the opening statement
+    produced (signed ``[item, truth]`` pairs for relations, plain rows
+    for extensions); paging just slices."""
+
+    __slots__ = ("id", "kind", "rows", "pos", "page_size", "meta")
+
+    def __init__(
+        self,
+        cursor_id: int,
+        kind: str,
+        rows: List[Any],
+        page_size: int,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.id = cursor_id
+        self.kind = kind
+        self.rows = rows
+        self.pos = 0
+        self.page_size = page_size
+        self.meta = meta or {}
+
+    @property
+    def remaining(self) -> int:
+        return len(self.rows) - self.pos
+
+    def fetch(self, max_rows: Optional[int] = None) -> Tuple[List[Any], bool]:
+        """The next page and whether the cursor is now drained."""
+        count = self.page_size if not max_rows or max_rows <= 0 else max_rows
+        page = self.rows[self.pos : self.pos + count]
+        self.pos += len(page)
+        return page, self.pos >= len(self.rows)
 
 
 class Session:
     """The server-side state of one client connection."""
+
+    #: Open cursors per session; opening one past this reaps the oldest
+    #: (clients that leak cursors degrade themselves, not the server).
+    max_cursors = 32
 
     def __init__(self, session_id: int, executor, peer: Optional[str] = None) -> None:
         self.id = session_id
@@ -33,6 +73,8 @@ class Session:
         self.errors = 0
         self.last_hql: Optional[str] = None
         self.closed = False
+        self.cursors: Dict[int, Cursor] = {}
+        self._next_cursor = 0
 
     # ------------------------------------------------------------------
 
@@ -53,12 +95,46 @@ class Session:
                 self.errors += 1
                 raise
 
+    # ------------------------------------------------------------------
+    # cursors
+    # ------------------------------------------------------------------
+
+    def open_cursor(
+        self,
+        kind: str,
+        rows: List[Any],
+        page_size: int,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Cursor:
+        """Register a new cursor over already-materialised wire rows.
+        The session owns its lifetime: explicit ``close``, drain, or
+        disconnect all reap it."""
+        while len(self.cursors) >= self.max_cursors:
+            oldest = next(iter(self.cursors))
+            del self.cursors[oldest]
+        self._next_cursor += 1
+        cursor = Cursor(self._next_cursor, kind, rows, page_size, meta)
+        self.cursors[cursor.id] = cursor
+        return cursor
+
+    def cursor(self, cursor_id: Any) -> Cursor:
+        try:
+            return self.cursors[cursor_id]
+        except (KeyError, TypeError):
+            raise ServerError(
+                "no open cursor {!r} on session {}".format(cursor_id, self.id)
+            ) from None
+
+    def close_cursor(self, cursor_id: Any) -> bool:
+        return self.cursors.pop(cursor_id, None) is not None
+
     def close(self) -> None:
         """Disconnect cleanup: roll back any open transaction so a
         dropped connection can never leave half a transaction staged
-        (or journalled)."""
+        (or journalled), and reap every open cursor."""
         if not self.closed:
             self.closed = True
+            self.cursors.clear()
             self.executor.close()
 
     # ------------------------------------------------------------------
@@ -72,6 +148,7 @@ class Session:
             "statements": self.statements,
             "errors": self.errors,
             "in_transaction": self.in_transaction,
+            "cursors": len(self.cursors),
             "last_hql": self.last_hql,
         }
 

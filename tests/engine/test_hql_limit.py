@@ -1,0 +1,131 @@
+"""``LIMIT n [OFFSET m]`` on SELECT / PROJECT / COMBINE.
+
+The slice applies to *stored tuples* in insertion order — the
+deterministic order the engine already exposes through ``tuples()`` —
+and is folded into the query-cache key so a limited result can never
+shadow (or be shadowed by) the full one.
+"""
+
+import pytest
+
+from repro.engine import HierarchicalDatabase
+from repro.engine.hql import ast, parse
+from repro.errors import HQLSyntaxError
+
+SETUP = "CREATE HIERARCHY item;" + "".join(
+    "CREATE INSTANCE n%02d IN item;" % i for i in range(12)
+)
+FILL = "CREATE RELATION r (x: item);" + "".join(
+    "ASSERT r (n%02d);" % i for i in range(12)
+)
+
+
+@pytest.fixture
+def db():
+    database = HierarchicalDatabase("limits")
+    database.execute(SETUP + FILL)
+    return database
+
+
+def _items(result):
+    return [t.item[0] for t in result.payload.tuples()]
+
+
+class TestParsing:
+    def test_limit_forms(self):
+        (stmt,) = parse("SELECT * FROM r LIMIT 5;")
+        assert (stmt.limit, stmt.offset) == (5, 0)
+        (stmt,) = parse("SELECT * FROM r LIMIT 5 OFFSET 3;")
+        assert (stmt.limit, stmt.offset) == (5, 3)
+        (stmt,) = parse("SELECT * FROM r LIMIT ALL OFFSET 3;")
+        assert (stmt.limit, stmt.offset) == (None, 3)
+        (stmt,) = parse("SELECT * FROM r;")
+        assert (stmt.limit, stmt.offset) == (None, 0)
+
+    def test_limit_on_project_and_combine(self):
+        (stmt,) = parse("PROJECT r ON x LIMIT 2;")
+        assert stmt.limit == 2
+        (stmt,) = parse("UNION r WITH r LIMIT 4 OFFSET 1 AS u;")
+        assert (stmt.limit, stmt.offset) == (4, 1)
+        assert stmt.alias == "u"
+
+    def test_limit_before_alias(self):
+        (stmt,) = parse("SELECT * FROM r LIMIT 2 AS little;")
+        assert stmt.limit == 2 and stmt.alias == "little"
+
+    def test_bad_limit_rejected(self):
+        for text in (
+            "SELECT * FROM r LIMIT;",
+            "SELECT * FROM r LIMIT -1;",
+            "SELECT * FROM r LIMIT x;",
+            "SELECT * FROM r LIMIT 5 OFFSET;",
+            "SELECT * FROM r LIMIT 5 OFFSET y;",
+        ):
+            with pytest.raises(HQLSyntaxError):
+                parse(text)
+
+    def test_to_hql_roundtrip(self):
+        for text in (
+            "SELECT * FROM r LIMIT 5;",
+            "SELECT * FROM r LIMIT 5 OFFSET 3;",
+            "SELECT * FROM r LIMIT ALL OFFSET 3;",
+            "PROJECT r ON x LIMIT 2;",
+            "INTERSECT r WITH r LIMIT 1 OFFSET 1 AS both;",
+        ):
+            (stmt,) = parse(text)
+            (again,) = parse(ast.to_hql(stmt))
+            assert (again.limit, again.offset) == (stmt.limit, stmt.offset)
+
+
+class TestExecution:
+    def test_limit_slices_in_insertion_order(self, db):
+        (result,) = db.execute("SELECT * FROM r LIMIT 3;")
+        assert _items(result) == ["n00", "n01", "n02"]
+
+    def test_offset_skips(self, db):
+        (result,) = db.execute("SELECT * FROM r LIMIT 4 OFFSET 9;")
+        assert _items(result) == ["n09", "n10", "n11"]
+
+    def test_offset_only(self, db):
+        (result,) = db.execute("SELECT * FROM r LIMIT ALL OFFSET 10;")
+        assert _items(result) == ["n10", "n11"]
+
+    def test_limit_with_where(self, db):
+        (result,) = db.execute("SELECT FROM r WHERE x = n05 LIMIT 1;")
+        assert _items(result) == ["n05"]
+
+    def test_limit_on_project(self, db):
+        (result,) = db.execute("PROJECT r ON x LIMIT 2;")
+        assert len(list(result.payload.tuples())) == 2
+
+    def test_limit_on_union_with_alias(self, db):
+        db.execute("UNION r WITH r LIMIT 5 AS u;")
+        assert len(list(db.relation("u").tuples())) == 5
+
+    def test_limit_beyond_size_is_everything(self, db):
+        (result,) = db.execute("SELECT * FROM r LIMIT 999;")
+        assert len(_items(result)) == 12
+
+    def test_limited_relation_keeps_version(self, db):
+        (result,) = db.execute("SELECT * FROM r LIMIT 2;")
+        assert result.payload.version == db.relation("r").version
+
+
+class TestCaching:
+    def test_limited_and_full_results_cached_separately(self, db):
+        (full,) = db.execute("SELECT * FROM r;")
+        (limited,) = db.execute("SELECT * FROM r LIMIT 2;")
+        assert len(_items(full)) == 12
+        assert len(_items(limited)) == 2
+        # Replaying both hits the cache and keeps the shapes distinct.
+        (full2,) = db.execute("SELECT * FROM r;")
+        (limited2,) = db.execute("SELECT * FROM r LIMIT 2;")
+        assert len(_items(full2)) == 12
+        assert len(_items(limited2)) == 2
+        assert db.query_cache.hits >= 2
+
+    def test_different_slices_cached_separately(self, db):
+        (a,) = db.execute("SELECT * FROM r LIMIT 2;")
+        (b,) = db.execute("SELECT * FROM r LIMIT 2 OFFSET 2;")
+        assert _items(a) == ["n00", "n01"]
+        assert _items(b) == ["n02", "n03"]

@@ -164,3 +164,78 @@ class TestResultSerialisation:
         assert response["ok"] is False
         assert response["error"] == {"type": "ValueError", "message": "boom"}
         assert response["results"] == [{"kind": "ok"}]
+
+
+class TestProtocolV2:
+    """Format negotiation, binary frames, and the cursor/oversize verbs."""
+
+    def test_hello_advertises_formats_and_cursors(self):
+        hello = protocol.hello("zoo", 3, "1.0", protocol.DEFAULT_MAX_FRAME)
+        assert hello["protocol"] == 2
+        assert hello["formats"] == ["json", "binary"]
+        assert hello["cursors"] is True
+        assert protocol.hello_formats(hello) == ["json", "binary"]
+
+    def test_v1_hello_still_accepted(self):
+        # A v1 server's hello has no formats key; clients fall back to JSON.
+        legacy = {"server": "repro", "protocol": 1}
+        assert protocol.check_hello(legacy) is legacy
+        assert protocol.hello_formats(legacy) == ["json"]
+
+    def test_binary_frame_roundtrip(self):
+        message = {"id": 3, "ok": True, "results": [{"kind": "count", "payload": 9}]}
+        frame = protocol.encode_frame(message, wire_format="binary")
+        body = frame[4:]
+        assert body[:1] != b"{"  # sniffable: binary bodies never start with '{'
+        assert protocol.decode_body(body) == message
+
+    def test_socket_roundtrip_binary(self):
+        a, b = socket.socketpair()
+        try:
+            protocol.send_frame(a, {"id": 1, "rows": [["x", "y"]]}, wire_format="binary")
+            assert protocol.recv_frame(b) == {"id": 1, "rows": [["x", "y"]]}
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversize_error_is_typed_with_limits(self):
+        from repro.errors import FrameTooLargeError
+
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack("!I", 1 << 30))
+            with pytest.raises(FrameTooLargeError) as excinfo:
+                protocol.recv_frame(b, max_frame=1024)
+            assert excinfo.value.actual == 1 << 30
+            assert excinfo.value.max_frame == 1024
+            response = protocol.error_response(7, excinfo.value)
+            assert response["error"]["actual"] == 1 << 30
+            assert response["error"]["max_frame"] == 1024
+        finally:
+            a.close()
+            b.close()
+
+    def test_cursor_response_shape(self):
+        response = protocol.cursor_response(5, 2, [["a"]], done=False, remaining=41)
+        assert response == {
+            "id": 5,
+            "ok": True,
+            "cursor": {"id": 2, "rows": [["a"]], "done": False, "remaining": 41},
+        }
+
+    def test_binary_serialisation_matches_json_shapes(self):
+        session = HQLExecutor(HierarchicalDatabase("zoo"))
+        session.run(SETUP)
+        for hql in (
+            "SELECT FROM flies WHERE creature = bird AS out;",
+            "EXTENSION flies;",
+            "COUNT flies;",
+            "TRUTH flies (tweety);",
+        ):
+            (result,) = session.run(hql)
+            as_json = protocol.serialize_result(result, render=False)
+            as_bin = protocol.serialize_result(result, render=False, binary=True)
+            decoded = protocol.decode_body(
+                protocol.encode_body(as_bin, wire_format="binary")
+            )
+            assert decoded == as_json

@@ -7,14 +7,20 @@ snapshot replace and the journal reset, rolled-back transactions,
 preemption strategies, and materialized views.
 """
 
+import json
 import os
 
 import pytest
 
+from repro.engine import codec
 from repro.engine.hql import HQLExecutor
-from repro.engine.storage import read_payload, save_database
+from repro.engine.storage import (
+    read_payload,
+    save_database,
+    save_database_binary,
+)
 from repro.server import RecoveryManager
-from repro.server.recovery import OPLOG_FILE, SNAPSHOT_FILE
+from repro.server.recovery import OPLOG_FILE, SNAPSHOT_FILE, SNAPSHOT_FILE_BIN
 
 SETUP = """
 CREATE HIERARCHY animal;
@@ -43,6 +49,7 @@ class TestJournalRecovery:
         manager, database, _ = boot(tmp_path)
         assert manager.last_recovery == {
             "snapshot": False,
+            "format": None,
             "checkpoint": 0,
             "replayed": 0,
             "discarded_stale_log": False,
@@ -91,7 +98,16 @@ class TestCheckpoints:
         assert manager.journalled_since_checkpoint == 0
         assert manager.journal.entries() == []  # folded into the snapshot
         assert manager.journal.checkpoint_marker() == 1
-        assert read_payload(str(tmp_path / SNAPSHOT_FILE))["checkpoint"] == 1
+        # The stamp lives in the snapshot of whichever format the
+        # checkpoint wrote (binary by default, REPRO_WIRE_FORMAT=json
+        # in the JSON CI leg).
+        bin_path = tmp_path / SNAPSHOT_FILE_BIN
+        if bin_path.exists():
+            with open(str(bin_path), "rb") as handle:
+                assert codec.snapshot_envelope(handle.read())["checkpoint"] == 1
+        else:
+            with open(str(tmp_path / SNAPSHOT_FILE)) as handle:
+                assert json.load(handle)["checkpoint"] == 1
 
     def test_recovery_from_snapshot_plus_tail(self, tmp_path):
         manager, database, session = boot(tmp_path)
@@ -174,3 +190,107 @@ class TestCrashOrderings:
         (tmp_path / SNAPSHOT_FILE).write_text("{torn write")
         with pytest.raises(StorageError):
             boot(tmp_path)
+
+
+class TestSnapshotFormats:
+    """The v1 (JSON) ↔ v2 (binary columnar) snapshot migration paths."""
+
+    def test_v1_snapshot_recovers_and_checkpoint_upgrades_to_v2(self, tmp_path):
+        # A pre-binary data directory: JSON snapshot written by an old
+        # server, plus a journal tail.
+        manager, database, session = boot(tmp_path)
+        session.run(SETUP)
+        manager.checkpoint(database)
+        # Rewrite it as a plain v1 directory regardless of the default.
+        if os.path.exists(str(tmp_path / SNAPSHOT_FILE_BIN)):
+            os.unlink(str(tmp_path / SNAPSHOT_FILE_BIN))
+        save_database(database, str(tmp_path / SNAPSHOT_FILE), extra={"checkpoint": 1})
+
+        manager2, recovered, session2 = boot(tmp_path, snapshot_format="binary")
+        assert manager2.last_recovery["format"] == "json"
+        assert recovered.relation("flies").holds("tweety")
+        session2.run("ASSERT flies (pingo);")
+        manager2.checkpoint(recovered)
+        # The checkpoint migrated the directory to the binary format.
+        assert os.path.exists(str(tmp_path / SNAPSHOT_FILE_BIN))
+        assert not os.path.exists(str(tmp_path / SNAPSHOT_FILE))
+
+        manager3, reborn, _ = boot(tmp_path)
+        assert manager3.last_recovery["format"] == "binary"
+        assert reborn.relation("flies").holds("pingo")
+
+    def test_json_format_pin_downgrades_a_binary_directory(self, tmp_path):
+        manager, database, session = boot(tmp_path, snapshot_format="binary")
+        session.run(SETUP)
+        manager.checkpoint(database)
+        assert os.path.exists(str(tmp_path / SNAPSHOT_FILE_BIN))
+
+        manager2, recovered, _ = boot(tmp_path, snapshot_format="json")
+        assert manager2.last_recovery["format"] == "binary"
+        manager2.checkpoint(recovered)
+        assert os.path.exists(str(tmp_path / SNAPSHOT_FILE))
+        assert not os.path.exists(str(tmp_path / SNAPSHOT_FILE_BIN))
+
+    def test_wire_format_env_sets_the_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WIRE_FORMAT", "json")
+        manager, database, session = boot(tmp_path)
+        session.run(SETUP)
+        manager.checkpoint(database)
+        assert os.path.exists(str(tmp_path / SNAPSHOT_FILE))
+        assert not os.path.exists(str(tmp_path / SNAPSHOT_FILE_BIN))
+
+    def test_both_files_present_higher_stamp_wins(self, tmp_path):
+        """Crash after writing the new-format snapshot but before
+        unlinking the old one: both files exist and recovery must pick
+        the newer generation, whichever format holds it."""
+        manager, database, session = boot(tmp_path)
+        session.run(SETUP)
+        save_database(database, str(tmp_path / SNAPSHOT_FILE), extra={"checkpoint": 1})
+        session.run("ASSERT flies (pingo);")
+        save_database_binary(
+            database, str(tmp_path / SNAPSHOT_FILE_BIN), extra={"checkpoint": 2}
+        )
+        manager2, recovered, _ = boot(tmp_path)
+        assert manager2.last_recovery["format"] == "binary"
+        assert recovered.relation("flies").holds("pingo")
+
+        # And the mirror image: JSON carries the newer stamp.
+        save_database(database, str(tmp_path / SNAPSHOT_FILE), extra={"checkpoint": 3})
+        manager3, _, _ = boot(tmp_path)
+        assert manager3.last_recovery["format"] == "json"
+        assert manager3.last_recovery["checkpoint"] == 3
+
+    def test_mid_checkpoint_crash_binary_format(self, tmp_path):
+        """Binary flavour of the stale-journal ordering: snapshot.bin
+        replaced, crash before the journal reset."""
+        manager, database, session = boot(tmp_path, snapshot_format="binary")
+        session.run(SETUP)
+        save_database_binary(
+            database, str(tmp_path / SNAPSHOT_FILE_BIN), extra={"checkpoint": 1}
+        )
+        manager2, recovered, _ = boot(tmp_path)
+        assert manager2.last_recovery["discarded_stale_log"] is True
+        assert manager2.last_recovery["replayed"] == 0
+        assert manager2.last_recovery["format"] == "binary"
+        assert recovered.relation("flies").holds("tweety")
+
+    def test_binary_roundtrip_is_bit_identical(self, tmp_path):
+        """The recovered database matches the original tuple-for-tuple,
+        sign-for-sign, and posting-mask-for-posting-mask."""
+        from repro.core.bulk import evaluator_for
+
+        manager, database, session = boot(tmp_path, snapshot_format="binary")
+        session.run(SETUP)
+        manager.checkpoint(database)
+        _, recovered, _ = boot(tmp_path)
+        for name in ("flies",):
+            original = database.relation(name)
+            copy = recovered.relation(name)
+            assert copy.asserted == original.asserted
+            assert copy.version == original.version
+            nonzero = lambda tables: [
+                {k: v for k, v in t.items() if v} for t in tables
+            ]
+            assert nonzero(evaluator_for(copy)._postings) == nonzero(
+                evaluator_for(original)._postings
+            )
