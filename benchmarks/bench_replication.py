@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""P13: read replicas must multiply aggregate read capacity.
+
+Run:  PYTHONPATH=src python -m benchmarks.bench_replication
+Writes BENCH_replication.json at the repository root.
+
+The replication claim (docs/SERVER.md, "Replication") is that
+followers are *capacity*, not just redundancy: every follower added to
+a topology serves reads the leader no longer has to, so the fleet's
+aggregate read throughput grows with the follower count while writes
+keep flowing through the single leader.
+
+The benchmark models the standard capacity-planning question.  Each
+serving node (the leader, plus each follower) is given the same fixed
+pool of closed-loop clients — issue a ``TRUTH`` point read, collect
+the answer, *think*, repeat, the TPC-style residence loop — because a
+real node's load is bounded by the connections an operator points at
+it, not by an open firehose.  Every server is a separate **process**
+booted through the real CLI (``repro serve`` / ``repro serve
+--replicate-from``), so the numbers include the wire protocol, the
+read gate, and the live journal stream; followers are seeded through
+an actual snapshot fetch + tail replay, and the leader keeps
+journalling writes mid-run so followers pay the replication cost
+*while* serving.
+
+Rows follow the repo convention: ``before_ms`` is the wall time the
+leader **alone** (with its one client pool) needs to absorb the whole
+configuration's read volume; ``after_ms`` is the wall time the
+leader + N followers need for the same total reads; ``speedup`` the
+ratio.  The acceptance bar (ROADMAP P13) is ``read_4_followers`` at
+>= 2x.  On a single-core host the curve flattens as the core
+saturates; on real hardware each follower is a fresh core and the
+curve stays near-linear.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FOLLOWER_COUNTS = (1, 2, 4)
+CLIENTS_PER_NODE = 4
+OPS_PER_CLIENT = 150          # per node-pool client, in the replicated runs
+THINK_S = 0.015
+WRITE_EVERY_S = 0.05          # background leader writes during read runs
+
+SCHEMA = (
+    "CREATE HIERARCHY animal;"
+    "CREATE CLASS bird IN animal;"
+    "CREATE INSTANCE tweety IN animal UNDER bird;"
+    "CREATE RELATION flies (creature: animal);"
+    "CREATE RELATION visited (creature: animal);"
+    "ASSERT flies (bird);"
+)
+
+
+class Node:
+    """One ``repro serve`` subprocess and its parsed listen address."""
+
+    def __init__(self, args: List[str]) -> None:
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"] + args,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            cwd=str(REPO_ROOT),
+        )
+        self.host, self.port = self._parse_addr()
+
+    def _parse_addr(self, timeout: float = 30.0) -> Tuple[str, int]:
+        deadline = time.time() + timeout
+        lines = []
+        while time.time() < deadline:
+            line = self.proc.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            if line.startswith("repro server listening on "):
+                addr = line.rsplit(" ", 1)[1].strip()
+                host, _, port = addr.rpartition(":")
+                # Drain stdout in the background so the pipe never fills.
+                threading.Thread(
+                    target=self.proc.stdout.read, daemon=True
+                ).start()
+                return host, int(port)
+        raise RuntimeError("server did not come up:\n" + "".join(lines))
+
+    def stop(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+
+
+def _pool_worker(host: str, port: int, ops: int, barrier, errors) -> None:
+    from repro.client import HQLClient
+
+    try:
+        with HQLClient(host=host, port=port, reconnect=False) as client:
+            barrier.wait()
+            for _ in range(ops):
+                client.query("TRUTH flies (tweety);", render=False)
+                time.sleep(THINK_S)
+    except Exception as exc:  # noqa: BLE001 - surfaced after the join
+        errors.append(exc)
+
+
+def run_pools(nodes: List[Tuple[str, int]], ops_per_client: int) -> float:
+    """Wall-clock seconds for every node's client pool to finish."""
+    total_threads = len(nodes) * CLIENTS_PER_NODE
+    barrier = threading.Barrier(total_threads + 1)
+    errors: List[Exception] = []
+    threads = [
+        threading.Thread(
+            target=_pool_worker,
+            args=(host, port, ops_per_client, barrier, errors),
+        )
+        for host, port in nodes
+        for _ in range(CLIENTS_PER_NODE)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()  # all pools connected; measurement excludes connect cost
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise RuntimeError("client pool failed: {!r}".format(errors[0]))
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    import tempfile
+
+    from repro.client import HQLClient
+
+    data_dir = tempfile.mkdtemp(prefix="bench-repl-")
+    leader = Node(["--data-dir", data_dir])
+    followers: List[Node] = []
+    rows: List[Dict] = []
+    ship = {}
+    try:
+        leader_addr = "{}:{}".format(leader.host, leader.port)
+        with HQLClient(host=leader.host, port=leader.port) as seed:
+            seed.execute(SCHEMA)
+
+        for count in FOLLOWER_COUNTS:
+            while len(followers) < count:
+                followers.append(Node(["--replicate-from", leader_addr]))
+            # Every follower must have replayed the full journal before
+            # it counts as capacity.
+            with HQLClient(host=leader.host, port=leader.port) as leader_client:
+                leader_client.execute(
+                    "CREATE INSTANCE sync{0} IN animal UNDER bird;"
+                    "ASSERT visited (sync{0});".format(count),
+                    wait_sync=count,
+                    wait_sync_timeout=60.0,
+                )
+
+            total_ops = OPS_PER_CLIENT * CLIENTS_PER_NODE * (1 + count)
+            # A trickle of leader writes keeps the journal stream hot so
+            # followers pay the replication cost while serving reads.
+            stop_writes = threading.Event()
+
+            def write_trickle() -> None:
+                with HQLClient(host=leader.host, port=leader.port) as writer:
+                    n = 0
+                    while not stop_writes.is_set():
+                        writer.execute(
+                            "CREATE INSTANCE t{1}_{0} IN animal UNDER bird;"
+                            "ASSERT visited (t{1}_{0});".format(n, count),
+                            render=False,
+                        )
+                        n += 1
+                        stop_writes.wait(WRITE_EVERY_S)
+
+            trickle = threading.Thread(target=write_trickle)
+            trickle.start()
+            try:
+                fleet = [(leader.host, leader.port)] + [
+                    (node.host, node.port) for node in followers
+                ]
+                after = run_pools(fleet, OPS_PER_CLIENT)
+                before = run_pools(
+                    [(leader.host, leader.port)],
+                    OPS_PER_CLIENT * (1 + count),
+                )
+            finally:
+                stop_writes.set()
+                trickle.join()
+
+            entry = {
+                "op": "read_{}_followers".format(count),
+                "tuples": total_ops,
+                "followers": count,
+                "clients": CLIENTS_PER_NODE * (1 + count),
+                "before_ms": round(before * 1e3, 1),
+                "after_ms": round(after * 1e3, 1),
+                "speedup": round(before / after, 2),
+                "ops_per_s": round(total_ops / after, 1),
+            }
+            rows.append(entry)
+            print(
+                "{} follower(s): {:7.0f} ops/s aggregate  "
+                "({:.2f}x leader alone)".format(
+                    count, entry["ops_per_s"], entry["speedup"]
+                ),
+                flush=True,
+            )
+
+        with HQLClient(host=leader.host, port=leader.port) as leader_client:
+            repl = leader_client.replication()
+            ship = {
+                "ship_entries": (repl.get("ship") or {}).get("entries", 0),
+                "ship_polls": (repl.get("ship") or {}).get("polls", 0),
+                "followers_attached": len(repl.get("followers") or []),
+                "generation": repl.get("generation"),
+            }
+    finally:
+        for node in followers:
+            node.stop()
+        leader.stop()
+
+    payload = {
+        "workload": {
+            "clients_per_node": CLIENTS_PER_NODE,
+            "ops_per_client": OPS_PER_CLIENT,
+            "think_ms": THINK_S * 1e3,
+            "follower_counts": list(FOLLOWER_COUNTS),
+            "model": "closed-loop read pools pinned one per serving node; "
+                     "servers are repro-serve subprocesses; the leader "
+                     "journals a write trickle throughout",
+        },
+        "before": "the leader's single client pool absorbs all reads",
+        "after": "leader + N followers each serve their own pool",
+        "rows": rows,
+        "metrics": ship,
+    }
+    out_path = REPO_ROOT / "BENCH_replication.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print("wrote {}".format(out_path))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

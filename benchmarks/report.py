@@ -312,6 +312,29 @@ def _validate(name: str, payload: object) -> list:
             problems.append(
                 "{}: metrics must record 'client_peak_cursor_50k'".format(name)
             )
+    if name.startswith("BENCH_replication"):
+        # The read-scaling acceptance bar (ROADMAP P13): four followers
+        # must at least double the leader-alone aggregate read rate,
+        # and the run must have actually shipped journal entries — a
+        # payload recorded against idle followers measures nothing.
+        seen = {}
+        for row in rows:
+            if isinstance(row, dict):
+                seen[row.get("op")] = row.get("speedup", 0)
+        if "read_4_followers" not in seen:
+            problems.append("{}: missing the 'read_4_followers' row".format(name))
+        elif not isinstance(seen["read_4_followers"], (int, float)) or seen[
+            "read_4_followers"
+        ] < 2.0:
+            problems.append(
+                "{}: 'read_4_followers' must record >= 2x, got {!r}".format(
+                    name, seen["read_4_followers"]
+                )
+            )
+        if not isinstance(metrics, dict) or not metrics.get("ship_entries"):
+            problems.append(
+                "{}: metrics must record a nonzero 'ship_entries'".format(name)
+            )
     return problems
 
 

@@ -14,8 +14,16 @@ Commands
     graceful shutdown (SIGINT/SIGTERM drain in-flight statements).
 ``connect [--host H] [--port P] [--wire-format binary|json]``
     Interactive HQL shell over the wire against a running server.
+``replicas [--host H] [--port P] [--json]``
+    A server's replication role; on a leader, per-follower lag.
 ``version``
     Print the package version.
+
+Replication: ``serve --data-dir DIR`` makes a *leader* (it has a
+journal to ship); ``serve --replicate-from HOST:PORT`` makes a
+read-only *follower* that bootstraps from the leader's snapshot and
+replays its journal live (``--max-staleness`` bounds how stale a
+follower will serve reads).
 """
 
 from __future__ import annotations
@@ -87,6 +95,23 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         help="shard-parallel worker processes for large queries (0 = serial)",
     )
+    serve.add_argument(
+        "--replicate-from",
+        metavar="HOST:PORT",
+        help="run as a read-only follower streaming this leader's journal",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="follower reconnect delay after losing the leader (seconds)",
+    )
+    serve.add_argument(
+        "--max-staleness",
+        type=float,
+        help="follower refuses reads once this many seconds behind the leader "
+        "(default: serve reads no matter how stale)",
+    )
 
     connect = commands.add_parser("connect", help="HQL shell over the wire")
     connect.add_argument("--host", default="127.0.0.1")
@@ -95,6 +120,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--wire-format",
         choices=("binary", "json"),
         help="result encoding to prefer (default: REPRO_WIRE_FORMAT or binary)",
+    )
+
+    replicas = commands.add_parser(
+        "replicas", help="show a server's replication role and follower lag"
+    )
+    replicas.add_argument("--host", default="127.0.0.1")
+    replicas.add_argument("--port", type=int, default=DEFAULT_PORT)
+    replicas.add_argument(
+        "--json", action="store_true", help="raw JSON instead of a table"
     )
 
     commands.add_parser("version", help="print the package version")
@@ -106,6 +140,12 @@ def _cmd_serve(args) -> int:
 
     if args.data_dir and args.db:
         print("error: --data-dir and --db are mutually exclusive")
+        return 2
+    if args.replicate_from and (args.data_dir or args.db):
+        print(
+            "error: --replicate-from streams all state from the leader; "
+            "it cannot combine with --data-dir or --db"
+        )
         return 2
     if args.workers is not None:
         if args.workers < 0:
@@ -127,10 +167,20 @@ def _cmd_serve(args) -> int:
         fsync=args.fsync,
         admin_port=args.admin_port,
         slow_query_ms=args.slow_ms,
+        replicate_from=args.replicate_from,
+        max_staleness_s=args.max_staleness,
+        retry_s=args.poll_interval,
     )
 
     async def main() -> None:
         host, port = await server.start()
+        if server.follower_state is not None:
+            print(
+                "replicating from leader {} (read-only follower)".format(
+                    server.follower_state.leader_addr
+                ),
+                flush=True,
+            )
         recovery = server.recovery
         if recovery is not None and recovery.last_recovery is not None:
             info = recovery.last_recovery
@@ -170,6 +220,75 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     print("server stopped")
+    return 0
+
+
+def _cmd_replicas(args) -> int:
+    import json
+
+    from repro.client import HQLClient
+    from repro.errors import ServerError
+
+    client = HQLClient(host=args.host, port=args.port)
+    try:
+        payload = client.replication()
+    except ServerError as exc:
+        print("error: {}".format(exc))
+        return 1
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(payload, indent=1))
+        return 0
+    role = payload.get("role", "?")
+    if role == "single":
+        print("role: single (no replication configured)")
+        return 0
+    if role == "follower":
+        print(
+            "role: follower of {}  connected={}  position=({}, {})  "
+            "lag={} entr{}  staleness={} ms  resyncs={}".format(
+                payload.get("leader"),
+                payload.get("connected"),
+                payload.get("checkpoint"),
+                payload.get("offset"),
+                payload.get("lag_entries"),
+                "y" if payload.get("lag_entries") == 1 else "ies",
+                payload.get("staleness_ms"),
+                payload.get("resyncs"),
+            )
+        )
+        return 0
+    print(
+        "role: leader  generation={}  position=({}, {})  shipped={} entr{}".format(
+            payload.get("generation"),
+            payload.get("checkpoint"),
+            payload.get("end_offset"),
+            (payload.get("ship") or {}).get("entries", 0),
+            "y" if (payload.get("ship") or {}).get("entries") == 1 else "ies",
+        )
+    )
+    followers = payload.get("followers") or []
+    if not followers:
+        print("no followers attached")
+        return 0
+    print(
+        "{:<24} {:>4} {:>6} {:>8} {:>12} {:>10} {:>10}".format(
+            "follower", "gen", "ckpt", "offset", "lag_entries", "lag_ms", "seen_s"
+        )
+    )
+    for row in followers:
+        print(
+            "{:<24} {:>4} {:>6} {:>8} {:>12} {:>10} {:>10}".format(
+                (row.get("addr") or row.get("id") or "?")[:24],
+                row.get("generation"),
+                row.get("checkpoint"),
+                row.get("offset"),
+                row.get("lag_entries"),
+                row.get("lag_ms"),
+                row.get("last_seen_s"),
+            )
+        )
     return 0
 
 
@@ -224,6 +343,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "connect":
         return _cmd_connect(args)
+    if args.command == "replicas":
+        return _cmd_replicas(args)
     _build_parser().print_help()
     return 2
 

@@ -23,14 +23,63 @@ internals.  :class:`RemoteRepl` is the interactive flavour
 
 from __future__ import annotations
 
+import json
 import socket
 import sys
 import time
-from typing import IO, Any, Dict, Iterator, List, Optional
+from typing import IO, Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine import codec
-from repro.errors import FrameTooLargeError, ProtocolError, RemoteError, ServerError
+from repro.errors import (
+    FrameTooLargeError,
+    LeaderChangedError,
+    ProtocolError,
+    RemoteError,
+    ServerError,
+)
 from repro.server import protocol
+
+#: Statement classes that read without mutating — safe to serve from a
+#: follower.  Everything else (DDL/DML, transaction control, LOAD/SAVE,
+#: SET) routes to the leader.
+_READ_STATEMENTS: Optional[tuple] = None
+
+
+def _read_statement_classes() -> tuple:
+    global _READ_STATEMENTS
+    if _READ_STATEMENTS is None:
+        from repro.engine.hql import ast
+
+        _READ_STATEMENTS = (
+            ast.Truth,
+            ast.Justify,
+            ast.Select,
+            ast.Project,
+            ast.BinaryOp,
+            ast.Conflicts,
+            ast.Extension,
+            ast.Show,
+            ast.Count,
+            ast.Explain,
+            ast.Stats,
+        )
+    return _READ_STATEMENTS
+
+
+def is_read_only_script(hql: str) -> Optional[bool]:
+    """Client-side routing classification: ``True`` when every
+    statement in ``hql`` only reads, ``False`` when any writes, and
+    ``None`` when it does not parse (route to the leader and let the
+    server produce the authoritative error)."""
+    from repro.engine.hql.parser import parse
+    from repro.errors import HQLError
+
+    try:
+        statements = parse(hql)
+    except HQLError:
+        return None
+    read_classes = _read_statement_classes()
+    return all(isinstance(s, read_classes) for s in statements)
 
 
 class RemoteResult:
@@ -160,6 +209,25 @@ class HQLClient:
     applied twice — wrap writes that must not repeat in
     :meth:`transaction` (a replayed BEGIN block the server never saw
     completes harmlessly) or pass ``reconnect=False``.
+
+    Replica routing
+    ---------------
+    ``followers`` is an optional list of ``"host:port"`` read replicas.
+    With it set, :meth:`execute` classifies each script client-side:
+    scripts that only read round-robin across the followers (falling
+    back to the leader when a follower is down or refuses — stale, or
+    mid-bootstrap), and everything else — DDL/DML, transactions, LOAD —
+    goes to the leader connection this client was constructed for.
+    A write that lands on a follower anyway (e.g. this client was
+    pointed *at* a follower) surfaces as
+    :class:`~repro.errors.LeaderChangedError` naming the leader, and
+    the client re-routes to it once automatically.
+
+    ``wait_sync`` (also per-call on :meth:`execute`) asks the leader to
+    delay the acknowledgement of a write until that many followers have
+    acked the journal entries — raising
+    :class:`~repro.errors.ReplicationError` on timeout (the write is
+    still durably committed on the leader).
     """
 
     def __init__(
@@ -173,6 +241,10 @@ class HQLClient:
         retry_delay: float = 0.1,
         render: bool = True,
         wire_format: Optional[str] = None,
+        followers: Optional[Sequence[str]] = None,
+        wait_sync: int = 0,
+        wait_sync_timeout: float = 10.0,
+        follow_leader: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -181,6 +253,14 @@ class HQLClient:
         self.connect_attempts = max(1, connect_attempts)
         self.retry_delay = retry_delay
         self.render = render
+        self.followers = [str(addr) for addr in (followers or ())]
+        self.wait_sync = int(wait_sync)
+        self.wait_sync_timeout = wait_sync_timeout
+        #: Re-route to the reported leader (once per request) when a
+        #: write hits a read-only replica.
+        self.follow_leader = follow_leader
+        self._follower_clients: Dict[str, "HQLClient"] = {}
+        self._rr = 0
         #: Preferred response encoding; ``None`` follows the process
         #: default (``REPRO_WIRE_FORMAT``).  Negotiated down to JSON at
         #: connect time when the server does not advertise binary.
@@ -191,6 +271,9 @@ class HQLClient:
         self._sock: Optional[socket.socket] = None
         self._request_ids = iter(range(1, sys.maxsize))
         self._in_transaction = False
+        #: The ``sync`` block of the last response (WAIT_SYNC ack
+        #: count), or ``None``.
+        self.last_sync: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # connection management
@@ -243,6 +326,9 @@ class HQLClient:
         )
 
     def close(self) -> None:
+        for sub in self._follower_clients.values():
+            if sub is not self:
+                sub.close()
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -305,15 +391,66 @@ class HQLClient:
     @staticmethod
     def _raise_remote(response: Dict[str, Any]) -> None:
         error = response.get("error") or {}
-        raise RemoteError(
-            error.get("type", "ServerError"), error.get("message", "unknown error")
-        )
+        remote_type = error.get("type", "ServerError")
+        message = error.get("message", "unknown error")
+        if remote_type == "ReadOnlyError":
+            # Typed so routing callers can catch one exception and
+            # retry against .leader instead of string-matching.
+            raise LeaderChangedError(remote_type, message, leader=error.get("leader"))
+        raise RemoteError(remote_type, message)
+
+    # ------------------------------------------------------------------
+    # replica routing
+    # ------------------------------------------------------------------
+
+    def _follower_client(self, addr: str) -> "HQLClient":
+        client = self._follower_clients.get(addr)
+        if client is None:
+            host, _, port = addr.rpartition(":")
+            client = HQLClient(
+                host or "127.0.0.1",
+                int(port),
+                timeout=self.timeout,
+                reconnect=self.reconnect,
+                connect_attempts=self.connect_attempts,
+                retry_delay=self.retry_delay,
+                render=self.render,
+                wire_format=self.preferred_format,
+            )
+            self._follower_clients[addr] = client
+        return client
+
+    def _route_read(
+        self, hql: str, render: Optional[bool], page_size: int
+    ) -> Optional[Tuple["HQLClient", List[RemoteResult]]]:
+        """Try the read on each follower (round-robin start) and return
+        ``(client, results)`` — or ``None`` when every follower is
+        down/refusing and the leader should serve it instead.  Genuine
+        query errors (bad relation name, …) propagate: every server
+        would report the same thing."""
+        for step in range(len(self.followers)):
+            addr = self.followers[(self._rr + step) % len(self.followers)]
+            client = self._follower_client(addr)
+            try:
+                results = client.execute(hql, render=render, page_size=page_size)
+            except (LeaderChangedError, ServerError, ConnectionError, OSError) as exc:
+                if isinstance(exc, RemoteError) and not isinstance(
+                    exc, LeaderChangedError
+                ):
+                    if exc.remote_type != "StaleReplicaError":
+                        raise  # a real query error, not a routing signal
+                continue  # follower unusable: try the next, then the leader
+            self._rr = (self._rr + step + 1) % len(self.followers)
+            return client, results
+        return None
 
     def execute(
         self,
         hql: str,
         render: Optional[bool] = None,
         page_size: int = 0,
+        wait_sync: Optional[int] = None,
+        wait_sync_timeout: Optional[float] = None,
     ) -> List[RemoteResult]:
         """Run an HQL script remotely; one :class:`RemoteResult` per
         statement.  Raises :class:`~repro.errors.RemoteError` when the
@@ -325,7 +462,60 @@ class HQLClient:
         ``cursor`` descriptor and only the first page); ``-1`` lets the
         server pick a page size from its frame budget.  Most callers
         want :meth:`cursor` instead.
+
+        ``wait_sync`` > 0 (or the constructor default) blocks the
+        response until that many followers have acknowledged the
+        journal entries this script produced.
         """
+        _, results = self._execute_routed(
+            hql, render, page_size, wait_sync, wait_sync_timeout
+        )
+        return results
+
+    def _execute_routed(
+        self,
+        hql: str,
+        render: Optional[bool],
+        page_size: int,
+        wait_sync: Optional[int] = None,
+        wait_sync_timeout: Optional[float] = None,
+    ) -> Tuple["HQLClient", List[RemoteResult]]:
+        """Route, execute, and report which connection served it (the
+        cursor path must fetch follow-up pages from the same
+        server)."""
+        if (
+            self.followers
+            and not self._in_transaction
+            and not (wait_sync or self.wait_sync)
+            and is_read_only_script(hql)
+        ):
+            routed = self._route_read(hql, render, page_size)
+            if routed is not None:
+                return routed
+        try:
+            return self, self._execute_here(
+                hql, render, page_size, wait_sync, wait_sync_timeout
+            )
+        except LeaderChangedError as exc:
+            # This "leader" is actually a follower (e.g. the client was
+            # pointed at one): hop to the leader it named, once.
+            if not self.follow_leader or not exc.leader or self._in_transaction:
+                raise
+            host, _, port = str(exc.leader).rpartition(":")
+            self.close()
+            self.host, self.port = host or "127.0.0.1", int(port)
+            return self, self._execute_here(
+                hql, render, page_size, wait_sync, wait_sync_timeout
+            )
+
+    def _execute_here(
+        self,
+        hql: str,
+        render: Optional[bool],
+        page_size: int,
+        wait_sync: Optional[int] = None,
+        wait_sync_timeout: Optional[float] = None,
+    ) -> List[RemoteResult]:
         request = {
             "id": next(self._request_ids),
             "op": "query",
@@ -335,6 +525,12 @@ class HQLClient:
         }
         if page_size:
             request["page_size"] = page_size
+        sync_n = self.wait_sync if wait_sync is None else int(wait_sync)
+        if sync_n > 0:
+            request["wait_sync"] = sync_n
+            request["wait_sync_timeout"] = (
+                self.wait_sync_timeout if wait_sync_timeout is None else wait_sync_timeout
+            )
         response = self._roundtrip(request)
         # The server reports the session's authoritative transaction
         # state on every query response.
@@ -342,6 +538,7 @@ class HQLClient:
             self._in_transaction = bool(response["txn"])
         if not response.get("ok"):
             self._raise_remote(response)
+        self.last_sync = response.get("sync")
         return [RemoteResult(wire) for wire in response.get("results", ())]
 
     def query(self, hql: str, render: Optional[bool] = None) -> RemoteResult:
@@ -379,14 +576,16 @@ class HQLClient:
         ``page_size=-1`` (default) lets the server size pages against
         its frame budget; pass a positive row count to override.
         """
-        results = self.execute(hql, render=False, page_size=page_size or -1)
+        client, results = self._execute_routed(hql, False, page_size or -1)
         if len(results) != 1:
             raise ServerError(
                 "cursor() expects exactly one statement, got {} results".format(
                     len(results)
                 )
             )
-        return RemoteCursor(self, results[0])
+        # Bind to whichever server actually ran it — follow-up fetches
+        # must hit the session that owns the cursor.
+        return RemoteCursor(client, results[0])
 
     def fetch(self, cursor_id: Any, max_rows: int = 0) -> Dict[str, Any]:
         """One page of an open server-side cursor (``{"id", "rows",
@@ -454,6 +653,11 @@ class HQLClient:
     def sessions(self) -> List[Dict[str, Any]]:
         return self.admin("sessions").get("sessions") or []
 
+    def replication(self) -> Dict[str, Any]:
+        """The server's replication block: role, positions, and (on a
+        leader) per-follower lag in entries and ms."""
+        return self.admin("replication").get("replication") or {}
+
     def __repr__(self) -> str:
         return "HQLClient({}:{}, {})".format(
             self.host, self.port, "connected" if self.connected else "disconnected"
@@ -470,7 +674,7 @@ class RemoteRepl:
 Connected to a repro HQL server — statements end with ';'.
 Meta: \\h help, \\q quit, \\stats server stats, \\metrics Prometheus
       text, \\slowlog slow-query log, \\sessions live sessions,
-      \\ping liveness."""
+      \\replication role and follower lag, \\ping liveness."""
 
     def __init__(
         self,
@@ -506,6 +710,9 @@ Meta: \\h help, \\q quit, \\stats server stats, \\metrics Prometheus
             "\n".join(str(s) for s in self.client.sessions()) or "(none)"
         ),
         "\\ping": lambda self: self._write("pong" if self.client.ping() else "no pong"),
+        "\\replication": lambda self: self._write(
+            json.dumps(self.client.replication(), indent=1)
+        ),
     }
 
     def run(self) -> None:

@@ -172,9 +172,25 @@ class HQLExecutor:
         if self._transaction is not None:
             self._pending_log.append(statement)
         else:
-            self.log.append(statement)
-            if self.on_journal is not None:
-                self.on_journal(statement)
+            self._journal_one(statement)
+
+    def _journal_one(self, statement: ast.Statement) -> None:
+        """The single journalling code path: append to the durable log
+        *first*, then fire ``on_journal``.
+
+        Every journalled write — autocommit and COMMIT alike — goes
+        through here, so anything hanging off ``on_journal`` (the
+        recovery manager's checkpoint pacing, the replication leader's
+        ship offset, and therefore any ``WAIT_SYNC`` acknowledgement
+        built on that offset) can only observe a statement *after*
+        :meth:`~repro.engine.oplog.OperationLog.append` has written and
+        flushed it (and fsynced it, when the log is configured to).  An
+        entry can never be shipped to a follower, or acked to a
+        ``WAIT_SYNC`` caller, before it is durably journalled locally.
+        """
+        self.log.append(statement)
+        if self.on_journal is not None:
+            self.on_journal(statement)
 
     # ------------------------------------------------------------------
     # helpers
@@ -406,9 +422,7 @@ class HQLExecutor:
             pending, self._pending_log = self._pending_log, []
         if self.log is not None:
             for statement in pending:
-                self.log.append(statement)
-                if self.on_journal is not None:
-                    self.on_journal(statement)
+                self._journal_one(statement)
         return Result(kind="ok", message="committed")
 
     def _exec_rollback(self, stmt: ast.Rollback) -> Result:

@@ -74,15 +74,27 @@ class OperationLog:
 
     def entries(self) -> List[str]:
         """Every journalled statement, in append order (comment lines,
-        including the checkpoint marker, are skipped)."""
+        including the checkpoint marker, are skipped).
+
+        A file that does not end in a newline has a **torn tail**: the
+        process died mid-append, so the final line is an incomplete
+        statement that was never flushed in full and therefore never
+        acknowledged to any caller.  It is silently dropped — replaying
+        it would fail the whole recovery on a half-written statement
+        that, by the durability contract, never happened.
+        """
         if not os.path.exists(self.path):
             return []
         with open(self.path, "r", encoding="utf-8") as handle:
-            return [
-                line.strip()
-                for line in handle
-                if line.strip() and not line.strip().startswith("--")
-            ]
+            text = handle.read()
+        lines = text.split("\n")
+        if text and not text.endswith("\n"):
+            lines = lines[:-1]  # torn tail: incomplete, never acked
+        return [
+            line.strip()
+            for line in lines
+            if line.strip() and not line.strip().startswith("--")
+        ]
 
     def replay(self, database) -> int:
         """Re-execute the journal against ``database``; returns the

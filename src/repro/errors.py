@@ -170,6 +170,55 @@ class FrameTooLargeError(ProtocolError):
         super().__init__(message)
 
 
+class ReplicationError(ServerError):
+    """A failure in the leader→follower journal-shipping layer: a
+    follower that cannot bootstrap, a replication stream that lost its
+    position, or a ``WAIT_SYNC`` write that timed out waiting for
+    follower acknowledgements."""
+
+
+class ReadOnlyError(ReplicationError):
+    """A write was sent to a read-only follower.
+
+    Followers replay the leader's journal and serve reads; every
+    mutating statement must go to the leader.  The error names it so
+    routing clients can retry without out-of-band configuration.
+
+    Attributes
+    ----------
+    leader:
+        ``"host:port"`` of the leader this follower replicates from.
+    """
+
+    def __init__(self, leader: str) -> None:
+        self.leader = leader
+        super().__init__(
+            "this server is a read-only replica; send writes to the "
+            "leader at {}".format(leader)
+        )
+
+
+class StaleReplicaError(ReplicationError):
+    """A follower refused a read because it has not heard from the
+    leader within its configured staleness bound.
+
+    Attributes
+    ----------
+    staleness_ms:
+        How stale the replica believes it is, in milliseconds.
+    bound_ms:
+        The configured maximum.
+    """
+
+    def __init__(self, staleness_ms: float, bound_ms: float) -> None:
+        self.staleness_ms = staleness_ms
+        self.bound_ms = bound_ms
+        super().__init__(
+            "replica is {:.0f} ms stale (bound {:.0f} ms); retry on the "
+            "leader or relax --max-staleness".format(staleness_ms, bound_ms)
+        )
+
+
 class RemoteError(ServerError):
     """An error reported by the server for a remotely executed statement.
 
@@ -184,3 +233,24 @@ class RemoteError(ServerError):
     def __init__(self, remote_type: str, message: str) -> None:
         self.remote_type = remote_type
         super().__init__("{}: {}".format(remote_type, message))
+
+
+class LeaderChangedError(RemoteError):
+    """A request landed on a server that is not (or is no longer) the
+    leader — typically a write sent to a read-only follower.
+
+    Raised client-side when the remote error is a
+    :class:`ReadOnlyError`, so routing callers can catch one type and
+    retry against :attr:`leader` instead of string-matching a generic
+    :class:`RemoteError`.
+
+    Attributes
+    ----------
+    leader:
+        ``"host:port"`` of the current leader as reported by the
+        follower, or ``None`` if it did not say.
+    """
+
+    def __init__(self, remote_type: str, message: str, leader=None) -> None:
+        self.leader = leader
+        super().__init__(remote_type, message)

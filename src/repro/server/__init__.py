@@ -21,11 +21,13 @@ from repro.server.protocol import (
     send_frame,
 )
 from repro.server.recovery import RecoveryManager
+from repro.server.replication import FollowerTask, replication_payload
 from repro.server.server import HQLServer, ServerThread
 from repro.server.session import Session
 
 __all__ = [
     "DEFAULT_MAX_FRAME",
+    "FollowerTask",
     "HQLServer",
     "PROTOCOL_NAME",
     "PROTOCOL_VERSION",
@@ -33,6 +35,7 @@ __all__ = [
     "RecoveryManager",
     "ServerThread",
     "Session",
+    "replication_payload",
     "encode_frame",
     "read_frame",
     "recv_frame",

@@ -32,7 +32,7 @@ from typing import Any, Dict
 from repro.errors import ServerError
 from repro.obs import default_registry, render_span_tree
 
-ADMIN_COMMANDS = ("ping", "stats", "metrics", "slowlog", "sessions")
+ADMIN_COMMANDS = ("ping", "stats", "metrics", "slowlog", "sessions", "replication")
 
 
 def admin_payload(server, cmd: str) -> Dict[str, Any]:
@@ -55,6 +55,10 @@ def admin_payload(server, cmd: str) -> Dict[str, Any]:
             "cmd": "sessions",
             "sessions": [s.describe() for s in server.sessions.values()],
         }
+    if cmd == "replication":
+        from repro.server.replication import replication_payload
+
+        return {"cmd": "replication", "replication": replication_payload(server)}
     raise ServerError(
         "unknown admin command {!r} (known: {})".format(cmd, ", ".join(ADMIN_COMMANDS))
     )
@@ -62,9 +66,11 @@ def admin_payload(server, cmd: str) -> Dict[str, Any]:
 
 def stats_payload(server) -> Dict[str, Any]:
     from repro import planner
+    from repro.server.replication import replication_payload
 
     recovery = server.recovery
     return {
+        "replication": replication_payload(server),
         "database": server.database.name,
         "engine": server.database.metrics.snapshot(),
         "core": default_registry().snapshot(),
@@ -129,7 +135,17 @@ _HTTP_ROUTES = {
         "application/json",
         lambda s: json.dumps([x.describe() for x in s.sessions.values()], indent=1),
     ),
+    "/replication": (
+        "application/json",
+        lambda s: json.dumps(_replication_payload(s), indent=1),
+    ),
 }
+
+
+def _replication_payload(server):
+    from repro.server.replication import replication_payload
+
+    return replication_payload(server)
 
 
 async def handle_http(server, reader, writer) -> None:

@@ -70,7 +70,12 @@ import struct
 from typing import Any, Dict, List, Optional
 
 from repro.engine import codec
-from repro.errors import FrameTooLargeError, ProtocolError
+from repro.errors import (
+    FrameTooLargeError,
+    ProtocolError,
+    ReadOnlyError,
+    StaleReplicaError,
+)
 
 PROTOCOL_NAME = "repro"
 #: Version 2 added binary bodies, cursor verbs, and structured
@@ -188,8 +193,21 @@ def _recv_exactly(sock: socket.socket, count: int, allow_eof: bool) -> Optional[
 # ----------------------------------------------------------------------
 
 
-def hello(database_name: str, session_id: int, version: str, max_frame: int) -> Dict[str, Any]:
-    return {
+def hello(
+    database_name: str,
+    session_id: int,
+    version: str,
+    max_frame: int,
+    role: str = "single",
+    leader: Optional[str] = None,
+    replication: bool = False,
+) -> Dict[str, Any]:
+    """``role`` is the server's replication role (``single`` /
+    ``leader`` / ``follower``); ``replication`` advertises the
+    ``replicate`` verb (true exactly when the server can lead); a
+    follower's hello names its ``leader`` so clients learn where
+    writes go without a separate lookup."""
+    message = {
         "server": PROTOCOL_NAME,
         "protocol": PROTOCOL_VERSION,
         "version": version,
@@ -198,7 +216,12 @@ def hello(database_name: str, session_id: int, version: str, max_frame: int) -> 
         "max_frame": max_frame,
         "formats": list(WIRE_FORMATS),
         "cursors": True,
+        "role": role,
+        "replication": replication,
     }
+    if leader is not None:
+        message["leader"] = leader
+    return message
 
 
 def check_hello(message: Dict[str, Any]) -> Dict[str, Any]:
@@ -258,6 +281,12 @@ def error_response(
     if isinstance(error, FrameTooLargeError):
         detail["actual"] = error.actual
         detail["max_frame"] = error.max_frame
+    if isinstance(error, ReadOnlyError):
+        # Clients surface this as LeaderChangedError and re-route.
+        detail["leader"] = error.leader
+    if isinstance(error, StaleReplicaError):
+        detail["staleness_ms"] = error.staleness_ms
+        detail["bound_ms"] = error.bound_ms
     return {
         "id": request_id,
         "ok": False,

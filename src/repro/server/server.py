@@ -44,10 +44,19 @@ from repro.engine.database import HierarchicalDatabase
 from repro.engine.hql import HQLExecutor
 from repro.engine.hql import ast
 from repro.engine.hql.parser import parse
-from repro.errors import FrameTooLargeError, ProtocolError, ReproError, ServerError
+from repro.errors import (
+    FrameTooLargeError,
+    ProtocolError,
+    ReadOnlyError,
+    ReplicationError,
+    ReproError,
+    ServerError,
+    StaleReplicaError,
+)
 from repro.planner.stats import est_row_bytes
 from repro.server import admin as admin_mod
 from repro.server import protocol
+from repro.server import replication as replication_mod
 from repro.server.locking import ReadWriteLock
 from repro.server.recovery import RecoveryManager
 from repro.server.session import Session
@@ -75,10 +84,19 @@ class HQLServer:
         slow_query_ms: Optional[float] = None,
         max_frame: int = protocol.DEFAULT_MAX_FRAME,
         drain_timeout: float = 10.0,
+        replicate_from: Optional[str] = None,
+        max_staleness_s: Optional[float] = None,
+        poll_wait_s: float = replication_mod.DEFAULT_POLL_WAIT_S,
+        retry_s: float = replication_mod.DEFAULT_RETRY_S,
     ) -> None:
         if database is not None and data_dir is not None:
             raise ServerError(
                 "pass either a database or a data_dir to recover from, not both"
+            )
+        if replicate_from is not None and data_dir is not None:
+            raise ServerError(
+                "a follower streams its state from the leader; it cannot also "
+                "recover from a local data_dir"
             )
         self.recovery: Optional[RecoveryManager] = None
         if data_dir is not None:
@@ -88,6 +106,27 @@ class HQLServer:
             self.database = self.recovery.recover()
         else:
             self.database = database if database is not None else HierarchicalDatabase("server")
+        # Replication roles: a data directory (journal) makes this
+        # server a *leader*; --replicate-from makes it a *follower*
+        # (read-only, in-memory, streamed from the leader's journal).
+        self.leader_state = (
+            replication_mod.make_leader_state(self) if self.recovery is not None else None
+        )
+        self.follower_state = None
+        self._follower_task: Optional[replication_mod.FollowerTask] = None
+        self.max_staleness_s = max_staleness_s
+        if replicate_from is not None:
+            from repro.replication import FollowerState
+
+            self.follower_state = FollowerState(replicate_from)
+            if max_staleness_s is not None:
+                # The staleness clock re-anchors per completed poll, so
+                # a parked long poll must turn around well inside the
+                # bound or an *idle* leader would look stale.
+                poll_wait_s = min(poll_wait_s, max(0.01, max_staleness_s / 2.0))
+            self._follower_task = replication_mod.FollowerTask(
+                self, replicate_from, poll_wait_s=poll_wait_s, retry_s=retry_s
+            )
         if slow_query_ms is not None:
             self.database.enable_slow_query_log(slow_query_ms)
         self.host = host
@@ -113,6 +152,33 @@ class HQLServer:
         self._m_checkpoints = metrics.counter("server.checkpoints")
         self._m_cursors = metrics.counter("server.cursors_opened")
         self._m_cursor_pages = metrics.counter("server.cursor_pages")
+        self._m_repl_followers = metrics.gauge("replication.followers")
+        self._m_repl_lag_entries = metrics.gauge("replication.lag.entries")
+        self._m_repl_polls = metrics.counter("replication.ship.polls")
+        self._m_repl_ship_entries = metrics.counter("replication.ship.entries")
+        self._m_repl_snapshots = metrics.counter("replication.ship.snapshots")
+        self._m_repl_resyncs = metrics.counter("replication.resyncs")
+        self._m_repl_apply_entries = metrics.counter("replication.apply.entries")
+        self._m_repl_replay_ms = metrics.histogram("replication.replay.ms")
+
+    @property
+    def role(self) -> str:
+        """This server's replication role: ``leader`` (has a journal to
+        ship), ``follower`` (streams one), or ``single``."""
+        if self.follower_state is not None:
+            return "follower"
+        if self.leader_state is not None:
+            return "leader"
+        return "single"
+
+    def _on_journal(self, statement) -> None:
+        """Executor hook, fired *after* the durable local append: count
+        it toward the next checkpoint and mirror it into the leader's
+        ship buffer.  The ordering is the WAIT_SYNC guarantee — an
+        entry becomes shippable only once it is journalled locally."""
+        self.recovery.note_journalled(statement)
+        if self.leader_state is not None:
+            self.leader_state.note_appended(ast.to_hql(statement))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -126,8 +192,19 @@ class HQLServer:
         self.started_at = time.time()
         self._idle = asyncio.Event()
         self._idle.set()
+        if self.leader_state is not None:
+            self.leader_state.bind_loop(asyncio.get_running_loop())
+        if self._follower_task is not None:
+            # Bootstrap (snapshot fetch + journal tail) *before* the
+            # listener exists, so no client can read the pre-adoption
+            # empty database.  An unreachable leader fails the start.
+            await self._follower_task.bootstrap()
         self._server = await asyncio.start_server(self._handle_conn, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._follower_task is not None:
+            if self._follower_task.link is not None:
+                self._follower_task.link.listen_addr = "{}:{}".format(self.host, self.port)
+            self._follower_task.spawn()
         if self.admin_port is not None:
             self._admin_server = await asyncio.start_server(
                 lambda r, w: admin_mod.handle_http(self, r, w), self.host, self.admin_port
@@ -147,6 +224,8 @@ class HQLServer:
         when a data directory is attached — a final checkpoint folds
         the journal into the snapshot."""
         self.draining = True
+        if self._follower_task is not None:
+            await self._follower_task.stop()
         await self._close_listeners()
         if drain and self._idle is not None:
             with contextlib.suppress(asyncio.TimeoutError):
@@ -155,12 +234,16 @@ class HQLServer:
         if drain and self.recovery is not None:
             await asyncio.to_thread(self.recovery.checkpoint, self.database)
             self._m_checkpoints.inc()
+            if self.leader_state is not None:
+                self.leader_state.note_checkpoint(self.recovery.checkpoint_id)
 
     async def abort(self) -> None:
         """Simulated crash: sever everything *now*; no drain, no final
         checkpoint — recovery must succeed from the snapshot and
         journal exactly as they are on disk."""
         self.draining = True
+        if self._follower_task is not None:
+            await self._follower_task.stop()
         await self._close_listeners()
         await self._sever_connections()
 
@@ -193,9 +276,7 @@ class HQLServer:
         executor = HQLExecutor(
             self.database,
             log=self.recovery.journal if self.recovery is not None else None,
-            on_journal=(
-                self.recovery.note_journalled if self.recovery is not None else None
-            ),
+            on_journal=self._on_journal if self.recovery is not None else None,
         )
         peer = writer.get_extra_info("peername")
         session = Session(
@@ -208,7 +289,17 @@ class HQLServer:
             writer.write(
                 protocol.encode_frame(
                     protocol.hello(
-                        self.database.name, session_id, __version__, self.max_frame
+                        self.database.name,
+                        session_id,
+                        __version__,
+                        self.max_frame,
+                        role=self.role,
+                        leader=(
+                            self.follower_state.leader_addr
+                            if self.follower_state is not None
+                            else None
+                        ),
+                        replication=self.leader_state is not None,
                     )
                 )
             )
@@ -286,6 +377,8 @@ class HQLServer:
                 return protocol.admin_response(
                     request_id, admin_mod.admin_payload(self, str(message.get("cmd")))
                 )
+            if op == "replicate":
+                return await replication_mod.handle_replicate(self, message)
             raise ServerError("unknown request op {!r}".format(op))
         except ReproError as exc:
             self._m_errors.inc()
@@ -299,7 +392,16 @@ class HQLServer:
         render = bool(message.get("render", True))
         binary = self._wire_format(message) == codec.FORMAT_BINARY
         page_size = int(message.get("page_size") or 0)
+        wait_sync = int(message.get("wait_sync") or 0)
+        wait_sync_timeout = float(message.get("wait_sync_timeout") or 10.0)
         statements = parse(text)  # syntax errors abort the whole request
+        if self.follower_state is not None:
+            self._check_replica_serves(statements)
+        if wait_sync > 0 and self.leader_state is None:
+            raise ReplicationError(
+                "WAIT_SYNC needs a leader (a server with a journal to ship); "
+                "this server's role is {!r}".format(self.role)
+            )
         results = []
         for statement in statements:
             try:
@@ -319,7 +421,46 @@ class HQLServer:
         # Authoritative per-session transaction state, so clients track
         # BEGIN/COMMIT without re-parsing what they sent.
         response["txn"] = session.in_transaction
+        if wait_sync > 0:
+            response["sync"] = await self._wait_sync(wait_sync, wait_sync_timeout)
         return response
+
+    def _check_replica_serves(self, statements) -> None:
+        """The follower read gate: writes go to the leader, and — when
+        a staleness bound is configured — reads are refused once the
+        replica cannot vouch for its freshness."""
+        for statement in statements:
+            if isinstance(
+                statement,
+                (ast.MUTATING, ast.Load, ast.Begin, ast.Commit, ast.Rollback),
+            ):
+                raise ReadOnlyError(self.follower_state.leader_addr)
+        if self.max_staleness_s is not None:
+            staleness_ms = self.follower_state.staleness_ms()
+            if staleness_ms > self.max_staleness_s * 1e3:
+                raise StaleReplicaError(staleness_ms, self.max_staleness_s * 1e3)
+
+    async def _wait_sync(self, needed: int, timeout: float) -> dict:
+        """Block the response until ``needed`` followers have acked the
+        leader's current position (everything this request journalled
+        is at or below it)."""
+        leader = self.leader_state
+        position = leader.position()
+        try:
+            acked = await leader.wait_synced(position, needed, timeout)
+        except asyncio.TimeoutError:
+            acked = leader.acks_at(position)
+        if acked < needed:
+            raise ReplicationError(
+                "WAIT_SYNC {} timed out after {:.1f}s with {} follower ack(s) "
+                "at position {} (the write IS committed and journalled on "
+                "the leader)".format(needed, timeout, acked, position)
+            )
+        return {
+            "requested": needed,
+            "acked": acked,
+            "position": list(position),
+        }
 
     # ------------------------------------------------------------------
     # cursors
@@ -436,6 +577,12 @@ class HQLServer:
                         # catalog and the rotation can lose no writes.
                         await asyncio.to_thread(self.recovery.checkpoint, self.database)
                         self._m_checkpoints.inc()
+                        if self.leader_state is not None:
+                            # Mirror the rotation: retire the shipped
+                            # segment, start the new one empty.
+                            self.leader_state.note_checkpoint(
+                                self.recovery.checkpoint_id
+                            )
             else:
                 async with self.lock.read_locked():
                     result = await asyncio.to_thread(session.execute, statement)
@@ -500,7 +647,8 @@ class ServerThread:
             loop.close()
 
     def _stop(self, coro, timeout: float) -> None:
-        if self._loop is None or self._thread is None:
+        if self._loop is None or self._thread is None or self._loop.is_closed():
+            coro.close()  # already aborted; nothing left to stop
             return
         future = asyncio.run_coroutine_threadsafe(coro, self._loop)
         try:

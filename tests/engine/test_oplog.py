@@ -146,3 +146,54 @@ class TestCheckpointMarkers:
         rebuilt = HierarchicalDatabase("fresh")
         assert log.replay(rebuilt) == 5  # the marker line is skipped
         assert rebuilt.relation("flies").holds("tweety")
+
+    def test_marker_written_mid_stream_is_skipped(self, log):
+        """A checkpoint marker landing *between* entries (a crash
+        mid-rotation can leave one) must neither replay as a statement
+        nor hide the entries after it."""
+        db = HierarchicalDatabase("zoo")
+        HQLExecutor(db, log=log).run(SETUP)
+        with open(log.path, "a", encoding="utf-8") as handle:
+            handle.write("-- checkpoint 2\n")
+        log.append("ASSERT NOT flies (tweety)")
+        assert len(log.entries()) == 6
+        rebuilt = HierarchicalDatabase("fresh")
+        assert log.replay(rebuilt) == 6
+        assert not rebuilt.relation("flies").holds("tweety")
+
+
+class TestTornTail:
+    def test_torn_last_line_dropped(self, log):
+        """A file not ending in a newline died mid-append: the partial
+        statement was never acked, so replay must skip it rather than
+        fail the whole recovery on half a statement."""
+        db = HierarchicalDatabase("zoo")
+        HQLExecutor(db, log=log).run(SETUP)
+        with open(log.path, "a", encoding="utf-8") as handle:
+            handle.write("ASSERT flies (twee")  # no trailing newline
+        entries = log.entries()
+        assert len(entries) == 5
+        assert entries[-1] == "ASSERT flies (bird);"
+        rebuilt = HierarchicalDatabase("fresh")
+        assert log.replay(rebuilt) == 5
+        assert rebuilt.relation("flies").holds("tweety")
+
+    def test_complete_last_line_kept(self, log):
+        log.append("ASSERT flies (bird)")
+        assert log.entries() == ["ASSERT flies (bird);"]
+
+    def test_torn_tail_recovers_through_recovery_manager(self, tmp_path):
+        """End-to-end: a server data directory whose journal has a torn
+        tail still recovers everything that was acknowledged."""
+        from repro.server.recovery import RecoveryManager
+
+        data_dir = str(tmp_path / "data")
+        manager = RecoveryManager(data_dir)
+        db = manager.recover()
+        HQLExecutor(db, log=manager.journal).run(SETUP)
+        with open(manager.journal.path, "a", encoding="utf-8") as handle:
+            handle.write("ASSERT flies")  # torn mid-append
+        again = RecoveryManager(data_dir)
+        rebuilt = again.recover()
+        assert again.last_recovery["replayed"] == 5
+        assert rebuilt.relation("flies").holds("tweety")
