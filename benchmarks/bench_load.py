@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Multi-tenant open-loop load: tail latency at a configured arrival rate.
+
+Run:  PYTHONPATH=src python -m benchmarks.bench_load
+Writes BENCH_load.json at the repository root.
+
+Unlike the closed-loop ``bench_server.py`` (which measures capacity),
+this experiment offers load on a fixed Poisson arrival schedule —
+requests fire whether or not earlier ones have completed — and stamps
+every latency from the *scheduled* arrival time, so queueing delay is
+charged to the request instead of silently vanishing (the classic
+coordinated-omission trap).  Traffic is Zipf-skewed point reads plus
+bursty autocommitted writes, spread round-robin across three named
+tenants, so the per-tenant readers-writer locks are exercised under
+genuinely concurrent cross-tenant traffic.
+
+Rows follow the repo convention with an open-loop reading:
+``before_ms`` is the p50 arrival-time latency, ``after_ms`` the p99,
+and ``speedup`` the achieved/target rate ratio (≈ 1.0 means the server
+sustained the offered load; well below 1.0 means it saturated and the
+tail went unbounded).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TENANTS = ("tenant_a", "tenant_b", "tenant_c")
+RATES = (150.0, 400.0)
+DURATION_S = 4.0
+WORKERS = 2
+
+
+def main() -> None:
+    from repro.server import HQLServer, ServerThread
+    from repro.workloads.loadgen import LoadSpec, run_load
+
+    runner = ServerThread(HQLServer(port=0, tenants=TENANTS))
+    rows = []
+    reports = []
+    try:
+        host, port = runner.start()
+        # Warm-up: a short discarded run so the measured rates don't
+        # pay one-time costs (tenant schema install, cache fills,
+        # interpreter warm-up) in their tails.
+        run_load(
+            host,
+            port,
+            LoadSpec(tenants=TENANTS, rate=100.0, duration_s=1.0, workers=WORKERS),
+        )
+        for rate in RATES:
+            spec = LoadSpec(
+                tenants=TENANTS,
+                rate=rate,
+                duration_s=DURATION_S,
+                workers=WORKERS,
+            )
+            report = run_load(host, port, spec)
+            reports.append(report)
+            overall = report.latencies_ms.get("all", {})
+            rows.append(
+                {
+                    "op": "open_loop_{:.0f}rps".format(rate),
+                    "tuples": report.requests,
+                    "before_ms": overall.get("p50", 0.0),
+                    "after_ms": overall.get("p99", 0.0),
+                    "speedup": round(
+                        report.achieved_rate / rate if rate else 0.0, 3
+                    ),
+                    "p50_ms": overall.get("p50"),
+                    "p95_ms": overall.get("p95"),
+                    "p99_ms": overall.get("p99"),
+                    "errors": report.errors,
+                    "achieved_rate": round(report.achieved_rate, 1),
+                }
+            )
+            print(
+                "{:6.0f} rps offered: {} request(s), achieved {:.0f} rps, "
+                "p50={:.2f}ms p99={:.2f}ms errors={}".format(
+                    rate,
+                    report.requests,
+                    report.achieved_rate,
+                    overall.get("p50", 0.0),
+                    overall.get("p99", 0.0),
+                    report.errors,
+                ),
+                flush=True,
+            )
+    finally:
+        runner.shutdown()
+
+    last = reports[-1]
+    payload = {
+        "workload": last.to_dict(),
+        "before": "p50 arrival-time latency at the offered rate",
+        "after": "p99 arrival-time latency at the same rate",
+        "rows": rows,
+        "metrics": {
+            "requests": sum(r.requests for r in reports),
+            "errors": sum(r.errors for r in reports),
+            "tenants": len(TENANTS),
+            "read_latency_p99_ms": (last.latencies_ms.get("read") or {}).get("p99"),
+            "write_latency_p99_ms": (last.latencies_ms.get("write") or {}).get("p99"),
+        },
+    }
+    out_path = REPO_ROOT / "BENCH_load.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print("wrote {}".format(out_path))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -312,6 +312,30 @@ def _validate(name: str, payload: object) -> list:
             problems.append(
                 "{}: metrics must record 'client_peak_cursor_50k'".format(name)
             )
+    if name.startswith("BENCH_load"):
+        # The open-loop record is meaningless without traffic and a
+        # tail: every row must carry a nonzero request count and a
+        # present, positive p99 (the whole point of the open-loop
+        # methodology is the tail percentile).
+        if not isinstance(metrics, dict) or not metrics.get("requests"):
+            problems.append(
+                "{}: metrics must record a nonzero 'requests'".format(name)
+            )
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                continue
+            where = "{} rows[{}]".format(name, i)
+            if not row.get("tuples"):
+                problems.append(
+                    "{}: must record a nonzero request count in 'tuples'".format(where)
+                )
+            p99 = row.get("p99_ms")
+            if isinstance(p99, bool) or not isinstance(p99, (int, float)) or p99 <= 0:
+                problems.append(
+                    "{}: 'p99_ms' must be a positive number, got {!r}".format(
+                        where, p99
+                    )
+                )
     if name.startswith("BENCH_replication"):
         # The read-scaling acceptance bar (ROADMAP P13): four followers
         # must at least double the leader-alone aggregate read rate,
@@ -385,12 +409,15 @@ def bench_deltas(root: Path) -> int:
     return 0
 
 
-def compare(root: Path, old_root: Path) -> int:
+def compare(root: Path, old_root: Path, as_json: bool = False) -> int:
     """Per-row speedup deltas between two checkouts' ``BENCH_*.json``
     sets: the current ``root`` against an older ``old_root`` (a file is
     also accepted — its parent directory is compared).  Rows are matched
     by ``(file, op, tuples)``; rows present on only one side are listed
-    so a renamed op never silently drops out of the comparison."""
+    so a renamed op never silently drops out of the comparison.  With
+    ``as_json`` the same comparison is emitted as one machine-readable
+    JSON object (for CI annotations and dashboards) instead of a
+    table."""
     if old_root.is_file():
         old_root = old_root.parent
     exit_code = 0
@@ -415,6 +442,30 @@ def compare(root: Path, old_root: Path) -> int:
         return out
 
     new_rows, old_rows = rows_of(root), rows_of(old_root)
+    if as_json:
+        report = {"old_root": str(old_root), "rows": [], "dropped": []}
+        for key in sorted(new_rows):
+            bench, op, tuples = key
+            new = new_rows[key]
+            old = old_rows.get(key)
+            entry = {
+                "bench": bench,
+                "op": op,
+                "tuples": tuples,
+                "speedup": new["speedup"],
+                "old_speedup": None if old is None else old["speedup"],
+                "delta": None if old is None else round(
+                    new["speedup"] - old["speedup"], 3
+                ),
+                "new": old is None,
+            }
+            report["rows"].append(entry)
+        for key in sorted(set(old_rows) - set(new_rows)):
+            report["dropped"].append(
+                {"bench": key[0], "op": key[1], "tuples": key[2]}
+            )
+        print(json.dumps(report, indent=1))
+        return 0
     header("speedup deltas vs {}".format(old_root))
     for key in sorted(new_rows):
         bench, op, tuples = key
@@ -457,6 +508,11 @@ def main(argv=None) -> int:
         help="an older checkout's repo root (or one of its BENCH files): "
              "print per-row speedup deltas against it",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --compare: emit the deltas as one JSON object "
+             "instead of a table",
+    )
     args = parser.parse_args(argv)
     if args.figures:
         figures()
@@ -466,7 +522,7 @@ def main(argv=None) -> int:
         module.main()
         return 0
     if args.compare is not None:
-        return compare(args.root, args.compare)
+        return compare(args.root, args.compare, as_json=args.json)
     return bench_deltas(args.root)
 
 

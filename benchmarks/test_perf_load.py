@@ -1,0 +1,112 @@
+"""The open-loop load record must exist, validate, and stay honest.
+
+Two layers of guard, matching the other perf suites:
+
+* the committed ``BENCH_load.json`` must record real traffic — a
+  nonzero request count and a present p99 on every row — so a stale or
+  hand-mangled record fails ``python -m benchmarks.report`` and this
+  suite rather than rendering as a silent 0;
+* a live spot check replays a scaled-down open-loop run in-process
+  (two worker processes, two tenants, a couple of seconds) and asserts
+  the methodology's invariants: the scheduled arrival count is met,
+  percentiles are ordered (p50 <= p95 <= p99), and every tenant
+  received traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.server import HQLServer, ServerThread
+from repro.workloads.loadgen import (
+    LoadSpec,
+    build_schedule,
+    percentile,
+    run_load,
+    zipf_cdf,
+    zipf_sample,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_load.json"
+
+
+def test_recorded_load_run_has_traffic_and_a_tail():
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_load.json not generated yet")
+    payload = json.loads(BENCH_PATH.read_text())
+    assert payload["rows"], "no rows recorded"
+    assert payload["metrics"]["requests"] > 0
+    for row in payload["rows"]:
+        assert row["tuples"] > 0, "row {} recorded no requests".format(row["op"])
+        assert row["p99_ms"] and row["p99_ms"] > 0
+        assert row["before_ms"] <= row["after_ms"], "p50 must not exceed p99"
+
+
+def test_recorded_load_run_sustained_the_offered_rate():
+    if not BENCH_PATH.exists():
+        pytest.skip("BENCH_load.json not generated yet")
+    payload = json.loads(BENCH_PATH.read_text())
+    for row in payload["rows"]:
+        # speedup is achieved/target: an open-loop run that achieved
+        # far below the offered rate saturated and its tail is noise.
+        assert row["speedup"] >= 0.8, (
+            "{} achieved only {:.0%} of the offered rate".format(
+                row["op"], row["speedup"]
+            )
+        )
+
+
+def test_zipf_sampling_is_skewed_toward_the_head():
+    import random
+
+    rng = random.Random(7)
+    cdf = zipf_cdf(64, 1.1)
+    counts = [0] * 64
+    for _ in range(4000):
+        counts[zipf_sample(cdf, rng)] += 1
+    assert sum(counts) == 4000
+    # The head must dominate: rank 0 alone beats the entire bottom
+    # half of the key space under s=1.1.
+    assert counts[0] > sum(counts[32:])
+
+
+def test_poisson_schedule_matches_the_offered_rate():
+    import random
+
+    rng = random.Random(3)
+    arrivals = build_schedule(500.0, 4.0, rng)
+    assert all(0 <= t < 4.0 for t in arrivals)
+    assert arrivals == sorted(arrivals)
+    # 2000 expected arrivals; 5 sigma ≈ 224.
+    assert 1700 < len(arrivals) < 2300
+
+
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == 2.5
+    assert percentile([], 99) == 0.0
+
+
+def test_live_open_loop_run_preserves_the_invariants():
+    runner = ServerThread(HQLServer(port=0, tenants=("lt_a", "lt_b")))
+    host, port = runner.start()
+    try:
+        spec = LoadSpec(
+            tenants=("lt_a", "lt_b"), rate=80.0, duration_s=1.5, workers=2
+        )
+        report = run_load(host, port, spec)
+    finally:
+        runner.shutdown()
+    assert report.requests > 0
+    assert report.errors == 0
+    overall = report.latencies_ms["all"]
+    assert overall["count"] == report.requests
+    assert overall["p50"] <= overall["p95"] <= overall["p99"] <= overall["max"]
+    # Round-robin tenant routing: both tenants served, nearly evenly.
+    assert set(report.per_tenant) == {"lt_a", "lt_b"}
+    assert min(report.per_tenant.values()) >= report.requests // 2 - 1

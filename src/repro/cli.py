@@ -12,8 +12,13 @@ Commands
     ``--data-dir`` the server recovers from snapshot + oplog on boot,
     journals every committed write, and checkpoints periodically and at
     graceful shutdown (SIGINT/SIGTERM drain in-flight statements).
-``connect [--host H] [--port P] [--wire-format binary|json]``
-    Interactive HQL shell over the wire against a running server.
+``connect [--host H] [--port P] [--db TENANT] [--wire-format ...]``
+    Interactive HQL shell over the wire against a running server,
+    optionally bound to a named tenant (``\\use`` switches later).
+``tenants [--host H] [--port P] [--json] [create|drop NAME ...]``
+    List a server's tenants (sizes, cache hit rates, quota state), or
+    manage them: ``tenants create NAME [--max-tuples N] ...``,
+    ``tenants drop NAME``.
 ``replicas [--host H] [--port P] [--json]``
     A server's replication role; on a leader, per-follower lag.
 ``version``
@@ -112,14 +117,55 @@ def _build_parser() -> argparse.ArgumentParser:
         help="follower refuses reads once this many seconds behind the leader "
         "(default: serve reads no matter how stale)",
     )
+    serve.add_argument(
+        "--tenants",
+        metavar="NAME",
+        nargs="+",
+        help="named tenants to create at boot (beyond those discovered "
+        "in --data-dir subdirectories)",
+    )
+    serve.add_argument(
+        "--max-tuples",
+        type=int,
+        help="default per-tenant quota: stored tuples",
+    )
+    serve.add_argument(
+        "--max-cursors",
+        type=int,
+        help="default per-tenant quota: open cursors",
+    )
+    serve.add_argument(
+        "--statement-rate",
+        type=float,
+        help="default per-tenant quota: sustained statements per second",
+    )
 
     connect = commands.add_parser("connect", help="HQL shell over the wire")
     connect.add_argument("--host", default="127.0.0.1")
     connect.add_argument("--port", type=int, default=DEFAULT_PORT)
     connect.add_argument(
+        "--db", help="bind the session to this tenant (default: 'default')"
+    )
+    connect.add_argument(
         "--wire-format",
         choices=("binary", "json"),
         help="result encoding to prefer (default: REPRO_WIRE_FORMAT or binary)",
+    )
+
+    tenants = commands.add_parser(
+        "tenants", help="list or manage a server's tenants"
+    )
+    tenants.add_argument("action", nargs="?", choices=("create", "drop", "quotas"))
+    tenants.add_argument("name", nargs="?", help="tenant name (for create/drop/quotas)")
+    tenants.add_argument("--host", default="127.0.0.1")
+    tenants.add_argument("--port", type=int, default=DEFAULT_PORT)
+    tenants.add_argument(
+        "--json", action="store_true", help="raw JSON instead of a table"
+    )
+    tenants.add_argument("--max-tuples", type=int, help="quota: stored tuples")
+    tenants.add_argument("--max-cursors", type=int, help="quota: open cursors")
+    tenants.add_argument(
+        "--statement-rate", type=float, help="quota: sustained statements/second"
     )
 
     replicas = commands.add_parser(
@@ -158,6 +204,16 @@ def _cmd_serve(args) -> int:
     if args.db:
         database = HierarchicalDatabase.load(args.db)
 
+    default_quotas = None
+    if args.max_tuples or args.max_cursors or args.statement_rate:
+        from repro.tenants import TenantQuotas
+
+        default_quotas = TenantQuotas(
+            max_tuples=args.max_tuples,
+            max_cursors=args.max_cursors,
+            statement_rate=args.statement_rate,
+        )
+
     server = HQLServer(
         database,
         host=args.host,
@@ -170,6 +226,8 @@ def _cmd_serve(args) -> int:
         replicate_from=args.replicate_from,
         max_staleness_s=args.max_staleness,
         retry_s=args.poll_interval,
+        default_quotas=default_quotas,
+        tenants=tuple(args.tenants or ()),
     )
 
     async def main() -> None:
@@ -195,6 +253,14 @@ def _cmd_serve(args) -> int:
                 )
             )
         print("repro server listening on {}:{}".format(host, port), flush=True)
+        named = [n for n in server.registry.names() if n != "default"]
+        if named:
+            print(
+                "hosting {} tenant(s): default, {}".format(
+                    len(named) + 1, ", ".join(named)
+                ),
+                flush=True,
+            )
         if server.admin_port is not None:
             print(
                 "admin endpoint on http://{}:{} (/metrics /stats /slowlog)".format(
@@ -296,16 +362,63 @@ def _cmd_connect(args) -> int:
     from repro.client import HQLClient, RemoteRepl
     from repro.errors import ServerError
 
-    client = HQLClient(host=args.host, port=args.port, wire_format=args.wire_format)
+    client = HQLClient(
+        host=args.host, port=args.port, wire_format=args.wire_format, db=args.db
+    )
     try:
         client.connect()
+        if args.db:
+            client.use(args.db)
     except ServerError as exc:
         print("error: {}".format(exc))
+        client.close()
         return 1
     try:
         RemoteRepl(client).run()
     finally:
         client.close()
+    return 0
+
+
+def _cmd_tenants(args) -> int:
+    import json
+
+    from repro.client import HQLClient, _render_tenants
+    from repro.errors import ServerError
+
+    quotas = {}
+    if args.max_tuples is not None:
+        quotas["max_tuples"] = args.max_tuples
+    if args.max_cursors is not None:
+        quotas["max_cursors"] = args.max_cursors
+    if args.statement_rate is not None:
+        quotas["statement_rate"] = args.statement_rate
+
+    client = HQLClient(host=args.host, port=args.port)
+    try:
+        if args.action in ("create", "drop", "quotas"):
+            if not args.name:
+                print("error: 'tenants {}' needs a tenant name".format(args.action))
+                return 2
+            if args.action == "create":
+                client.create_tenant(args.name, quotas=quotas or None)
+                print("created tenant {!r}".format(args.name))
+            elif args.action == "drop":
+                client.drop_tenant(args.name)
+                print("dropped tenant {!r}".format(args.name))
+            else:
+                client.set_tenant_quotas(args.name, quotas)
+                print("updated quotas for tenant {!r}".format(args.name))
+        rows = client.tenants()
+    except ServerError as exc:
+        print("error: {}".format(exc))
+        return 1
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(rows, indent=1))
+    else:
+        print(_render_tenants(rows))
     return 0
 
 
@@ -345,6 +458,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_connect(args)
     if args.command == "replicas":
         return _cmd_replicas(args)
+    if args.command == "tenants":
+        return _cmd_tenants(args)
     _build_parser().print_help()
     return 2
 

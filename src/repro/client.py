@@ -245,9 +245,15 @@ class HQLClient:
         wait_sync: int = 0,
         wait_sync_timeout: float = 10.0,
         follow_leader: bool = True,
+        db: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
+        #: The tenant this client talks to (``None`` = the server's
+        #: default).  Stamped as the ``db`` field on every query
+        #: request rather than sent once, so a transparent reconnect
+        #: rebinds the fresh session to the same tenant.
+        self.db = db
         self.timeout = timeout
         self.reconnect = reconnect
         self.connect_attempts = max(1, connect_attempts)
@@ -487,6 +493,9 @@ class HQLClient:
             self.followers
             and not self._in_transaction
             and not (wait_sync or self.wait_sync)
+            # Replication ships the *default* tenant's journal only, so
+            # reads against a named tenant must stay on this server.
+            and self.db in (None, "default")
             and is_read_only_script(hql)
         ):
             routed = self._route_read(hql, render, page_size)
@@ -523,6 +532,8 @@ class HQLClient:
             "render": self.render if render is None else render,
             "format": self.wire_format,
         }
+        if self.db is not None:
+            request["db"] = self.db
         if page_size:
             request["page_size"] = page_size
         sync_n = self.wait_sync if wait_sync is None else int(wait_sync)
@@ -624,13 +635,49 @@ class HQLClient:
         return int(self.query("COUNT {};".format(relation), render=False).payload)
 
     # ------------------------------------------------------------------
+    # tenants
+    # ------------------------------------------------------------------
+
+    def use(self, name: str) -> Dict[str, Any]:
+        """Bind this connection to the named tenant and make it sticky:
+        every subsequent query (including after a transparent
+        reconnect) runs against it.  Raises
+        :class:`~repro.errors.RemoteError` for unknown or quarantined
+        tenants, or when a transaction is open."""
+        response = self._roundtrip(
+            {"id": next(self._request_ids), "op": "use", "db": str(name)}
+        )
+        if not response.get("ok"):
+            self._raise_remote(response)
+        self.db = str(name)
+        return {"tenant": response.get("tenant"), "database": response.get("database")}
+
+    def tenants(self) -> List[Dict[str, Any]]:
+        """One row per hosted tenant (sizes, cache hit rates, quota
+        state, quarantine status)."""
+        return self.admin("tenants").get("tenants") or []
+
+    def create_tenant(
+        self, name: str, quotas: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        return self.admin("tenant_create", name=name, quotas=quotas).get("tenant") or {}
+
+    def drop_tenant(self, name: str) -> None:
+        self.admin("tenant_drop", name=name)
+        if self.db == name:
+            self.db = None
+
+    def set_tenant_quotas(self, name: str, quotas: Dict[str, Any]) -> Dict[str, Any]:
+        return self.admin("tenant_quotas", name=name, quotas=quotas).get("tenant") or {}
+
+    # ------------------------------------------------------------------
     # admin
     # ------------------------------------------------------------------
 
-    def admin(self, cmd: str) -> Dict[str, Any]:
-        response = self._roundtrip(
-            {"id": next(self._request_ids), "op": "admin", "cmd": cmd}
-        )
+    def admin(self, cmd: str, **args: Any) -> Dict[str, Any]:
+        request = {"id": next(self._request_ids), "op": "admin", "cmd": cmd}
+        request.update(args)
+        response = self._roundtrip(request)
         if not response.get("ok"):
             error = response.get("error") or {}
             raise RemoteError(
@@ -674,6 +721,7 @@ class RemoteRepl:
 Connected to a repro HQL server — statements end with ';'.
 Meta: \\h help, \\q quit, \\stats server stats, \\metrics Prometheus
       text, \\slowlog slow-query log, \\sessions live sessions,
+      \\tenants hosted tenants, \\use <tenant> switch tenant,
       \\replication role and follower lag, \\ping liveness."""
 
     def __init__(
@@ -713,7 +761,26 @@ Meta: \\h help, \\q quit, \\stats server stats, \\metrics Prometheus
         "\\replication": lambda self: self._write(
             json.dumps(self.client.replication(), indent=1)
         ),
+        "\\tenants": lambda self: self._write(
+            _render_tenants(self.client.tenants())
+        ),
     }
+
+    def _meta_use(self, argument: str) -> None:
+        name = argument.strip()
+        if not name:
+            self._write("usage: \\use <tenant>")
+            return
+        try:
+            bound = self.client.use(name)
+        except ServerError as exc:
+            self._write("error: {}".format(exc))
+            return
+        self._write(
+            "now using tenant {!r} (database {!r})".format(
+                bound.get("tenant"), bound.get("database")
+            )
+        )
 
     def run(self) -> None:
         hello = self.client.hello or {}
@@ -739,7 +806,15 @@ Meta: \\h help, \\q quit, \\stats server stats, \\metrics Prometheus
                 if stripped in ("\\h", "\\help", "help"):
                     self._write(self.HELP)
                     continue
-                meta = self._META.get(stripped.replace(".", "\\", 1) if stripped.startswith(".") else stripped)
+                token = (
+                    stripped.replace(".", "\\", 1)
+                    if stripped.startswith(".")
+                    else stripped
+                )
+                if token == "\\use" or token.startswith("\\use "):
+                    self._meta_use(token[len("\\use") :])
+                    continue
+                meta = self._META.get(token)
                 if meta is not None:
                     try:
                         meta(self)
@@ -799,6 +874,33 @@ def _render_stats(stats: Dict[str, Any]) -> str:
     for scope in ("engine", "core"):
         for name, value in sorted((stats.get(scope) or {}).items()):
             lines.append("  {:35s} {}".format(name, value))
+    return "\n".join(lines)
+
+
+def _render_tenants(rows: List[Dict[str, Any]]) -> str:
+    if not rows:
+        return "(no tenants)"
+    lines = []
+    for row in rows:
+        if row.get("quarantined"):
+            lines.append(
+                "{:16s} QUARANTINED: {}".format(row.get("name", "?"), row["quarantined"])
+            )
+            continue
+        cache = row.get("cache") or {}
+        quotas = row.get("quotas") or {}
+        lines.append(
+            "{:16s} {:>8} tuple(s)  {:>3} relation(s)  cache hit {:>6.1%}  "
+            "sessions {}  cursors {}  denials {}".format(
+                row.get("name", "?"),
+                row.get("tuples", 0),
+                row.get("relations", 0),
+                float(cache.get("hit_rate") or 0.0),
+                row.get("sessions", 0),
+                row.get("cursors_open", 0),
+                quotas.get("denials", 0),
+            )
+        )
     return "\n".join(lines)
 
 

@@ -219,6 +219,83 @@ class StaleReplicaError(ReplicationError):
         )
 
 
+class TenantError(ServerError):
+    """A problem with the multi-tenant registry: a bad tenant name, a
+    ``USE`` inside an open transaction, or a lifecycle misuse (dropping
+    the default tenant, creating a duplicate)."""
+
+
+class UnknownTenantError(TenantError):
+    """A request named a tenant the registry does not hold.
+
+    Attributes
+    ----------
+    name:
+        The tenant name that failed to resolve.
+    known:
+        The tenant names the registry does hold (sorted).
+    """
+
+    def __init__(self, name: str, known=()) -> None:
+        self.name = name
+        self.known = tuple(sorted(known))
+        message = "unknown tenant {!r}".format(name)
+        if self.known:
+            message += " (known: {})".format(", ".join(self.known))
+        super().__init__(message)
+
+
+class TenantQuarantinedError(TenantError):
+    """A tenant failed to bootstrap (corrupt snapshot or journal) and
+    was quarantined: the server keeps serving every other tenant, and
+    requests against this one report the boot failure instead of data.
+
+    Attributes
+    ----------
+    name:
+        The quarantined tenant.
+    reason:
+        The bootstrap failure, as recorded at recovery time.
+    """
+
+    def __init__(self, name: str, reason: str) -> None:
+        self.name = name
+        self.reason = reason
+        super().__init__(
+            "tenant {!r} is quarantined after a failed bootstrap: {}".format(
+                name, reason
+            )
+        )
+
+
+class QuotaExceededError(TenantError):
+    """A tenant hit one of its configured quotas.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant whose quota tripped.
+    quota:
+        Which quota: ``"max_tuples"``, ``"max_cursors"``, or
+        ``"statement_rate"``.
+    limit:
+        The configured bound.
+    current:
+        The observed value that tripped it.
+    """
+
+    def __init__(self, tenant: str, quota: str, limit, current) -> None:
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+        self.current = current
+        super().__init__(
+            "tenant {!r} exceeded its {} quota: {} (limit {})".format(
+                tenant, quota, current, limit
+            )
+        )
+
+
 class RemoteError(ServerError):
     """An error reported by the server for a remotely executed statement.
 

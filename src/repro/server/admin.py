@@ -21,23 +21,40 @@ Commands
 ``metrics``   both registries in Prometheus text exposition format
 ``slowlog``   the slow-query log as JSON (statement, elapsed_ms, span)
 ``sessions``  one row per live connection
+``tenants``   one row per hosted tenant (sizes, cache hit rates,
+              quota state, quarantine status)
+``tenant_create`` / ``tenant_drop`` / ``tenant_quotas``
+              tenant lifecycle and quota management
 """
 
 from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.errors import ServerError
 from repro.obs import default_registry, render_span_tree
 
-ADMIN_COMMANDS = ("ping", "stats", "metrics", "slowlog", "sessions", "replication")
+ADMIN_COMMANDS = (
+    "ping",
+    "stats",
+    "metrics",
+    "slowlog",
+    "sessions",
+    "replication",
+    "tenants",
+    "tenant_create",
+    "tenant_drop",
+    "tenant_quotas",
+)
 
 
-def admin_payload(server, cmd: str) -> Dict[str, Any]:
+def admin_payload(server, cmd: str, args: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """The response payload for one admin command against ``server``
-    (an :class:`~repro.server.server.HQLServer`)."""
+    (an :class:`~repro.server.server.HQLServer`).  ``args`` is the full
+    request frame; only the tenant lifecycle commands read it."""
+    args = args or {}
     if cmd == "ping":
         return {
             "cmd": "ping",
@@ -59,9 +76,54 @@ def admin_payload(server, cmd: str) -> Dict[str, Any]:
         from repro.server.replication import replication_payload
 
         return {"cmd": "replication", "replication": replication_payload(server)}
+    if cmd == "tenants":
+        return {"cmd": "tenants", "tenants": tenants_payload(server)}
+    if cmd == "tenant_create":
+        from repro.tenants import TenantQuotas
+
+        quotas = (
+            TenantQuotas.from_dict(args["quotas"]) if args.get("quotas") else None
+        )
+        tenant = server.create_tenant(_required_name(args), quotas=quotas)
+        return {"cmd": "tenant_create", "ok": True, "tenant": tenant.describe()}
+    if cmd == "tenant_drop":
+        server.drop_tenant(_required_name(args))
+        return {"cmd": "tenant_drop", "ok": True}
+    if cmd == "tenant_quotas":
+        from repro.tenants import TenantQuotas
+
+        tenant = server.registry.set_quotas(
+            _required_name(args), TenantQuotas.from_dict(args.get("quotas"))
+        )
+        return {"cmd": "tenant_quotas", "ok": True, "tenant": tenant.describe()}
     raise ServerError(
         "unknown admin command {!r} (known: {})".format(cmd, ", ".join(ADMIN_COMMANDS))
     )
+
+
+def _required_name(args: Dict[str, Any]) -> str:
+    name = args.get("name")
+    if not isinstance(name, str) or not name:
+        raise ServerError("tenant admin commands need a 'name' string field")
+    return name
+
+
+def tenants_payload(server) -> list:
+    """One row per hosted tenant, with live cursor and session counts
+    folded in (the registry knows sizes and quotas; only the server
+    knows which sessions hold cursors against which tenant)."""
+    rows = []
+    for name, info in sorted(server.registry.describe().items()):
+        tenant = server.registry.tenants.get(name)
+        row: Dict[str, Any] = {"name": name}
+        row.update(info)
+        healthy = tenant is not None and tenant.database is not None
+        row["cursors_open"] = server._tenant_cursors(tenant) if healthy else 0
+        row["sessions"] = sum(
+            1 for s in server.sessions.values() if s.tenant is tenant
+        )
+        rows.append(row)
+    return rows
 
 
 def stats_payload(server) -> Dict[str, Any]:
@@ -72,6 +134,7 @@ def stats_payload(server) -> Dict[str, Any]:
     return {
         "replication": replication_payload(server),
         "database": server.database.name,
+        "tenants": tenants_payload(server),
         "engine": server.database.metrics.snapshot(),
         "core": default_registry().snapshot(),
         "planner": planner.describe(),
@@ -99,9 +162,24 @@ def stats_payload(server) -> Dict[str, Any]:
 
 
 def metrics_text(server) -> str:
-    """Both registries in Prometheus text format (the per-database
-    engine registry first, then the process-global core registry)."""
-    return server.database.metrics.to_prometheus() + default_registry().to_prometheus()
+    """Every registry in Prometheus text format: the default tenant's
+    engine registry under the usual ``repro_`` prefix (so existing
+    scrapes are unchanged), each named tenant's registry under
+    ``repro_tenant_<name>_`` (per-database registries share metric
+    names, and duplicate series are invalid exposition format), then
+    the process-global core registry."""
+    parts = [server.database.metrics.to_prometheus()]
+    for tenant in server.registry:
+        if tenant.is_default or tenant.database is None:
+            continue
+        safe = tenant.name.replace("-", "_")
+        parts.append(
+            tenant.database.metrics.to_prometheus(
+                prefix="repro_tenant_{}_".format(safe)
+            )
+        )
+    parts.append(default_registry().to_prometheus())
+    return "".join(parts)
 
 
 def slowlog_payload(server) -> list:
@@ -138,6 +216,10 @@ _HTTP_ROUTES = {
     "/replication": (
         "application/json",
         lambda s: json.dumps(_replication_payload(s), indent=1),
+    ),
+    "/tenants": (
+        "application/json",
+        lambda s: json.dumps(tenants_payload(s), indent=1),
     ),
 }
 

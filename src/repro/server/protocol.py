@@ -201,12 +201,17 @@ def hello(
     role: str = "single",
     leader: Optional[str] = None,
     replication: bool = False,
+    tenants: Optional[List[str]] = None,
 ) -> Dict[str, Any]:
     """``role`` is the server's replication role (``single`` /
     ``leader`` / ``follower``); ``replication`` advertises the
     ``replicate`` verb (true exactly when the server can lead); a
     follower's hello names its ``leader`` so clients learn where
-    writes go without a separate lookup."""
+    writes go without a separate lookup.  ``tenants`` lists the named
+    databases this server hosts (and advertises the ``use`` verb and
+    per-request ``db`` field) — the field is additive, so v1/v2
+    clients that predate multi-tenancy simply ignore it and keep
+    talking to the default tenant."""
     message = {
         "server": PROTOCOL_NAME,
         "protocol": PROTOCOL_VERSION,
@@ -221,6 +226,8 @@ def hello(
     }
     if leader is not None:
         message["leader"] = leader
+    if tenants is not None:
+        message["tenants"] = list(tenants)
     return message
 
 

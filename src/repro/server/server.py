@@ -1,27 +1,35 @@
 """The concurrent HQL server.
 
-One :class:`HQLServer` serves one
-:class:`~repro.engine.database.HierarchicalDatabase` to many
-connections over the wire protocol of :mod:`repro.server.protocol`.
-Concurrency model:
+One :class:`HQLServer` serves a *registry of tenants* — independent
+:class:`~repro.engine.database.HierarchicalDatabase` instances (see
+:mod:`repro.tenants`) — to many connections over the wire protocol of
+:mod:`repro.server.protocol`.  Every session is bound to exactly one
+tenant at a time (the ``default`` tenant until it issues a ``use``
+request or stamps a ``db`` field on a query), so a v1/v2 client that
+never mentions tenants behaves exactly as before.  Concurrency model:
 
-* the event loop owns all sockets and the
+* the event loop owns all sockets and each tenant's
   :class:`~repro.server.locking.ReadWriteLock`;
 * each statement executes on a worker thread (``asyncio.to_thread``)
-  while the loop holds the lock in the statement's mode — shared for
-  reads, exclusive for writes — so read statements from different
-  connections overlap and mutating statements serialise;
+  while the loop holds *that tenant's* lock in the statement's mode —
+  shared for reads, exclusive for writes — so read statements from
+  different connections overlap, mutating statements on one tenant
+  serialise, and traffic on different tenants never contends at all;
 * each connection owns a :class:`~repro.server.session.Session` whose
   executor holds its transaction state; ``ASSERT``/``RETRACT`` inside
   an open transaction stage copies privately and therefore run under
   the *shared* lock, while ``COMMIT`` (which installs the staged
   relations) takes the exclusive lock.
 
-With ``data_dir`` set the server recovers at construction (snapshot +
-journal replay via :class:`~repro.server.recovery.RecoveryManager`),
-journals every committed write, and checkpoints — snapshot + journal
-rotation — every ``snapshot_interval`` journalled statements and again
-at graceful shutdown.
+With ``data_dir`` set the server recovers at construction (the default
+tenant from the directory root, named tenants from subdirectories —
+snapshot + journal replay via
+:class:`~repro.server.recovery.RecoveryManager`; a tenant that fails
+to recover is quarantined, never fatal), journals every committed
+write to the owning tenant's journal, and checkpoints — snapshot +
+journal rotation, under that tenant's exclusive lock only — every
+``snapshot_interval`` journalled statements and again at graceful
+shutdown.
 
 Shutdown comes in two flavours: :meth:`shutdown` (graceful — stop
 accepting, *drain* in-flight statements, close connections, final
@@ -52,13 +60,13 @@ from repro.errors import (
     ReproError,
     ServerError,
     StaleReplicaError,
+    TenantError,
+    UnknownTenantError,
 )
 from repro.planner.stats import est_row_bytes
 from repro.server import admin as admin_mod
 from repro.server import protocol
 from repro.server import replication as replication_mod
-from repro.server.locking import ReadWriteLock
-from repro.server.recovery import RecoveryManager
 from repro.server.session import Session
 
 #: Auto-sized cursor pages target this fraction of the negotiated
@@ -88,7 +96,14 @@ class HQLServer:
         max_staleness_s: Optional[float] = None,
         poll_wait_s: float = replication_mod.DEFAULT_POLL_WAIT_S,
         retry_s: float = replication_mod.DEFAULT_RETRY_S,
+        default_quotas=None,
+        tenants: Optional[Tuple[str, ...]] = None,
     ) -> None:
+        # Imported here, not at module top: repro.tenants builds on the
+        # server's lock and recovery modules, so a top-level import
+        # would be circular through repro.server.__init__.
+        from repro.tenants import TenantRegistry
+
         if database is not None and data_dir is not None:
             raise ServerError(
                 "pass either a database or a data_dir to recover from, not both"
@@ -98,17 +113,25 @@ class HQLServer:
                 "a follower streams its state from the leader; it cannot also "
                 "recover from a local data_dir"
             )
-        self.recovery: Optional[RecoveryManager] = None
         if data_dir is not None:
-            self.recovery = RecoveryManager(
-                data_dir, fsync=fsync, snapshot_interval=snapshot_interval
+            self.registry = TenantRegistry.durable(
+                data_dir,
+                fsync=fsync,
+                snapshot_interval=snapshot_interval,
+                default_quotas=default_quotas,
             )
-            self.database = self.recovery.recover()
         else:
-            self.database = database if database is not None else HierarchicalDatabase("server")
+            self.registry = TenantRegistry.memory(
+                database, default_quotas=default_quotas
+            )
+        for name in tenants or ():
+            if name not in self.registry:
+                self.registry.create(name)
         # Replication roles: a data directory (journal) makes this
         # server a *leader*; --replicate-from makes it a *follower*
         # (read-only, in-memory, streamed from the leader's journal).
+        # The replication stream covers the *default* tenant — named
+        # tenants are local to the process that hosts them.
         self.leader_state = (
             replication_mod.make_leader_state(self) if self.recovery is not None else None
         )
@@ -127,14 +150,16 @@ class HQLServer:
             self._follower_task = replication_mod.FollowerTask(
                 self, replicate_from, poll_wait_s=poll_wait_s, retry_s=retry_s
             )
+        self.slow_query_ms = slow_query_ms
         if slow_query_ms is not None:
-            self.database.enable_slow_query_log(slow_query_ms)
+            for tenant in self.registry:
+                if tenant.database is not None:
+                    tenant.database.enable_slow_query_log(slow_query_ms)
         self.host = host
         self.port = port
         self.admin_port = admin_port
         self.max_frame = max_frame
         self.drain_timeout = drain_timeout
-        self.lock = ReadWriteLock()
         self.sessions: Dict[int, Session] = {}
         self.started_at = 0.0
         self.draining = False
@@ -161,6 +186,25 @@ class HQLServer:
         self._m_repl_apply_entries = metrics.counter("replication.apply.entries")
         self._m_repl_replay_ms = metrics.histogram("replication.replay.ms")
 
+    # ------------------------------------------------------------------
+    # the default tenant's facets, as they have always been spelled
+    # ------------------------------------------------------------------
+
+    @property
+    def database(self) -> HierarchicalDatabase:
+        """The default tenant's database (what v1/v2 clients talk to)."""
+        return self.registry.default.database
+
+    @property
+    def recovery(self):
+        """The default tenant's recovery manager, or ``None``."""
+        return self.registry.default.recovery
+
+    @property
+    def lock(self):
+        """The default tenant's readers-writer lock."""
+        return self.registry.default.lock
+
     @property
     def role(self) -> str:
         """This server's replication role: ``leader`` (has a journal to
@@ -171,14 +215,52 @@ class HQLServer:
             return "leader"
         return "single"
 
-    def _on_journal(self, statement) -> None:
+    def _on_journal(self, tenant, statement) -> None:
         """Executor hook, fired *after* the durable local append: count
-        it toward the next checkpoint and mirror it into the leader's
-        ship buffer.  The ordering is the WAIT_SYNC guarantee — an
-        entry becomes shippable only once it is journalled locally."""
-        self.recovery.note_journalled(statement)
-        if self.leader_state is not None:
+        it toward the owning tenant's next checkpoint and — for the
+        default tenant on a leader — mirror it into the ship buffer.
+        The ordering is the WAIT_SYNC guarantee — an entry becomes
+        shippable only once it is journalled locally."""
+        tenant.recovery.note_journalled(statement)
+        if tenant.is_default and self.leader_state is not None:
             self.leader_state.note_appended(ast.to_hql(statement))
+
+    def _executor_for(self, tenant) -> HQLExecutor:
+        """A fresh executor bound to one tenant's database and journal
+        (each session×tenant binding gets its own, so transaction state
+        never leaks across sessions or tenants)."""
+        recovery = tenant.recovery
+        if recovery is None:
+            return HQLExecutor(tenant.database)
+        return HQLExecutor(
+            tenant.database,
+            log=recovery.journal,
+            on_journal=lambda statement, _t=tenant: self._on_journal(_t, statement),
+        )
+
+    # ------------------------------------------------------------------
+    # tenant lifecycle (admin surface)
+    # ------------------------------------------------------------------
+
+    def create_tenant(self, name: str, quotas=None):
+        tenant = self.registry.create(name, quotas)
+        if self.slow_query_ms is not None:
+            tenant.database.enable_slow_query_log(self.slow_query_ms)
+        return tenant
+
+    def drop_tenant(self, name: str):
+        """Drop a tenant and reclaim everything sessions hold against
+        it: open cursors are reaped, staged transactions rolled back,
+        and the tenant's query cache cleared (by the registry).  The
+        sessions stay connected — their next statement reports the
+        tenant as gone until they ``use`` another."""
+        tenant = self.registry.drop(name)
+        tenant.dropped = True
+        for session in self.sessions.values():
+            if session.tenant is tenant:
+                session.cursors.clear()
+                session.executor.close()
+        return tenant
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -231,11 +313,18 @@ class HQLServer:
             with contextlib.suppress(asyncio.TimeoutError):
                 await asyncio.wait_for(self._idle.wait(), self.drain_timeout)
         await self._sever_connections()
-        if drain and self.recovery is not None:
-            await asyncio.to_thread(self.recovery.checkpoint, self.database)
-            self._m_checkpoints.inc()
-            if self.leader_state is not None:
-                self.leader_state.note_checkpoint(self.recovery.checkpoint_id)
+        if drain:
+            # Final checkpoints, one tenant at a time — each folds its
+            # own journal into its own snapshot (quarantined tenants
+            # have nothing recovered to snapshot, so they are skipped
+            # and their on-disk state stays untouched for forensics).
+            for tenant in list(self.registry):
+                if tenant.recovery is None or tenant.database is None:
+                    continue
+                await asyncio.to_thread(tenant.recovery.checkpoint, tenant.database)
+                self._m_checkpoints.inc()
+                if tenant.is_default and self.leader_state is not None:
+                    self.leader_state.note_checkpoint(tenant.recovery.checkpoint_id)
 
     async def abort(self) -> None:
         """Simulated crash: sever everything *now*; no drain, no final
@@ -273,14 +362,13 @@ class HQLServer:
         if task is not None:
             self._conn_tasks.add(task)
         session_id = next(self._session_ids)
-        executor = HQLExecutor(
-            self.database,
-            log=self.recovery.journal if self.recovery is not None else None,
-            on_journal=self._on_journal if self.recovery is not None else None,
-        )
+        tenant = self.registry.default
         peer = writer.get_extra_info("peername")
         session = Session(
-            session_id, executor, "{}:{}".format(*peer[:2]) if peer else None
+            session_id,
+            self._executor_for(tenant),
+            "{}:{}".format(*peer[:2]) if peer else None,
+            tenant=tenant,
         )
         self.sessions[session_id] = session
         self._m_connections.inc()
@@ -300,6 +388,7 @@ class HQLServer:
                             else None
                         ),
                         replication=self.leader_state is not None,
+                        tenants=self.registry.names(),
                     )
                 )
             )
@@ -368,6 +457,14 @@ class HQLServer:
         try:
             if op == "query":
                 return await self._handle_query(session, message)
+            if op == "use":
+                tenant = self._bind_session(session, message.get("db"))
+                return {
+                    "id": request_id,
+                    "ok": True,
+                    "tenant": tenant.name,
+                    "database": tenant.database.name,
+                }
             if op == "fetch":
                 return self._handle_fetch(session, message)
             if op == "close":
@@ -375,7 +472,8 @@ class HQLServer:
                 return {"id": request_id, "ok": True, "closed": closed}
             if op == "admin":
                 return protocol.admin_response(
-                    request_id, admin_mod.admin_payload(self, str(message.get("cmd")))
+                    request_id,
+                    admin_mod.admin_payload(self, str(message.get("cmd")), message),
                 )
             if op == "replicate":
                 return await replication_mod.handle_replicate(self, message)
@@ -384,11 +482,46 @@ class HQLServer:
             self._m_errors.inc()
             return protocol.error_response(request_id, exc)
 
+    def _bind_session(self, session: Session, name) -> "object":
+        """Bind ``session`` to the named tenant (the ``use`` verb and
+        the per-request ``db`` field).  Rejected inside an open
+        transaction — staged state cannot follow the session across
+        databases — and against unknown/quarantined tenants."""
+        if not isinstance(name, str) or not name:
+            raise TenantError("'use' needs a 'db' tenant name")
+        if session.tenant is not None and session.tenant.name == name:
+            return session.tenant
+        if session.in_transaction:
+            raise TenantError(
+                "cannot switch tenants inside an open transaction; "
+                "COMMIT or ROLLBACK first"
+            )
+        tenant = self.registry.get(name)
+        session.bind(tenant, self._executor_for(tenant))
+        return tenant
+
+    def _session_tenant(self, session: Session):
+        """The tenant a statement executes against, re-validated per
+        request so dropped tenants are reported, not silently served."""
+        tenant = session.tenant
+        if tenant is None:
+            return None
+        if tenant.dropped:
+            raise UnknownTenantError(tenant.name, self.registry.tenants)
+        return tenant
+
+    def _tenant_cursors(self, tenant) -> int:
+        return sum(
+            len(s.cursors) for s in self.sessions.values() if s.tenant is tenant
+        )
+
     async def _handle_query(self, session: Session, message: dict) -> dict:
         request_id = message.get("id")
         text = message.get("hql")
         if not isinstance(text, str):
             raise ServerError("query request needs an 'hql' string")
+        if message.get("db") is not None:
+            self._bind_session(session, message.get("db"))
         render = bool(message.get("render", True))
         binary = self._wire_format(message) == codec.FORMAT_BINARY
         page_size = int(message.get("page_size") or 0)
@@ -402,18 +535,30 @@ class HQLServer:
                 "WAIT_SYNC needs a leader (a server with a journal to ship); "
                 "this server's role is {!r}".format(self.role)
             )
+        tenant = self._session_tenant(session)
         results = []
         for statement in statements:
             try:
+                if tenant is not None:
+                    # Quota gates, cheapest first: the rate bucket on
+                    # every statement, the tuple cap only before the
+                    # statements that add tuples.
+                    tenant.check_statement_rate()
+                    if isinstance(statement, (ast.Assert, ast.Load)):
+                        tenant.check_tuple_quota()
                 result = await self._execute_locked(session, statement)
             except ReproError as exc:
                 # Statements before the failure already ran (exactly as
                 # in a local script); report them alongside the error.
                 self._m_errors.inc()
+                if tenant is not None:
+                    tenant.m_errors.inc()
                 response = protocol.error_response(request_id, exc, results)
                 response["txn"] = session.in_transaction
                 return response
             self._m_statements.inc()
+            if tenant is not None:
+                tenant.m_statements.inc()
             results.append(
                 self._serialize_result(session, result, render, binary, page_size)
             )
@@ -493,6 +638,10 @@ class HQLServer:
                 width = len(rows[0]) if rows else 0
             size = page_size if page_size > 0 else self._auto_page_size(rows)
             if len(rows) > size:
+                if session.tenant is not None:
+                    session.tenant.check_cursor_quota(
+                        self._tenant_cursors(session.tenant)
+                    )
                 cursor = session.open_cursor(
                     kind, rows, size, meta={"width": width}
                 )
@@ -568,23 +717,28 @@ class HQLServer:
     async def _execute_locked(self, session: Session, statement: ast.Statement):
         self._inflight += 1
         self._idle.clear()
+        tenant = session.tenant
+        lock = tenant.lock if tenant is not None else self.lock
+        recovery = tenant.recovery if tenant is not None else None
         try:
             if self._needs_write_lock(statement, session):
-                async with self.lock.write_locked():
+                async with lock.write_locked():
                     result = await asyncio.to_thread(session.execute, statement)
-                    if self.recovery is not None and self.recovery.checkpoint_due:
-                        # Still exclusive: the snapshot sees a settled
-                        # catalog and the rotation can lose no writes.
-                        await asyncio.to_thread(self.recovery.checkpoint, self.database)
+                    if recovery is not None and recovery.checkpoint_due:
+                        # Still exclusive — but only on *this* tenant:
+                        # the snapshot sees a settled catalog, the
+                        # rotation can lose no writes, and every other
+                        # tenant keeps serving throughout.
+                        await asyncio.to_thread(recovery.checkpoint, tenant.database)
                         self._m_checkpoints.inc()
-                        if self.leader_state is not None:
+                        if tenant.is_default and self.leader_state is not None:
                             # Mirror the rotation: retire the shipped
                             # segment, start the new one empty.
                             self.leader_state.note_checkpoint(
-                                self.recovery.checkpoint_id
+                                recovery.checkpoint_id
                             )
             else:
-                async with self.lock.read_locked():
+                async with lock.read_locked():
                     result = await asyncio.to_thread(session.execute, statement)
             return result
         finally:

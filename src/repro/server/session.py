@@ -64,10 +64,21 @@ class Session:
     #: (clients that leak cursors degrade themselves, not the server).
     max_cursors = 32
 
-    def __init__(self, session_id: int, executor, peer: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        session_id: int,
+        executor,
+        peer: Optional[str] = None,
+        tenant=None,
+    ) -> None:
         self.id = session_id
         self.executor = executor
         self.peer = peer or "?"
+        #: The :class:`~repro.tenants.Tenant` this session is bound to
+        #: (``None`` for directly-constructed sessions in tests).  A
+        #: session talks to exactly one tenant at a time; ``use``
+        #: rebinds via :meth:`bind`.
+        self.tenant = tenant
         self.opened_at = time.time()
         self.statements = 0
         self.errors = 0
@@ -81,6 +92,22 @@ class Session:
     @property
     def in_transaction(self) -> bool:
         return self.executor.in_transaction
+
+    @property
+    def tenant_name(self) -> Optional[str]:
+        return self.tenant.name if self.tenant is not None else None
+
+    def bind(self, tenant, executor) -> None:
+        """Switch this session to another tenant: the old executor is
+        closed (rolling back any transaction — callers reject ``use``
+        mid-transaction *before* getting here, so this is purely
+        defensive) and every open cursor is reaped, because cursors
+        materialise rows from the tenant they were opened against."""
+        if self.executor is not None and executor is not self.executor:
+            self.executor.close()
+        self.cursors.clear()
+        self.tenant = tenant
+        self.executor = executor
 
     def execute(self, statement: ast.Statement):
         """Run one statement on this session's executor (called on a
@@ -144,6 +171,7 @@ class Session:
         return {
             "id": self.id,
             "peer": self.peer,
+            "tenant": self.tenant_name,
             "age_s": round(time.time() - self.opened_at, 3),
             "statements": self.statements,
             "errors": self.errors,

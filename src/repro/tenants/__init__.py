@@ -1,0 +1,23 @@
+"""Multi-tenant hosting: many named databases under one server process.
+
+See :mod:`repro.tenants.registry` for the machinery and
+``docs/SERVER.md`` ("Multi-tenancy") for the operational story.
+"""
+
+from repro.tenants.registry import (
+    DEFAULT_TENANT,
+    Tenant,
+    TenantQuotas,
+    TenantRegistry,
+    TokenBucket,
+    valid_tenant_name,
+)
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "Tenant",
+    "TenantQuotas",
+    "TenantRegistry",
+    "TokenBucket",
+    "valid_tenant_name",
+]

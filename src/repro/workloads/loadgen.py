@@ -1,0 +1,366 @@
+"""An open-loop load generator for the multi-tenant HQL server.
+
+The closed-loop harness in ``benchmarks/bench_server.py`` measures
+*capacity*: each client waits for the previous answer before issuing
+the next request, so the offered load falls automatically whenever the
+server slows down, and queueing delay is invisible.  This module
+implements the complementary — and for latency the only honest —
+**open-loop** model: requests arrive on a precomputed schedule drawn
+from a Poisson process at a configured rate, whether or not earlier
+requests have completed.  When the server falls behind, requests queue
+and their *latency, measured from the scheduled arrival time*, grows —
+exactly the coordinated-omission-free methodology of wrk2/Lancet.
+
+Workload shape
+--------------
+* ``tenants`` — each arrival is routed to one of N named tenants
+  (round-robin by arrival index), exercising per-tenant locks, caches,
+  and quotas under concurrent cross-tenant traffic;
+* **Zipf-skewed reads** — point ``TRUTH`` queries whose key follows a
+  Zipf(s) distribution over the key space, the classic skewed-access
+  pattern (a few hot keys take most of the traffic);
+* **bursty writes** — autocommitted ``ASSERT`` statements whose
+  arrival rate is multiplied during periodic burst windows, so the
+  exclusive-lock path is exercised in clumps, not a smooth trickle.
+
+Clients are separate **processes** (``multiprocessing`` spawn), so
+client-side CPU never shares the server's GIL.  Every worker gets its
+own slice of the global schedule; latencies are aggregated into
+arrival-time-based percentiles (p50/p95/p99) per operation class.
+
+Entry point: :func:`run_load` (see ``benchmarks/bench_load.py`` for
+the committed experiment and ``BENCH_load.json`` for its record).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import multiprocessing as mp
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "LoadSpec",
+    "LoadReport",
+    "build_schedule",
+    "percentile",
+    "run_load",
+    "zipf_cdf",
+    "zipf_sample",
+    "DEFAULT_SCHEMA",
+]
+
+#: Schema installed into every tenant before the run: one hierarchy
+#: with ``key_space`` instances, a read relation with one asserted
+#: class-level tuple (so every TRUTH probe has an answer), and a write
+#: relation the bursty ASSERT traffic grows.
+DEFAULT_SCHEMA = (
+    "CREATE HIERARCHY item;"
+    "CREATE CLASS hot IN item;"
+    "CREATE RELATION reads (it: item);"
+    "CREATE RELATION writes (it: item);"
+    "ASSERT reads (hot);"
+)
+
+
+def schema_for(key_space: int) -> str:
+    return DEFAULT_SCHEMA + "".join(
+        "CREATE INSTANCE k{} IN item UNDER hot;".format(i) for i in range(key_space)
+    )
+
+
+# ----------------------------------------------------------------------
+# distributions
+# ----------------------------------------------------------------------
+
+
+def zipf_cdf(n: int, s: float) -> List[float]:
+    """The cumulative distribution of Zipf(s) over ranks ``1..n``
+    (``cdf[k]`` is P(rank <= k+1)); sampled via :func:`zipf_sample`."""
+    weights = [1.0 / (k ** s) for k in range(1, n + 1)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    cdf[-1] = 1.0  # float drift must never strand a sample past the end
+    return cdf
+
+
+def zipf_sample(cdf: Sequence[float], rng: random.Random) -> int:
+    """One rank (0-based) drawn from a precomputed Zipf CDF."""
+    return bisect.bisect_left(cdf, rng.random())
+
+
+def build_schedule(
+    rate: float, duration_s: float, rng: random.Random
+) -> List[float]:
+    """Poisson arrival offsets (seconds from epoch start): exponential
+    inter-arrival gaps at ``rate`` per second, truncated at the
+    duration.  This is the *open-loop* schedule — fixed before the run,
+    independent of how fast the server answers."""
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration_s:
+            return arrivals
+        arrivals.append(t)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) of an ascending sequence, linear
+    interpolation between ranks (matches numpy's default)."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return float(sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac)
+
+
+# ----------------------------------------------------------------------
+# the spec and the report
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LoadSpec:
+    """One open-loop experiment against a running server."""
+
+    tenants: Tuple[str, ...] = ("default",)
+    #: Total offered request rate, requests/second across all workers.
+    rate: float = 200.0
+    duration_s: float = 4.0
+    #: Fraction of arrivals that are Zipf-skewed TRUTH reads; the rest
+    #: are ASSERT writes.
+    read_fraction: float = 0.9
+    #: Zipf skew for read keys (1.1 ≈ heavy head; 0 would be uniform).
+    zipf_s: float = 1.1
+    key_space: int = 64
+    #: Bursty writes: every ``burst_every_s`` the *write* arrival rate
+    #: is multiplied by ``burst_multiplier`` for ``burst_len_s``.
+    burst_every_s: float = 2.0
+    burst_len_s: float = 0.5
+    burst_multiplier: float = 4.0
+    workers: int = 2
+    seed: int = 17
+
+    def write_rate_at(self, t: float) -> float:
+        """The instantaneous write arrival rate at offset ``t``."""
+        base = self.rate * (1.0 - self.read_fraction)
+        if self.burst_every_s <= 0 or self.burst_multiplier <= 1.0:
+            return base
+        phase = t % self.burst_every_s
+        return base * self.burst_multiplier if phase < self.burst_len_s else base
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome: counts, achieved rate, and arrival-time
+    percentiles (milliseconds) per operation class."""
+
+    spec: LoadSpec
+    requests: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    latencies_ms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    per_tenant: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def achieved_rate(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model": "open-loop (arrival-time latency, coordinated-omission-free)",
+            "tenants": list(self.spec.tenants),
+            "target_rate": self.spec.rate,
+            "achieved_rate": round(self.achieved_rate, 1),
+            "duration_s": self.spec.duration_s,
+            "requests": self.requests,
+            "errors": self.errors,
+            "read_fraction": self.spec.read_fraction,
+            "zipf_s": self.spec.zipf_s,
+            "burst_multiplier": self.spec.burst_multiplier,
+            "latencies_ms": self.latencies_ms,
+            "per_tenant": self.per_tenant,
+        }
+
+
+# ----------------------------------------------------------------------
+# the worker process
+# ----------------------------------------------------------------------
+
+
+def _plan_worker(
+    spec: LoadSpec, worker: int
+) -> List[Tuple[float, str, str, int]]:
+    """This worker's slice of the global schedule, fixed before any
+    request is sent: ``(arrival_offset_s, op, tenant, key)`` tuples in
+    arrival order.  Reads arrive at a constant Poisson rate; writes at
+    a *time-varying* rate realised by thinning a fast Poisson stream
+    against :meth:`LoadSpec.write_rate_at` (the standard way to draw an
+    inhomogeneous Poisson process)."""
+    rng = random.Random(spec.seed * 1_000_003 + worker)
+    per_worker = 1.0 / max(1, spec.workers)
+    cdf = zipf_cdf(spec.key_space, spec.zipf_s)
+    plan: List[Tuple[float, str, str, int]] = []
+
+    read_rate = spec.rate * spec.read_fraction * per_worker
+    if read_rate > 0:
+        for t in build_schedule(read_rate, spec.duration_s, rng):
+            plan.append((t, "read", "", zipf_sample(cdf, rng)))
+
+    # Candidate write stream at the global *peak* rate (base × burst
+    # multiplier), thinned per candidate with probability
+    # write_rate_at(t)/peak — so accepted arrivals follow the bursty
+    # time-varying rate exactly.
+    peak = spec.rate * (1.0 - spec.read_fraction) * max(1.0, spec.burst_multiplier)
+    if peak > 0:
+        for t in build_schedule(peak * per_worker, spec.duration_s, rng):
+            if rng.random() * peak <= spec.write_rate_at(t):
+                plan.append((t, "write", "", rng.randrange(spec.key_space)))
+
+    plan.sort(key=lambda entry: entry[0])
+    # Tenants round-robin over the merged arrival order, so every
+    # tenant sees both op classes and roughly rate/N of the traffic.
+    return [
+        (t, op, spec.tenants[i % len(spec.tenants)], key)
+        for i, (t, op, _tenant, key) in enumerate(plan)
+    ]
+
+
+def _run_worker(host, port, spec, worker, barrier, queue):
+    """Replay one worker's schedule against the server.  Never sleeps
+    when behind schedule — that is the open-loop contract — and stamps
+    each latency from the *scheduled* arrival, so queueing delay (and
+    our own lateness) is charged to the request, not silently dropped."""
+    from repro.client import HQLClient
+
+    plan = _plan_worker(spec, worker)
+    clients = {
+        tenant: HQLClient(host=host, port=port, db=tenant, reconnect=False)
+        for tenant in spec.tenants
+    }
+    for client in clients.values():
+        client.connect()
+    samples: List[Tuple[str, str, float, bool]] = []
+    try:
+        barrier.wait()
+        epoch = time.perf_counter()
+        for offset, op, tenant, key in plan:
+            now = time.perf_counter() - epoch
+            if offset > now:
+                time.sleep(offset - now)
+            client = clients[tenant]
+            if op == "read":
+                hql = "TRUTH reads (k{});".format(key)
+            else:
+                hql = "ASSERT writes (k{});".format(key)
+            ok = True
+            try:
+                client.execute(hql, render=False)
+            except Exception:
+                ok = False
+            latency_s = (time.perf_counter() - epoch) - offset
+            samples.append((op, tenant, latency_s * 1e3, ok))
+        queue.put((worker, samples))
+    finally:
+        for client in clients.values():
+            client.close()
+
+
+# ----------------------------------------------------------------------
+# the driver
+# ----------------------------------------------------------------------
+
+
+def prepare_tenants(host: str, port: int, spec: LoadSpec) -> None:
+    """Create every named tenant (idempotent) and install the schema
+    in each, so the run starts from identical per-tenant state."""
+    from repro.client import HQLClient
+    from repro.errors import RemoteError
+
+    schema = schema_for(spec.key_space)
+    with HQLClient(host=host, port=port) as admin:
+        known = {row.get("name") for row in admin.tenants()}
+        for tenant in spec.tenants:
+            if tenant not in known and tenant != "default":
+                admin.create_tenant(tenant)
+        for tenant in spec.tenants:
+            client = HQLClient(host=host, port=port, db=tenant)
+            try:
+                client.execute(schema)
+            except RemoteError:
+                pass  # already installed by a previous run
+            finally:
+                client.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    spec: Optional[LoadSpec] = None,
+    *,
+    prepare: bool = True,
+) -> LoadReport:
+    """Run one open-loop experiment and aggregate the percentiles."""
+    spec = spec or LoadSpec()
+    if prepare:
+        prepare_tenants(host, port, spec)
+    ctx = mp.get_context("spawn")
+    barrier = ctx.Barrier(spec.workers + 1)
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_run_worker, args=(host, port, spec, i, barrier, queue)
+        )
+        for i in range(spec.workers)
+    ]
+    for proc in procs:
+        proc.start()
+    try:
+        # A worker that dies before connecting would otherwise leave
+        # the barrier (and this driver) waiting forever.
+        barrier.wait(timeout=60.0)
+        start = time.perf_counter()
+        collected: List[Tuple[str, str, float, bool]] = []
+        for _ in procs:
+            _worker_id, samples = queue.get(timeout=spec.duration_s + 120.0)
+            collected.extend(samples)
+    except Exception:
+        for proc in procs:
+            proc.terminate()
+        raise
+    for proc in procs:
+        proc.join()
+    elapsed = time.perf_counter() - start
+
+    report = LoadReport(spec=spec, elapsed_s=elapsed)
+    by_op: Dict[str, List[float]] = {}
+    for op, tenant, latency_ms, ok in collected:
+        report.requests += 1
+        report.per_tenant[tenant] = report.per_tenant.get(tenant, 0) + 1
+        if not ok:
+            report.errors += 1
+            continue
+        by_op.setdefault(op, []).append(latency_ms)
+        by_op.setdefault("all", []).append(latency_ms)
+    for op, values in by_op.items():
+        values.sort()
+        report.latencies_ms[op] = {
+            "count": len(values),
+            "p50": round(percentile(values, 50), 3),
+            "p95": round(percentile(values, 95), 3),
+            "p99": round(percentile(values, 99), 3),
+            "max": round(values[-1], 3),
+        }
+    return report

@@ -155,6 +155,7 @@ def test_executor_records_cost_on_cached_statements(executor):
 
 def test_server_stats_payload_includes_planner():
     from repro.server.admin import stats_payload
+    from repro.tenants import TenantRegistry
 
     class _Lock:
         readers = 0
@@ -163,11 +164,16 @@ def test_server_stats_payload_includes_planner():
 
     class _Server:
         database = HierarchicalDatabase("s")
+        registry = TenantRegistry.memory(database)
         started_at = 0.0
         sessions = {}
         lock = _Lock()
         draining = False
         recovery = None
 
+        def _tenant_cursors(self, tenant):
+            return 0
+
     payload = stats_payload(_Server())
     assert payload["planner"]["enabled"] is True
+    assert payload["tenants"][0]["name"] == "default"

@@ -1,0 +1,135 @@
+"""Unit tests for the open-loop load generator's machinery.
+
+The live end-to-end run (spawned workers against a real server) lives
+in ``benchmarks/test_perf_load.py``; these tests pin the deterministic
+pieces: distributions, schedules, burst shaping, and the per-worker
+plan's open-loop invariants.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.loadgen import (
+    LoadSpec,
+    _plan_worker,
+    build_schedule,
+    percentile,
+    schema_for,
+    zipf_cdf,
+    zipf_sample,
+)
+
+
+class TestDistributions:
+    def test_zipf_cdf_is_monotone_and_complete(self):
+        cdf = zipf_cdf(100, 1.2)
+        assert len(cdf) == 100
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+        assert cdf[-1] == 1.0
+
+    def test_zipf_head_is_heavier_with_more_skew(self):
+        mild, heavy = zipf_cdf(50, 0.5), zipf_cdf(50, 1.5)
+        assert heavy[0] > mild[0]
+
+    def test_zipf_sample_stays_in_range(self):
+        rng = random.Random(1)
+        cdf = zipf_cdf(8, 1.0)
+        ranks = {zipf_sample(cdf, rng) for _ in range(500)}
+        assert ranks <= set(range(8))
+        assert 0 in ranks  # the head is hit essentially always
+
+    def test_schedule_is_sorted_and_bounded(self):
+        rng = random.Random(2)
+        arrivals = build_schedule(100.0, 2.0, rng)
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 2.0 for t in arrivals)
+        assert 120 < len(arrivals) < 280  # ~200 expected
+
+    def test_percentile_edges(self):
+        assert percentile([], 99) == 0.0
+        assert percentile([5.0], 99) == 5.0
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+
+class TestSpec:
+    def test_write_rate_bursts_periodically(self):
+        spec = LoadSpec(
+            rate=100.0,
+            read_fraction=0.8,
+            burst_every_s=2.0,
+            burst_len_s=0.5,
+            burst_multiplier=4.0,
+        )
+        base = 100.0 * 0.2
+        approx = pytest.approx
+        assert spec.write_rate_at(0.1) == approx(base * 4.0)  # inside the burst
+        assert spec.write_rate_at(1.0) == approx(base)  # between bursts
+        assert spec.write_rate_at(2.2) == approx(base * 4.0)  # next period
+
+    def test_burst_disabled_when_multiplier_is_one(self):
+        spec = LoadSpec(rate=100.0, read_fraction=0.5, burst_multiplier=1.0)
+        assert spec.write_rate_at(0.0) == spec.write_rate_at(1.0) == 50.0
+
+    def test_schema_scales_with_the_key_space(self):
+        schema = schema_for(3)
+        assert "CREATE INSTANCE k2 IN item" in schema
+        assert "k3" not in schema
+
+
+class TestPlan:
+    def test_plan_is_deterministic_per_seed_and_worker(self):
+        spec = LoadSpec(tenants=("a", "b"), rate=50.0, duration_s=2.0, seed=5)
+        assert _plan_worker(spec, 0) == _plan_worker(spec, 0)
+        assert _plan_worker(spec, 0) != _plan_worker(spec, 1)
+
+    def test_plan_is_sorted_and_round_robins_tenants(self):
+        spec = LoadSpec(
+            tenants=("a", "b", "c"), rate=200.0, duration_s=2.0, workers=1
+        )
+        plan = _plan_worker(spec, 0)
+        assert plan, "an empty plan measures nothing"
+        offsets = [entry[0] for entry in plan]
+        assert offsets == sorted(offsets)
+        tenants = [entry[2] for entry in plan]
+        assert tenants[:6] == ["a", "b", "c", "a", "b", "c"]
+        counts = {t: tenants.count(t) for t in spec.tenants}
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_plan_respects_the_read_fraction(self):
+        spec = LoadSpec(
+            tenants=("a",),
+            rate=400.0,
+            duration_s=3.0,
+            read_fraction=0.9,
+            burst_multiplier=1.0,
+            workers=1,
+        )
+        plan = _plan_worker(spec, 0)
+        reads = sum(1 for entry in plan if entry[1] == "read")
+        assert 0.8 < reads / len(plan) < 0.97
+
+    def test_bursty_writes_cluster_in_the_burst_windows(self):
+        spec = LoadSpec(
+            tenants=("a",),
+            rate=400.0,
+            duration_s=4.0,
+            read_fraction=0.5,
+            burst_every_s=2.0,
+            burst_len_s=0.5,
+            burst_multiplier=8.0,
+            workers=1,
+        )
+        plan = _plan_worker(spec, 0)
+        writes = [t for t, op, _tenant, _key in plan if op == "write"]
+        in_burst = sum(1 for t in writes if (t % 2.0) < 0.5)
+        # Burst windows are 25% of wall time but at 8x rate they must
+        # carry well over half of all writes.
+        assert in_burst / len(writes) > 0.55
+
+    def test_workers_split_the_offered_rate(self):
+        one = _plan_worker(LoadSpec(rate=300.0, duration_s=3.0, workers=1), 0)
+        half = _plan_worker(LoadSpec(rate=300.0, duration_s=3.0, workers=2), 0)
+        assert 0.3 < len(half) / len(one) < 0.7
